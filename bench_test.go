@@ -1,0 +1,324 @@
+// Root benchmarks: one benchmark family per table and figure of the
+// paper's evaluation (see DESIGN.md §3 for the experiment index).
+//
+//	go test -bench=. -benchmem
+//
+// Dataset size defaults to 500k keys per dataset (the paper uses 200M); set
+// REPRO_BENCH_N to scale up. Shapes — method ordering, improvement factors,
+// crossovers — are the reproduction target, not absolute nanoseconds
+// (EXPERIMENTS.md records both).
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cdfmodel"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kv"
+	"repro/internal/memsim"
+	"repro/internal/search"
+)
+
+func benchN() int {
+	if s := os.Getenv("REPRO_BENCH_N"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 500_000
+}
+
+const benchSeed = 42
+
+var (
+	dataMu    sync.Mutex
+	dataCache = map[string][]uint64{}
+)
+
+func keysFor(b *testing.B, spec dataset.Spec) []uint64 {
+	b.Helper()
+	dataMu.Lock()
+	defer dataMu.Unlock()
+	id := spec.String()
+	if k, ok := dataCache[id]; ok {
+		return k
+	}
+	k, err := dataset.Generate(spec.Name, spec.Bits, benchN(), benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dataCache[id] = k
+	return k
+}
+
+// BenchmarkTable2 regenerates Table 2: lookup latency per dataset per
+// method. Sub-benchmark names follow "dataset/method".
+func BenchmarkTable2(b *testing.B) {
+	for _, spec := range dataset.Table2 {
+		keys64 := keysFor(b, spec)
+		if spec.Bits == 32 {
+			table2Row(b, spec, dataset.U32(keys64))
+		} else {
+			table2Row(b, spec, keys64)
+		}
+	}
+}
+
+var (
+	builtMu    sync.Mutex
+	builtCache = map[string]any{}
+)
+
+// builtFor caches constructed indexes: the testing framework re-runs each
+// sub-benchmark body while calibrating b.N, and rebuilding a 500k-key index
+// on every calibration round would dominate the run.
+func builtFor[K kv.Key](b *testing.B, id string, m bench.Method[K], keys []K) *bench.Built[K] {
+	b.Helper()
+	builtMu.Lock()
+	defer builtMu.Unlock()
+	if v, ok := builtCache[id]; ok {
+		return v.(*bench.Built[K])
+	}
+	built, err := m.Build(keys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	builtCache[id] = built
+	return built
+}
+
+func table2Row[K kv.Key](b *testing.B, spec dataset.Spec, keys []K) {
+	w := bench.NewWorkload(keys, 1<<16, benchSeed+1)
+	for _, m := range bench.Methods[K]() {
+		m := m
+		b.Run(spec.String()+"/"+m.Name, func(b *testing.B) {
+			if reason := m.NA(keys); reason != "" {
+				b.Skipf("N/A as in the paper's Table 2: %s", reason)
+			}
+			built := builtFor(b, spec.String()+"/"+m.Name, m, keys)
+			// Validate before timing: a benchmark must never measure a
+			// broken index.
+			if _, err := w.Measure(built.Find, 1); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(built.SizeBytes), "indexbytes")
+			mask := len(w.Queries) - 1
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				sink += built.Find(w.Queries[i&mask])
+			}
+			if sink == -1 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}
+
+// BenchmarkFig2aLocalSearch regenerates Fig. 2a: local-search latency as a
+// function of the planted prediction error.
+func BenchmarkFig2aLocalSearch(b *testing.B) {
+	keys := dataset.U32(keysFor(b, dataset.Spec{Name: dataset.USpr, Bits: 32}))
+	n := len(keys)
+	for delta := 1; delta < n/2; delta *= 10 {
+		w := bench.NewPlanted(keys, delta, 1<<14, benchSeed)
+		mask := len(w.Q) - 1
+		run := func(name string, f func(i int) int) {
+			b.Run(fmt.Sprintf("err=%d/%s", delta, name), func(b *testing.B) {
+				sink := 0
+				for i := 0; i < b.N; i++ {
+					sink += f(i & mask)
+				}
+				if sink == -1 {
+					b.Fatal("impossible")
+				}
+			})
+		}
+		run("linear", func(i int) int { return search.LinearFrom(keys, int(w.Pred[i]), w.Q[i]) })
+		run("binary", func(i int) int {
+			lo := kv.Clamp(int(w.Pred[i])-delta, 0, n)
+			hi := kv.Clamp(int(w.Pred[i])+delta+1, 0, n)
+			return search.BinaryRange(keys, lo, hi, w.Q[i])
+		})
+		run("exponential", func(i int) int { return search.Exponential(keys, int(w.Pred[i]), w.Q[i]) })
+		run("binary-wo-model", func(i int) int { return search.Binary(keys, w.Q[i]) })
+	}
+}
+
+// BenchmarkFig2bCacheMisses regenerates Fig. 2b: simulated cache misses of
+// the local search per planted error. The metric of interest is
+// LLCmiss/op (reported), not ns/op.
+func BenchmarkFig2bCacheMisses(b *testing.B) {
+	pts, err := bench.RunFig2b(bench.Fig2Config{N: benchN(), Queries: 10_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range pts {
+		p := p
+		b.Run(fmt.Sprintf("err=%d", p.Err), func(b *testing.B) {
+			b.ReportMetric(p.LinearMisses, "linearLLC/op")
+			b.ReportMetric(p.BinaryMisses, "binaryLLC/op")
+			b.ReportMetric(p.ExpMisses, "expLLC/op")
+			b.ReportMetric(p.BSMisses, "bsLLC/op")
+			b.ReportMetric(p.FASTMisses, "fastLLC/op")
+			b.ReportMetric(0, "ns/op") // timing is not the object here
+		})
+	}
+}
+
+// BenchmarkFig3CDFs regenerates the Fig. 3 CDF series (macro and zoom) and
+// reports the local-variance contrast the figure illustrates.
+func BenchmarkFig3CDFs(b *testing.B) {
+	series, err := bench.RunFig3(benchN(), 500, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range series {
+		b.Run(s.Spec.String(), func(b *testing.B) {
+			b.ReportMetric(float64(len(s.MacroKeys)), "macro-points")
+			b.ReportMetric(float64(len(s.ZoomKeys)), "zoom-points")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}
+
+// BenchmarkFig6ErrorCorrection regenerates Fig. 6: average error of a plain
+// linear model vs the same model with a Shift-Table on osmc64.
+func BenchmarkFig6ErrorCorrection(b *testing.B) {
+	res, err := bench.RunFig6(benchN(), 1000, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("osmc64", func(b *testing.B) {
+		b.ReportMetric(res.AvgModel, "model-err")
+		b.ReportMetric(res.AvgCorrected, "corrected-err")
+		b.ReportMetric(res.AvgModel/res.AvgCorrected, "reduction-x")
+		b.ReportMetric(0, "ns/op")
+	})
+}
+
+// BenchmarkFig7Build regenerates Fig. 7: index build times. Each iteration
+// builds the index once over face64 (per-dataset numbers come from
+// cmd/figures -fig 7).
+func BenchmarkFig7Build(b *testing.B) {
+	keys := keysFor(b, dataset.Spec{Name: dataset.Face, Bits: 64})
+	for _, m := range bench.Methods[uint64]() {
+		m := m
+		if m.NA(keys) != "" {
+			continue
+		}
+		b.Run(m.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Build(keys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8SizeSweep regenerates Fig. 8 on face64: per index-size
+// point, lookup latency with simulated miss metrics attached.
+func BenchmarkFig8SizeSweep(b *testing.B) {
+	pts, err := bench.RunFig8(bench.Fig8Config{N: benchN(), Queries: 20_000, Reps: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, p := range pts {
+		p := p
+		b.Run(fmt.Sprintf("%s/size=%d", p.Method, p.SizeBytes), func(b *testing.B) {
+			b.ReportMetric(p.LookupNs, "lookup-ns")
+			b.ReportMetric(p.Log2Err, "log2err")
+			b.ReportMetric(p.Accesses, "touch/op")
+			b.ReportMetric(p.L1Misses, "L1/op")
+			b.ReportMetric(p.LLCMisses, "LLC/op")
+			b.ReportMetric(0, "ns/op")
+		})
+		_ = i
+	}
+}
+
+// BenchmarkFig9LayerSize regenerates Fig. 9: lookup latency and average
+// error per Shift-Table layer configuration per dataset.
+func BenchmarkFig9LayerSize(b *testing.B) {
+	res, err := bench.RunFig9(benchN(), 50_000, 1, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, spec := range res.Specs {
+		for _, mode := range res.Modes {
+			cell := res.Cells[spec.String()][mode]
+			b.Run(spec.String()+"/"+mode, func(b *testing.B) {
+				b.ReportMetric(cell.LookupNs, "lookup-ns")
+				b.ReportMetric(cell.AvgErr, "avg-err")
+				b.ReportMetric(float64(cell.SizeBytes), "layerbytes")
+				b.ReportMetric(0, "ns/op")
+			})
+		}
+	}
+}
+
+// BenchmarkLatencyCurve regenerates the §2.3 L(s) micro-benchmark (the
+// error-to-latency mapping that parameterises the §3.7 cost model).
+func BenchmarkLatencyCurve(b *testing.B) {
+	keys := keysFor(b, dataset.Spec{Name: dataset.USpr, Bits: 64})
+	pts := bench.MeasureLatencyCurve(keys, 1<<16, 3_000, benchSeed)
+	for _, p := range pts {
+		p := p
+		b.Run(fmt.Sprintf("window=%d", p.WindowSize), func(b *testing.B) {
+			b.ReportMetric(p.LinearNs, "linear-ns")
+			b.ReportMetric(p.BinaryNs, "binary-ns")
+			b.ReportMetric(p.ExpNs, "exp-ns")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}
+
+// BenchmarkCostModel validates §3.7: the cost model's predicted latency for
+// IM+Shift-Table vs the measured one, per dataset (experiment C1).
+func BenchmarkCostModel(b *testing.B) {
+	calib := keysFor(b, dataset.Spec{Name: dataset.USpr, Bits: 64})
+	l := bench.FitLatencyFn(bench.MeasureLatencyCurve(calib, 1<<18, 3_000, benchSeed))
+	for _, spec := range []dataset.Spec{
+		{Name: dataset.UDen, Bits: 64},
+		{Name: dataset.Face, Bits: 64},
+		{Name: dataset.Osmc, Bits: 64},
+		{Name: dataset.Wiki, Bits: 64},
+	} {
+		keys := keysFor(b, spec)
+		b.Run(spec.String(), func(b *testing.B) {
+			model := cdfmodel.NewInterpolation(keys)
+			tab, err := core.Build(keys, model, core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := bench.NewWorkload(keys, 1<<15, benchSeed+1)
+			measured, err := w.Measure(tab.Find, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			predicted := tab.EstimateWith(5, 40, l).TotalNs
+			b.ReportMetric(predicted, "predicted-ns")
+			b.ReportMetric(measured, "measured-ns")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}
+
+// BenchmarkMemsim measures the simulator itself (it is the substrate of
+// Fig. 2b and Fig. 8; its own throughput bounds their runtime).
+func BenchmarkMemsim(b *testing.B) {
+	sim, err := memsim.New(memsim.Skylake())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		sim.Access(uint64(i)*64, 8)
+	}
+}

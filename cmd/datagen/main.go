@@ -1,0 +1,70 @@
+// Command datagen generates the benchmark datasets and saves them in SOSD
+// binary format, printing distribution statistics. Useful for persisting a
+// fixed dataset across benchmark runs and for inspecting the generators.
+//
+// Usage:
+//
+//	datagen -out dir [-n 2000000] [-seed 42] [-datasets face64,wiki64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	n := flag.Int("n", 2_000_000, "keys per dataset")
+	seed := flag.Int64("seed", 42, "generation seed")
+	list := flag.String("datasets", "", "comma-separated specs; empty = the Table 2 fourteen")
+	flag.Parse()
+
+	specs := dataset.Table2
+	if *list != "" {
+		specs = nil
+		for _, s := range strings.Split(*list, ",") {
+			spec, ok := lookupSpec(strings.TrimSpace(s))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q\n", s)
+				os.Exit(2)
+			}
+			specs = append(specs, spec)
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	for _, spec := range specs {
+		keys, err := dataset.Generate(spec.Name, spec.Bits, *n, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, spec.String()+".bin")
+		if err := dataset.Save(path, keys, spec.Bits); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		distinct, maxRun := dataset.DupStats(keys)
+		fmt.Printf("%-8s %9d keys  min=%-22d max=%-22d distinct=%d maxdup=%d -> %s\n",
+			spec.String(), len(keys), keys[0], keys[len(keys)-1], distinct, maxRun, path)
+	}
+}
+
+func lookupSpec(s string) (dataset.Spec, bool) {
+	for _, name := range dataset.Names {
+		for _, bits := range []int{32, 64} {
+			spec := dataset.Spec{Name: name, Bits: bits}
+			if spec.String() == s {
+				return spec, true
+			}
+		}
+	}
+	return dataset.Spec{}, false
+}

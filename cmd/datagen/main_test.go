@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+func TestLookupSpec(t *testing.T) {
+	spec, ok := lookupSpec("osmc64")
+	if !ok || spec.String() != "osmc64" {
+		t.Errorf("lookupSpec(osmc64) = %v, %v", spec, ok)
+	}
+	if _, ok := lookupSpec("nope"); ok {
+		t.Error("unknown spec must not resolve")
+	}
+}

@@ -1,0 +1,172 @@
+// Command figures regenerates the data series behind each figure of the
+// paper's evaluation as CSV on stdout (or a summary table where the figure
+// is a table-like bar chart).
+//
+// Usage:
+//
+//	figures -fig 2a|2b|3|6|7|8|9|L [-n N] [-q Q] [-seed S] [-dataset face64]
+//
+// The "L" pseudo-figure prints the §2.3 error-to-latency micro-benchmark
+// (the L(s) curve parameterising the §3.7 cost model).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure id: 2a, 2b, 3, 6, 7, 8, 9, or L")
+	n := flag.Int("n", 0, "dataset size (0 = per-figure default)")
+	q := flag.Int("q", 0, "query count (0 = per-figure default)")
+	seed := flag.Int64("seed", 7, "dataset seed")
+	ds := flag.String("dataset", "face64", "dataset for fig 8 (face64 or osmc64)")
+	flag.Parse()
+
+	var err error
+	switch *fig {
+	case "2a":
+		err = fig2a(*n, *q, *seed)
+	case "2b":
+		err = fig2b(*n, *q, *seed)
+	case "3":
+		err = fig3(*n, *seed)
+	case "6":
+		err = fig6(*n, *seed)
+	case "7":
+		err = fig7(*n, *seed)
+	case "8":
+		err = fig8(*n, *q, *seed, *ds)
+	case "9":
+		err = fig9(*n, *q, *seed)
+	case "L":
+		err = latencyCurve(*n, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func fig2a(n, q int, seed int64) error {
+	pts, err := bench.RunFig2a(bench.Fig2Config{N: n, Queries: q, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("error,linear_ns,binary_ns,exponential_ns,binary_wo_model_ns,fast_ns")
+	for _, p := range pts {
+		fmt.Printf("%d,%.1f,%.1f,%.1f,%.1f,%.1f\n", p.Err, p.LinearNs, p.BinaryNs, p.ExpNs, p.BSNs, p.FASTNs)
+	}
+	return nil
+}
+
+func fig2b(n, q int, seed int64) error {
+	pts, err := bench.RunFig2b(bench.Fig2Config{N: n, Queries: q, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("error,linear_misses,binary_misses,exponential_misses,binary_wo_model_misses,fast_misses")
+	for _, p := range pts {
+		fmt.Printf("%d,%.2f,%.2f,%.2f,%.2f,%.2f\n", p.Err, p.LinearMisses, p.BinaryMisses, p.ExpMisses, p.BSMisses, p.FASTMisses)
+	}
+	return nil
+}
+
+func fig3(n int, seed int64) error {
+	if n == 0 {
+		n = 2_000_000
+	}
+	series, err := bench.RunFig3(n, 500, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("dataset,scale,key,position")
+	for _, s := range series {
+		for i := range s.MacroKeys {
+			fmt.Printf("%s,macro,%d,%d\n", s.Spec, s.MacroKeys[i], s.MacroPos[i])
+		}
+		for i := range s.ZoomKeys {
+			fmt.Printf("%s,zoom,%d,%d\n", s.Spec, s.ZoomKeys[i], s.ZoomPos[i])
+		}
+	}
+	return nil
+}
+
+func fig6(n int, seed int64) error {
+	if n == 0 {
+		n = 2_000_000
+	}
+	res, err := bench.RunFig6(n, 1000, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# avg model error = %.1f records, avg corrected error = %.1f records\n", res.AvgModel, res.AvgCorrected)
+	fmt.Println("position,model_err,corrected_err")
+	for i := range res.Positions {
+		fmt.Printf("%d,%d,%d\n", res.Positions[i], res.ModelErr[i], res.CorrectedErr[i])
+	}
+	return nil
+}
+
+func fig7(n int, seed int64) error {
+	if n == 0 {
+		n = 2_000_000
+	}
+	rows, err := bench.RunFig7(n, seed, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatFig7(rows))
+	return nil
+}
+
+func fig8(n, q int, seed int64, ds string) error {
+	spec := dataset.Spec{Name: dataset.Face, Bits: 64}
+	if ds == "osmc64" {
+		spec = dataset.Spec{Name: dataset.Osmc, Bits: 64}
+	} else if ds != "face64" {
+		return fmt.Errorf("fig 8 supports face64 or osmc64, got %q", ds)
+	}
+	pts, err := bench.RunFig8(bench.Fig8Config{Dataset: spec, N: n, Queries: q, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("method,size_bytes,lookup_ns,log2_err,accesses,l1_misses,llc_misses")
+	for _, p := range pts {
+		fmt.Printf("%s,%d,%.1f,%.2f,%.2f,%.2f,%.2f\n",
+			p.Method, p.SizeBytes, p.LookupNs, p.Log2Err, p.Accesses, p.L1Misses, p.LLCMisses)
+	}
+	return nil
+}
+
+func fig9(n, q int, seed int64) error {
+	res, err := bench.RunFig9(n, q, 0, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func latencyCurve(n int, seed int64) error {
+	if n == 0 {
+		n = 4_000_000
+	}
+	keys, err := dataset.Generate(dataset.USpr, 64, n, seed)
+	if err != nil {
+		return err
+	}
+	pts := bench.MeasureLatencyCurve(keys, 1<<20, 5_000, seed)
+	fmt.Println("window,linear_ns,binary_ns,exponential_ns")
+	for _, p := range pts {
+		fmt.Printf("%d,%.1f,%.1f,%.1f\n", p.WindowSize, p.LinearNs, p.BinaryNs, p.ExpNs)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Command report runs the Table 2 benchmark, puts the measured numbers side
+// by side with the paper's published ones, and mechanically evaluates the
+// paper's qualitative claims (who wins, by what factor). Its markdown
+// output is the basis of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	report [-n 2000000] [-q 100000] [-reps 2] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	n := flag.Int("n", 2_000_000, "keys per dataset")
+	q := flag.Int("q", 100_000, "lookups per measurement")
+	reps := flag.Int("reps", 2, "measurement repetitions")
+	seed := flag.Int64("seed", 42, "dataset seed")
+	flag.Parse()
+
+	res, err := bench.RunTable2(bench.Table2Config{N: *n, Queries: *q, Reps: *reps, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("## Table 2: paper (200M keys, i7-6700) vs this reproduction (%dM keys, this machine)\n\n", *n/1_000_000)
+	fmt.Println("Numbers are ns/lookup, `paper -> ours`. `NA` matches the paper's N/A policy.")
+	fmt.Println()
+	fmt.Print("| dataset |")
+	for _, m := range res.Methods {
+		fmt.Printf(" %s |", m)
+	}
+	fmt.Println()
+	fmt.Print("|---|")
+	for range res.Methods {
+		fmt.Print("---|")
+	}
+	fmt.Println()
+	for _, row := range res.Rows {
+		ds := row.Spec.String()
+		fmt.Printf("| %s |", ds)
+		for _, m := range res.Methods {
+			c := row.Cells[m]
+			paper, hasPaper := bench.PaperTable2[ds][m]
+			switch {
+			case c.NA() && hasPaper && paper == bench.PaperNA:
+				fmt.Print(" NA -> NA |")
+			case c.NA():
+				fmt.Print(" ? -> NA |")
+			case !hasPaper:
+				fmt.Printf(" - -> %.0f |", c.Ns)
+			case paper == bench.PaperNA:
+				fmt.Printf(" NA -> %.0f |", c.Ns)
+			default:
+				fmt.Printf(" %.0f -> %.0f |", paper, c.Ns)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("## Shape checks")
+	fmt.Println()
+	fmt.Println("| check | claim | paper | ours | holds |")
+	fmt.Println("|---|---|---|---|---|")
+	pass, total := 0, 0
+	for _, c := range bench.CheckTable2Shape(res) {
+		total++
+		mark := "no"
+		if c.Holds {
+			pass++
+			mark = "yes"
+		}
+		fmt.Printf("| %s | %s | %s | %s | %s |\n", c.ID, c.Claim, c.Paper, c.Ours, mark)
+	}
+	fmt.Printf("\n%d/%d shape checks hold.\n", pass, total)
+}

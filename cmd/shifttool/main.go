@@ -1,0 +1,137 @@
+// Command shifttool builds, inspects, and tunes a Shift-Table over a
+// dataset, exposing the paper's cost model (§3.7) and tuning rules (§3.9,
+// §4.1) as an advisor.
+//
+// Usage:
+//
+//	shifttool -dataset face64 [-n 2000000] [-model im|linear|rs]
+//	          [-mode r|s] [-m 0] [-file keys.bin] [-advise]
+//
+// With -file, keys are loaded from a SOSD-format binary file instead of
+// being generated ( -dataset then only selects the key width, e.g. any
+// name ending in 32 or 64).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/cdfmodel"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/radixspline"
+)
+
+func main() {
+	ds := flag.String("dataset", "face64", "dataset spec (e.g. face64, uden32)")
+	n := flag.Int("n", 2_000_000, "keys to generate")
+	modelName := flag.String("model", "im", "CDF model hosting the layer: im, linear, or rs")
+	mode := flag.String("mode", "r", "layer mode: r (range pairs) or s (midpoint shifts)")
+	m := flag.Int("m", 0, "layer partitions M (0 = N, the paper's default)")
+	file := flag.String("file", "", "load keys from a SOSD binary file instead of generating")
+	seed := flag.Int64("seed", 42, "generation seed")
+	advise := flag.Bool("advise", false, "run the cost-model advisor (measures an L(s) curve first)")
+	flag.Parse()
+
+	if err := run(*ds, *n, *modelName, *mode, *m, *file, *seed, *advise); err != nil {
+		fmt.Fprintln(os.Stderr, "shifttool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ds string, n int, modelName, mode string, m int, file string, seed int64, advise bool) error {
+	bits := 64
+	if strings.HasSuffix(ds, "32") {
+		bits = 32
+	}
+	var keys []uint64
+	var err error
+	if file != "" {
+		keys, err = dataset.Load(file, bits)
+	} else {
+		name := dataset.Name(strings.TrimSuffix(strings.TrimSuffix(ds, "64"), "32"))
+		keys, err = dataset.Generate(name, bits, n, seed)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s: %d keys", ds, len(keys))
+	distinct, maxRun := dataset.DupStats(keys)
+	fmt.Printf(" (%d distinct, longest duplicate run %d)\n", distinct, maxRun)
+
+	var model cdfmodel.Model[uint64]
+	switch modelName {
+	case "im":
+		model = cdfmodel.NewInterpolation(keys)
+	case "linear":
+		model = cdfmodel.NewLinear(keys)
+	case "rs":
+		rs, err := radixspline.New(keys, radixspline.Config{MaxError: 32})
+		if err != nil {
+			return err
+		}
+		model = rs
+	default:
+		return fmt.Errorf("unknown model %q (want im, linear, or rs)", modelName)
+	}
+
+	cfg := core.Config{M: m}
+	switch mode {
+	case "r":
+		cfg.Mode = core.ModeRange
+	case "s":
+		cfg.Mode = core.ModeMidpoint
+	default:
+		return fmt.Errorf("unknown mode %q (want r or s)", mode)
+	}
+	tab, err := core.Build(keys, model, cfg)
+	if err != nil {
+		return err
+	}
+	s := tab.ComputeStats()
+	fmt.Printf("\nShift-Table over %s model (monotone=%v)\n", model.Name(), model.Monotone())
+	fmt.Printf("  mode %v, M=%d, entry width %d bits, footprint %s\n", s.Mode, s.M, s.EntryBits, human(s.SizeBytes))
+	fmt.Printf("  empty partitions: %d (%.1f%%), max partition cardinality: %d\n",
+		s.EmptyParts, 100*float64(s.EmptyParts)/float64(s.M), s.MaxCount)
+	fmt.Printf("  model error: mean |drift| = %.1f records (max %d)\n", s.MeanAbsDrift, s.MaxAbsDrift)
+	fmt.Printf("  corrected error: Eq.8 estimate = %.2f, measured = %.2f records\n", s.AvgErrEq8, tab.MeasuredError())
+	fmt.Printf("  mean log2(local-search window) = %.2f\n", s.MeanLog2Bounds)
+
+	adv := tab.Advise()
+	fmt.Printf("\n§4.1 rule-based advice: use Shift-Table = %v (%s)\n", adv.UseShiftTable, adv.Reason)
+
+	if advise {
+		fmt.Println("\nmeasuring L(s) micro-benchmark (§2.3)...")
+		curve := bench.MeasureLatencyCurve(keys, 1<<18, 3_000, seed)
+		l := bench.FitLatencyFn(curve)
+		// The paper's §4.1 constants: ~40 ns for the layer lookup; model
+		// execution measured as ~L(1) for the register-resident models.
+		modelNs := 5.0
+		with := tab.EstimateWith(modelNs, 40, l)
+		without := tab.EstimateWithout(modelNs, l)
+		fmt.Printf("cost model (§3.7): with Shift-Table %.0f ns (model %.0f + layer %.0f + search %.0f)\n",
+			with.TotalNs, with.ModelNs, with.LayerNs, with.SearchNs)
+		fmt.Printf("                   without          %.0f ns (model %.0f + search %.0f)\n",
+			without.TotalNs, without.ModelNs, without.SearchNs)
+		if with.TotalNs < without.TotalNs {
+			fmt.Printf("=> enable the layer (predicted %.1fx speedup)\n", without.TotalNs/with.TotalNs)
+		} else {
+			fmt.Printf("=> disable the layer (predicted %.1fx slowdown)\n", with.TotalNs/without.TotalNs)
+		}
+	}
+	return nil
+}
+
+func human(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

@@ -1,0 +1,81 @@
+// Command sosd runs the SOSD-style benchmark of the paper's Table 2:
+// lookup latency of every method over every dataset.
+//
+// Usage:
+//
+//	sosd [-n 2000000] [-q 200000] [-reps 3] [-seed 42]
+//	     [-datasets face64,osmc64] [-methods IM+ST,RMI,RS] [-csv]
+//
+// The defaults regenerate the full fourteen-dataset table at 2M keys. Use
+// -n 200000000 for the paper's scale (needs ~16 GB per 64-bit dataset plus
+// index overheads).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+)
+
+func main() {
+	n := flag.Int("n", 2_000_000, "keys per dataset")
+	q := flag.Int("q", 200_000, "lookups per measurement")
+	reps := flag.Int("reps", 3, "measurement repetitions (best is reported)")
+	seed := flag.Int64("seed", 42, "dataset generation seed")
+	datasets := flag.String("datasets", "", "comma-separated dataset list (e.g. face64,uden32); empty = the paper's fourteen")
+	methods := flag.String("methods", "", "comma-separated method list; empty = all")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	cfg := bench.Table2Config{N: *n, Queries: *q, Reps: *reps, Seed: *seed}
+	if *datasets != "" {
+		for _, s := range strings.Split(*datasets, ",") {
+			spec, err := parseSpec(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			cfg.Datasets = append(cfg.Datasets, spec)
+		}
+	}
+	if *methods != "" {
+		cfg.Methods = strings.Split(*methods, ",")
+	}
+	res, err := bench.RunTable2(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sosd:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print(res.CSV())
+		return
+	}
+	fmt.Print(res.Format())
+	fmt.Println()
+	for _, row := range res.Rows {
+		name, ns, margin := row.Winner()
+		fmt.Printf("%-8s fastest: %-8s %8.1f ns (%.2fx over runner-up)\n", row.Spec.String(), name, ns, margin)
+	}
+}
+
+func parseSpec(s string) (dataset.Spec, error) {
+	for _, spec := range dataset.Table2 {
+		if spec.String() == s {
+			return spec, nil
+		}
+	}
+	// Allow names outside the Table 2 set (e.g. norm32 variants).
+	for _, name := range dataset.Names {
+		for _, bits := range []int{32, 64} {
+			spec := dataset.Spec{Name: name, Bits: bits}
+			if spec.String() == s {
+				return spec, nil
+			}
+		}
+	}
+	return dataset.Spec{}, fmt.Errorf("sosd: unknown dataset %q", s)
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseSpec(t *testing.T) {
+	for _, s := range []string{"face64", "uden32", "wiki64", "norm32"} {
+		spec, err := parseSpec(s)
+		if err != nil {
+			t.Errorf("parseSpec(%q): %v", s, err)
+		}
+		if spec.String() != s {
+			t.Errorf("parseSpec(%q) = %s", s, spec)
+		}
+	}
+	if _, err := parseSpec("bogus99"); err == nil {
+		t.Error("want error for unknown spec")
+	}
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Shift-Table: A
+// Low-latency Learned Index for Range Queries using Model Correction"
+// (Hadian & Heinis, EDBT 2021).
+//
+// The repository implements the Shift-Table correction layer
+// (internal/core), the learned-index and algorithmic baselines the paper
+// evaluates against (internal/rmi, internal/radixspline, internal/pgm,
+// internal/btree, internal/art, internal/fasttree, internal/rbs,
+// internal/search), the SOSD-style dataset suite (internal/dataset), a
+// cache-hierarchy simulator used to reproduce the paper's cache-miss
+// measurements (internal/memsim), and a benchmark harness that regenerates
+// every table and figure in the paper's evaluation (internal/bench).
+//
+// See DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results. Root-level benchmarks in
+// bench_test.go regenerate each table and figure; the cmd/ binaries produce
+// the same series as CSV.
+package repro

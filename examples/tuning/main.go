@@ -1,0 +1,90 @@
+// tuning: the paper's §3.9 tuning procedure as a working program. For each
+// dataset it measures the model error, applies the §4.1 rules, evaluates
+// the §3.7 cost model against a measured L(s) curve, and cross-checks the
+// prediction with an actual latency measurement — showing where the layer
+// pays off (real-world-like data) and where it does not (uden).
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cdfmodel"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+const n = 1_000_000
+
+func main() {
+	// One L(s) curve serves every dataset: it characterises the machine,
+	// not the data (§2.3).
+	calib := dataset.MustGenerate(dataset.USpr, 64, n, 3)
+	l := bench.FitLatencyFn(bench.MeasureLatencyCurve(calib, 1<<18, 3_000, 3))
+
+	for _, name := range []dataset.Name{dataset.UDen, dataset.USpr, dataset.Face, dataset.Osmc} {
+		keys := dataset.MustGenerate(name, 64, n, 11)
+		model := cdfmodel.NewInterpolation(keys)
+		table, err := core.Build(keys, model, core.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		adv := table.Advise()
+		with := table.EstimateWith(5, 40, l)
+		without := table.EstimateWithout(5, l)
+
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  rule-based (§4.1):  use layer = %-5v (err %.0f -> %.1f)\n",
+			adv.UseShiftTable, adv.ErrBefore, adv.ErrAfter)
+		fmt.Printf("  cost model (§3.7):  with %.0f ns vs without %.0f ns -> use layer = %v\n",
+			with.TotalNs, without.TotalNs, with.TotalNs < without.TotalNs)
+
+		// Ground truth: measure both configurations.
+		measured := measure(keys, table, model)
+		fmt.Printf("  measured:           with %.0f ns vs without %.0f ns -> use layer = %v\n\n",
+			measured.with, measured.without, measured.with < measured.without)
+	}
+
+	// Layer-size tuning (§3.4/§3.9): on face data, sweep M and watch the
+	// error/footprint trade-off; the paper's default M=N maximises accuracy.
+	fmt.Println("layer-size sweep on face64 (midpoint mode):")
+	keys := dataset.MustGenerate(dataset.Face, 64, n, 11)
+	model := cdfmodel.NewInterpolation(keys)
+	for _, x := range []int{1, 10, 100, 1000} {
+		tab, err := core.Build(keys, model, core.Config{Mode: core.ModeMidpoint, M: n / x})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  S-%-5d %6.1f KiB  avg err %8.1f records\n",
+			x, float64(tab.SizeBytes())/1024, tab.MeasuredError())
+	}
+}
+
+type pair struct{ with, without float64 }
+
+func measure(keys []uint64, table *core.Table[uint64], model cdfmodel.Model[uint64]) pair {
+	rng := rand.New(rand.NewSource(9))
+	queries := make([]uint64, 100_000)
+	for i := range queries {
+		queries[i] = keys[rng.Intn(len(keys))]
+	}
+	timeOf := func(find func(uint64) int) float64 {
+		sink := 0
+		start := time.Now()
+		for _, q := range queries {
+			sink += find(q)
+		}
+		_ = sink
+		return float64(time.Since(start).Nanoseconds()) / float64(len(queries))
+	}
+	return pair{
+		with:    timeOf(table.Find),
+		without: timeOf(func(q uint64) int { return core.ModelFind(keys, model, q) }),
+	}
+}

@@ -1,0 +1,242 @@
+package art
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kv"
+)
+
+func TestBulkAndLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, name := range []dataset.Name{dataset.USpr, dataset.Face, dataset.Osmc, dataset.UDen, dataset.Norm} {
+		keys := dataset.MustGenerate(name, 64, 4000, 11)
+		keys = kv.Dedup(keys)
+		tr, err := NewBulk(keys, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != len(keys) {
+			t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+		}
+		for i := 0; i < 2000; i++ {
+			var q uint64
+			if i%2 == 0 {
+				q = keys[rng.Intn(len(keys))]
+			} else {
+				q = rng.Uint64() % (keys[len(keys)-1] + 3)
+			}
+			want := kv.LowerBound(keys, q)
+			key, val, ok := tr.LowerBound(q)
+			if want == len(keys) {
+				if ok {
+					t.Fatalf("%s: LowerBound(%d) = (%d,%d), want miss", name, q, key, val)
+				}
+				continue
+			}
+			if !ok || key != keys[want] || val != uint64(want) {
+				t.Fatalf("%s: LowerBound(%d) = (%d,%d,%v), want (%d,%d)", name, q, key, val, ok, keys[want], want)
+			}
+		}
+	}
+}
+
+func TestGetInsertReplace(t *testing.T) {
+	tr := New[uint64]()
+	tr.Insert(10, 1)
+	tr.Insert(20, 2)
+	tr.Insert(10, 99) // replace, no duplicate
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (replace must not duplicate)", tr.Len())
+	}
+	if v, ok := tr.Get(10); !ok || v != 99 {
+		t.Errorf("Get(10) = (%d,%v), want (99,true)", v, ok)
+	}
+	if _, ok := tr.Get(15); ok {
+		t.Error("Get(absent) should miss")
+	}
+}
+
+func TestRandomInsertOrderMatchesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seen := map[uint64]bool{}
+	var keys []uint64
+	for len(keys) < 5000 {
+		k := rng.Uint64()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	tr := New[uint64]()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Full sweep via repeated LowerBound: must enumerate in sorted order.
+	q := uint64(0)
+	for i := 0; ; i++ {
+		key, _, ok := tr.LowerBound(q)
+		if !ok {
+			if i != len(sorted) {
+				t.Fatalf("enumeration ended at %d of %d", i, len(sorted))
+			}
+			break
+		}
+		if key != sorted[i] {
+			t.Fatalf("enumeration[%d] = %d, want %d", i, key, sorted[i])
+		}
+		if key == ^uint64(0) {
+			if i != len(sorted)-1 {
+				t.Fatalf("max key reached early at %d", i)
+			}
+			break
+		}
+		q = key + 1
+	}
+}
+
+func TestDenseByteBoundaries(t *testing.T) {
+	// Keys crossing byte boundaries stress path compression and node
+	// growth: 0..1023 covers two low bytes; 2^16±k crosses the third.
+	var keys []uint64
+	for i := 0; i < 1024; i++ {
+		keys = append(keys, uint64(i))
+	}
+	for i := -4; i <= 4; i++ {
+		keys = append(keys, uint64(1<<16+i))
+	}
+	for i := 0; i < 300; i++ {
+		keys = append(keys, uint64(1<<40)+uint64(i)*(1<<24))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	keys = kv.Dedup(keys)
+	tr, err := NewBulk(keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := uint64(0); q < 1100; q++ {
+		want := kv.LowerBound(keys, q)
+		key, _, ok := tr.LowerBound(q)
+		if !ok || key != keys[want] {
+			t.Fatalf("LowerBound(%d) = (%d,%v), want %d", q, key, ok, keys[want])
+		}
+	}
+	for _, q := range []uint64{1<<16 - 5, 1<<16 - 1, 1 << 16, 1<<16 + 5, 1<<40 - 1, 1 << 40, 1<<40 + 1, 1 << 50} {
+		want := kv.LowerBound(keys, q)
+		key, _, ok := tr.LowerBound(q)
+		if want == len(keys) {
+			if ok {
+				t.Fatalf("LowerBound(%d) should miss", q)
+			}
+			continue
+		}
+		if !ok || key != keys[want] {
+			t.Fatalf("LowerBound(%d) = (%d,%v), want %d", q, key, ok, keys[want])
+		}
+	}
+}
+
+func TestNodeGrowthTo256(t *testing.T) {
+	// 256 children under one byte position forces 4→16→48→256 growth.
+	var keys []uint64
+	for b := 0; b < 256; b++ {
+		keys = append(keys, uint64(b)<<8|1)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	tr, err := NewBulk(keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if v, ok := tr.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	if _, ok := tr.Get(2); ok {
+		t.Error("absent key found after growth")
+	}
+	// Lower bound across every bucket edge.
+	for b := 0; b < 256; b++ {
+		q := uint64(b) << 8
+		key, _, ok := tr.LowerBound(q)
+		if !ok || key != q|1 {
+			t.Fatalf("LowerBound(%d) = (%d,%v), want %d", q, key, ok, q|1)
+		}
+	}
+}
+
+func TestDuplicatesRejected(t *testing.T) {
+	if _, err := NewBulk([]uint64{1, 1, 2}, nil); err == nil {
+		t.Error("NewBulk must reject duplicate keys (paper: ART N/A on duplicates)")
+	}
+	if _, err := NewBulk([]uint64{2, 1}, nil); err == nil {
+		t.Error("NewBulk must reject unsorted keys")
+	}
+	if _, err := NewBulk([]uint64{1, 2}, []uint64{7}); err == nil {
+		t.Error("NewBulk must reject mismatched values")
+	}
+}
+
+func TestEmptyAndMin(t *testing.T) {
+	tr := New[uint64]()
+	if _, _, ok := tr.LowerBound(0); ok {
+		t.Error("empty LowerBound should miss")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("empty Min should miss")
+	}
+	if _, ok := tr.Get(0); ok {
+		t.Error("empty Get should miss")
+	}
+	tr.Insert(77, 1)
+	if k, _, ok := tr.Min(); !ok || k != 77 {
+		t.Error("Min broken on single key")
+	}
+	if tr.SizeBytes() <= 0 {
+		t.Error("size accounting broken")
+	}
+}
+
+func TestUint32Keys(t *testing.T) {
+	keys := kv.Dedup(dataset.U32(dataset.MustGenerate(dataset.Face, 32, 3000, 5)))
+	tr, err := NewBulk(keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		q := uint32(rng.Uint64())
+		want := kv.LowerBound(keys, q)
+		key, _, ok := tr.LowerBound(q)
+		if want == len(keys) {
+			if ok {
+				t.Fatalf("uint32 LowerBound(%d) should miss", q)
+			}
+			continue
+		}
+		if !ok || key != keys[want] {
+			t.Fatalf("uint32 LowerBound(%d) = (%d,%v), want %d", q, key, ok, keys[want])
+		}
+	}
+}
+
+func TestMaxKeyEdge(t *testing.T) {
+	max := ^uint64(0)
+	tr, err := NewBulk([]uint64{0, 1, max - 1, max}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, _, ok := tr.LowerBound(max); !ok || k != max {
+		t.Error("LowerBound(max) should find max")
+	}
+	if k, _, ok := tr.LowerBound(max - 1); !ok || k != max-1 {
+		t.Error("LowerBound(max-1) broken")
+	}
+	if _, _, ok := tr.LowerBound(2); !ok {
+		t.Error("LowerBound(2) should find max-1")
+	}
+}

@@ -1,0 +1,159 @@
+package art
+
+// This file holds the per-layout child operations: sorted lookup/insert for
+// Node4/Node16, indexed access for Node48, and direct access for Node256,
+// plus the grow path (4→16→48→256) from the ART paper.
+
+// findChild returns a pointer to the child slot for byte b, or nil.
+func findChild(n node, b byte) *node {
+	switch nd := n.(type) {
+	case *node4:
+		for i := 0; i < nd.n; i++ {
+			if nd.keys[i] == b {
+				return &nd.children[i]
+			}
+		}
+	case *node16:
+		// Binary-search the sorted key bytes (the SIMD lane comparison of
+		// the original, scalarised).
+		lo, hi := 0, nd.n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if nd.keys[mid] < b {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < nd.n && nd.keys[lo] == b {
+			return &nd.children[lo]
+		}
+	case *node48:
+		if s := nd.index[b]; s >= 0 {
+			return &nd.children[s]
+		}
+	case *node256:
+		if nd.children[b] != nil {
+			return &nd.children[b]
+		}
+	}
+	return nil
+}
+
+// nextChild returns the child with the smallest key byte strictly greater
+// than b, or nil.
+func nextChild(n node, b byte) node {
+	switch nd := n.(type) {
+	case *node4:
+		for i := 0; i < nd.n; i++ {
+			if nd.keys[i] > b {
+				return nd.children[i]
+			}
+		}
+	case *node16:
+		for i := 0; i < nd.n; i++ {
+			if nd.keys[i] > b {
+				return nd.children[i]
+			}
+		}
+	case *node48:
+		for c := int(b) + 1; c < 256; c++ {
+			if nd.index[c] >= 0 {
+				return nd.children[nd.index[c]]
+			}
+		}
+	case *node256:
+		for c := int(b) + 1; c < 256; c++ {
+			if nd.children[c] != nil {
+				return nd.children[c]
+			}
+		}
+	}
+	return nil
+}
+
+// addChild inserts (b, child) into a node4 known to have room, keeping key
+// bytes sorted.
+func (nd *node4) addChild(b byte, child node) {
+	i := nd.n
+	for i > 0 && nd.keys[i-1] > b {
+		nd.keys[i] = nd.keys[i-1]
+		nd.children[i] = nd.children[i-1]
+		i--
+	}
+	nd.keys[i] = b
+	nd.children[i] = child
+	nd.n++
+}
+
+func (nd *node16) addChild(b byte, child node) {
+	i := nd.n
+	for i > 0 && nd.keys[i-1] > b {
+		nd.keys[i] = nd.keys[i-1]
+		nd.children[i] = nd.children[i-1]
+		i--
+	}
+	nd.keys[i] = b
+	nd.children[i] = child
+	nd.n++
+}
+
+// addChildGrow inserts (b, child) into any inner node, growing to the next
+// layout when full. It returns the (possibly new) node.
+func addChildGrow(n node, b byte, child node) node {
+	switch nd := n.(type) {
+	case *node4:
+		if nd.n < 4 {
+			nd.addChild(b, child)
+			return nd
+		}
+		g := &node16{header: nd.header}
+		for i := 0; i < 4; i++ {
+			g.keys[i] = nd.keys[i]
+			g.children[i] = nd.children[i]
+		}
+		g.n = 4
+		g.addChild(b, child)
+		return g
+	case *node16:
+		if nd.n < 16 {
+			nd.addChild(b, child)
+			return nd
+		}
+		g := &node48{header: nd.header}
+		for i := range g.index {
+			g.index[i] = -1
+		}
+		for i := 0; i < 16; i++ {
+			g.index[nd.keys[i]] = int8(i)
+			g.children[i] = nd.children[i]
+		}
+		g.n = 16
+		g.index[b] = int8(g.n)
+		g.children[g.n] = child
+		g.n++
+		return g
+	case *node48:
+		if nd.n < 48 {
+			nd.index[b] = int8(nd.n)
+			nd.children[nd.n] = child
+			nd.n++
+			return nd
+		}
+		g := &node256{header: nd.header}
+		for c := 0; c < 256; c++ {
+			if nd.index[c] >= 0 {
+				g.children[c] = nd.children[nd.index[c]]
+			}
+		}
+		g.n = 48
+		g.children[b] = child
+		g.n++
+		return g
+	case *node256:
+		nd.children[b] = child
+		nd.n++
+		return nd
+	}
+	return n
+}

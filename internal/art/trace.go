@@ -1,0 +1,96 @@
+package art
+
+import (
+	"repro/internal/kv"
+	"repro/internal/search"
+)
+
+// nodeBytes approximates each layout's resident size for the simulator.
+func nodeBytes(n node) int {
+	switch n.(type) {
+	case *node4:
+		return 48
+	case *node16:
+		return 160
+	case *node48:
+		return 256 + 48*8
+	case *node256:
+		return 256 * 8
+	default:
+		return 24 // leaf
+	}
+}
+
+// TraceLowerBound is the instrumented twin of LowerBound: every visited
+// node contributes one access of its layout's size.
+func (t *Tree[K]) TraceLowerBound(q K, touch search.Touch) (key K, val uint64, ok bool) {
+	lf := t.traceLB(t.root, t.bytesOf(q), 0, touch)
+	if lf == nil {
+		return key, 0, false
+	}
+	return lf.key, lf.val, true
+}
+
+func (t *Tree[K]) traceLB(n node, qb [8]byte, depth int, touch search.Touch) *leafNode[K] {
+	if n == nil {
+		return nil
+	}
+	touch(kv.PointerAddr(n), nodeBytes(n))
+	if lf, ok := n.(*leafNode[K]); ok {
+		if cmpBytes(lf.kb[:t.width], qb[:t.width]) >= 0 {
+			return lf
+		}
+		return nil
+	}
+	h := headerOf(n)
+	for i := 0; i < len(h.prefix); i++ {
+		switch {
+		case h.prefix[i] > qb[depth+i]:
+			return t.traceMin(n, touch)
+		case h.prefix[i] < qb[depth+i]:
+			return nil
+		}
+	}
+	depth += len(h.prefix)
+	b := qb[depth]
+	if child := findChild(n, b); child != nil {
+		if r := t.traceLB(*child, qb, depth+1, touch); r != nil {
+			return r
+		}
+	}
+	if next := nextChild(n, b); next != nil {
+		return t.traceMin(next, touch)
+	}
+	return nil
+}
+
+// traceMin mirrors minimum with per-node touches.
+func (t *Tree[K]) traceMin(n node, touch search.Touch) *leafNode[K] {
+	for {
+		touch(kv.PointerAddr(n), nodeBytes(n))
+		switch nd := n.(type) {
+		case *leafNode[K]:
+			return nd
+		case *node4:
+			n = nd.children[0]
+		case *node16:
+			n = nd.children[0]
+		case *node48:
+			for b := 0; b < 256; b++ {
+				if nd.index[b] >= 0 {
+					n = nd.children[nd.index[b]]
+					break
+				}
+			}
+		case *node256:
+			for b := 0; b < 256; b++ {
+				if nd.children[b] != nil {
+					n = nd.children[b]
+					break
+				}
+			}
+		default:
+			return nil
+		}
+	}
+}

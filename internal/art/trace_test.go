@@ -1,0 +1,29 @@
+package art
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kv"
+)
+
+func TestTraceLowerBoundEqualsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nop := func(uint64, int) {}
+	for _, name := range []dataset.Name{dataset.USpr, dataset.Face, dataset.Osmc, dataset.LogN} {
+		keys := kv.Dedup(dataset.MustGenerate(name, 64, 3000, 9))
+		tr, err := NewBulk(keys, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1500; i++ {
+			q := rng.Uint64() % (keys[len(keys)-1] + 3)
+			k1, v1, ok1 := tr.LowerBound(q)
+			k2, v2, ok2 := tr.TraceLowerBound(q, nop)
+			if ok1 != ok2 || k1 != k2 || v1 != v2 {
+				t.Fatalf("%s: TraceLowerBound(%d) = (%d,%d,%v), want (%d,%d,%v)", name, q, k2, v2, ok2, k1, v1, ok1)
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/fasttree"
+	"repro/internal/kv"
+	"repro/internal/memsim"
+	"repro/internal/search"
+)
+
+// Fig2Config controls the Fig. 2 reproduction (cost of local search in a
+// learned index, §2.3). The paper uses 200M 32-bit keys; defaults here are
+// scaled for CI (set N high and the error axis extends accordingly).
+type Fig2Config struct {
+	N       int
+	Queries int
+	Seed    int64
+	Errors  []int // planted error sizes; nil means decades 1..N/2
+}
+
+func (c *Fig2Config) defaults() {
+	if c.N == 0 {
+		c.N = 4_000_000
+	}
+	if c.Queries == 0 {
+		c.Queries = 50_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	if c.Errors == nil {
+		for e := 1; e < c.N/2; e *= 10 {
+			c.Errors = append(c.Errors, e)
+		}
+	}
+}
+
+// RunFig2a measures the local-search latency for each planted error size
+// (Fig. 2a): linear, binary (bounded window), and exponential local search,
+// against whole-array binary search and FAST.
+func RunFig2a(cfg Fig2Config) ([]Fig2Point, error) {
+	cfg.defaults()
+	keys := dataset.U32(dataset.MustGenerate(dataset.USpr, 32, cfg.N, cfg.Seed))
+	fast, err := fasttree.NewBlocked(keys)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig2Point
+	for _, e := range cfg.Errors {
+		w := NewPlanted(keys, e, cfg.Queries, cfg.Seed+int64(e))
+		p := Fig2Point{Err: e}
+		p.LinearNs = timePlanted(w, func(i int) int {
+			return search.LinearFrom(keys, int(w.Pred[i]), w.Q[i])
+		})
+		p.BinaryNs = timePlanted(w, func(i int) int {
+			return search.BinaryRange(keys, kv.Clamp(int(w.Pred[i])-e, 0, len(keys)), kv.Clamp(int(w.Pred[i])+e+1, 0, len(keys)), w.Q[i])
+		})
+		p.ExpNs = timePlanted(w, func(i int) int {
+			return search.Exponential(keys, int(w.Pred[i]), w.Q[i])
+		})
+		p.BSNs = timePlanted(w, func(i int) int {
+			return search.Binary(keys, w.Q[i])
+		})
+		p.FASTNs = timePlanted(w, func(i int) int {
+			return fast.Find(w.Q[i])
+		})
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// timePlanted validates results then times the access function.
+func timePlanted[K kv.Key](w *PlantedWorkload[K], f func(i int) int) float64 {
+	for i := range w.Q {
+		if got := f(i); got != int(w.True[i]) {
+			panic(fmt.Sprintf("bench: planted workload result %d, want %d", got, w.True[i]))
+		}
+	}
+	return timeIt(len(w.Q), f)
+}
+
+// RunFig2b replays the same planted-error local searches through the cache
+// simulator and reports misses per lookup (Fig. 2b).
+func RunFig2b(cfg Fig2Config) ([]Fig2Point, error) {
+	cfg.defaults()
+	keys := dataset.U32(dataset.MustGenerate(dataset.USpr, 32, cfg.N, cfg.Seed))
+	fast, err := fasttree.NewBlocked(keys)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig2Point
+	for _, e := range cfg.Errors {
+		// Large planted errors make each traced lookup touch thousands of
+		// lines; scale the query count down to keep simulation time flat.
+		nq := cfg.Queries/5 + 1
+		if cap := 2_000_000/(e+1) + 200; nq > cap {
+			nq = cap
+		}
+		w := NewPlanted(keys, e, nq, cfg.Seed+int64(e))
+		p := Fig2Point{Err: e}
+		p.LinearMisses = simMisses(w, func(i int, touch search.Touch) int {
+			return search.LinearFromTraced(keys, int(w.Pred[i]), w.Q[i], touch)
+		})
+		p.BinaryMisses = simMisses(w, func(i int, touch search.Touch) int {
+			return search.BinaryRangeTraced(keys, kv.Clamp(int(w.Pred[i])-e, 0, len(keys)), kv.Clamp(int(w.Pred[i])+e+1, 0, len(keys)), w.Q[i], touch)
+		})
+		p.ExpMisses = simMisses(w, func(i int, touch search.Touch) int {
+			return search.ExponentialTraced(keys, int(w.Pred[i]), w.Q[i], touch)
+		})
+		p.BSMisses = simMisses(w, func(i int, touch search.Touch) int {
+			return search.BinaryTraced(keys, w.Q[i], touch)
+		})
+		p.FASTMisses = simMisses(w, func(i int, touch search.Touch) int {
+			return fast.TraceFind(w.Q[i], touch)
+		})
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// simMisses replays an access trace through a fresh Skylake-shaped cache
+// and returns total misses (line fills from DRAM) per lookup, after a
+// warmup half.
+func simMisses[K kv.Key](w *PlantedWorkload[K], f func(i int, touch search.Touch) int) float64 {
+	sim, err := memsim.New(memsim.Skylake())
+	if err != nil {
+		panic(err)
+	}
+	touch := func(addr uint64, width int) { sim.Access(addr, width) }
+	half := len(w.Q) / 2
+	for i := 0; i < half; i++ {
+		f(i, touch)
+	}
+	sim.ResetStats()
+	for i := half; i < len(w.Q); i++ {
+		if got := f(i, touch); got != int(w.True[i]) {
+			panic(fmt.Sprintf("bench: traced planted result %d, want %d", got, w.True[i]))
+		}
+	}
+	return sim.Stats().MissesPer("L3", int64(len(w.Q)-half))
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Fig9Mode is one bar group of Fig. 9: a Shift-Table layer configuration.
+type Fig9Mode struct {
+	Label string
+	// Build returns nil when the mode is "without Shift-Table".
+	Config *core.Config
+}
+
+// Fig9Modes returns the paper's configurations: R-1 (full range pairs),
+// S-1/S-10/S-100/S-1000 (midpoint layers with one entry per X records), and
+// the bare model.
+func Fig9Modes() []Fig9Mode {
+	return []Fig9Mode{
+		{Label: "R-1", Config: &core.Config{Mode: core.ModeRange}},
+		{Label: "S-1", Config: &core.Config{Mode: core.ModeMidpoint}},
+		{Label: "S-10", Config: &core.Config{Mode: core.ModeMidpoint, M: -10}},
+		{Label: "S-100", Config: &core.Config{Mode: core.ModeMidpoint, M: -100}},
+		{Label: "S-1000", Config: &core.Config{Mode: core.ModeMidpoint, M: -1000}},
+		{Label: "none", Config: nil},
+	}
+}
+
+// Fig9Cell is one (dataset, mode) measurement: latency and average error.
+type Fig9Cell struct {
+	LookupNs  float64
+	AvgErr    float64
+	SizeBytes int
+}
+
+// Fig9Result maps dataset → mode label → cell.
+type Fig9Result struct {
+	N     int
+	Specs []dataset.Spec
+	Modes []string
+	Cells map[string]map[string]Fig9Cell
+}
+
+// RunFig9 reproduces Fig. 9: the effect of the Shift-Table layer size on
+// lookup time (a) and prediction error (b), with the IM model hosting the
+// layer as in §4.1.
+func RunFig9(n, queries, reps int, seed int64) (*Fig9Result, error) {
+	if n == 0 {
+		n = 2_000_000
+	}
+	if queries == 0 {
+		queries = 100_000
+	}
+	if reps == 0 {
+		reps = 2
+	}
+	res := &Fig9Result{N: n, Specs: dataset.Fig9, Cells: map[string]map[string]Fig9Cell{}}
+	for _, m := range Fig9Modes() {
+		res.Modes = append(res.Modes, m.Label)
+	}
+	for _, spec := range res.Specs {
+		keys64, err := dataset.Generate(spec.Name, spec.Bits, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		var cells map[string]Fig9Cell
+		if spec.Bits == 32 {
+			cells, err = fig9Row(dataset.U32(keys64), queries, reps, seed)
+		} else {
+			cells, err = fig9Row(keys64, queries, reps, seed)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s: %w", spec, err)
+		}
+		res.Cells[spec.String()] = cells
+	}
+	return res, nil
+}
+
+func fig9Row[K interface{ ~uint32 | ~uint64 }](keys []K, queries, reps int, seed int64) (map[string]Fig9Cell, error) {
+	w := NewWorkload(keys, queries, seed+1)
+	model := cdfmodel.NewInterpolation(keys)
+	out := make(map[string]Fig9Cell)
+	for _, mode := range Fig9Modes() {
+		var cell Fig9Cell
+		if mode.Config == nil {
+			ns, err := w.Measure(func(q K) int { return core.ModelFind(keys, model, q) }, reps)
+			if err != nil {
+				return nil, err
+			}
+			mean, _ := core.ModelError(keys, model)
+			cell = Fig9Cell{LookupNs: ns, AvgErr: mean, SizeBytes: model.SizeBytes()}
+		} else {
+			cfg := *mode.Config
+			if cfg.M < 0 { // encodes "one entry per X records"
+				cfg.M = len(keys) / -cfg.M
+				if cfg.M < 1 {
+					cfg.M = 1
+				}
+			}
+			tab, err := core.Build(keys, model, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ns, err := w.Measure(tab.Find, reps)
+			if err != nil {
+				return nil, err
+			}
+			cell = Fig9Cell{LookupNs: ns, AvgErr: tab.MeasuredError(), SizeBytes: tab.SizeBytes()}
+		}
+		out[mode.Label] = cell
+	}
+	return out, nil
+}
+
+// Format renders the Fig. 9 result as two aligned tables (latency, error).
+func (r *Fig9Result) Format() string {
+	var b strings.Builder
+	write := func(title string, get func(Fig9Cell) float64) {
+		fmt.Fprintf(&b, "%s (N=%d)\n%-8s", title, r.N, "dataset")
+		for _, m := range r.Modes {
+			fmt.Fprintf(&b, "%10s", m)
+		}
+		b.WriteByte('\n')
+		for _, spec := range r.Specs {
+			fmt.Fprintf(&b, "%-8s", spec.String())
+			for _, m := range r.Modes {
+				fmt.Fprintf(&b, "%10.1f", get(r.Cells[spec.String()][m]))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	write("Fig. 9a reproduction: lookup time (ns) by Shift-Table layer size", func(c Fig9Cell) float64 { return c.LookupNs })
+	write("Fig. 9b reproduction: avg error (records) by Shift-Table layer size", func(c Fig9Cell) float64 { return c.AvgErr })
+	return b.String()
+}

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// ---- Figure 3: CDF micro-structure ----
+
+// Fig3Series is the CDF of one dataset at macro scale plus a zoomed
+// sub-range, the visualisation behind the paper's §2.4 argument.
+type Fig3Series struct {
+	Spec dataset.Spec
+	// Macro[i] = (key, position) downsampled over the whole CDF.
+	MacroKeys []uint64
+	MacroPos  []int
+	// Zoom covers the middle 1% of positions at full resolution
+	// (downsampled to the same point budget).
+	ZoomKeys []uint64
+	ZoomPos  []int
+}
+
+// RunFig3 samples the CDFs of the paper's Figure 3 quadrants (uniform vs
+// Facebook, lognormal vs OSMC).
+func RunFig3(n, points int, seed int64) ([]Fig3Series, error) {
+	if points < 2 {
+		points = 2
+	}
+	var out []Fig3Series
+	for _, spec := range []dataset.Spec{
+		{Name: dataset.UDen, Bits: 64},
+		{Name: dataset.Face, Bits: 64},
+		{Name: dataset.LogN, Bits: 64},
+		{Name: dataset.Osmc, Bits: 64},
+	} {
+		keys, err := dataset.Generate(spec.Name, spec.Bits, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		s := Fig3Series{Spec: spec}
+		step := (len(keys) - 1) / (points - 1)
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(keys); i += step {
+			s.MacroKeys = append(s.MacroKeys, keys[i])
+			s.MacroPos = append(s.MacroPos, i)
+		}
+		zoomLo := len(keys) / 2
+		zoomHi := zoomLo + len(keys)/100 + 2
+		if zoomHi > len(keys) {
+			zoomHi = len(keys)
+		}
+		zstep := (zoomHi - zoomLo) / points
+		if zstep < 1 {
+			zstep = 1
+		}
+		for i := zoomLo; i < zoomHi; i += zstep {
+			s.ZoomKeys = append(s.ZoomKeys, keys[i])
+			s.ZoomPos = append(s.ZoomPos, i)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ---- Figure 6: error correction on OSMC ----
+
+// Fig6Result carries the per-position error series of a plain linear model
+// and the same model corrected by a Shift-Table, plus the averages quoted
+// in §3.6.
+type Fig6Result struct {
+	N            int
+	Positions    []int
+	ModelErr     []int
+	CorrectedErr []int
+	AvgModel     float64
+	AvgCorrected float64
+}
+
+// RunFig6 reproduces Fig. 6: a linear interpolation model on osmc64,
+// corrected by a full Shift-Table layer.
+func RunFig6(n, points int, seed int64) (*Fig6Result, error) {
+	keys, err := dataset.Generate(dataset.Osmc, 64, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	model := cdfmodel.NewLinear(keys)
+	tab, err := core.Build(keys, model, core.Config{Mode: core.ModeRange})
+	if err != nil {
+		return nil, err
+	}
+	before, after := core.DriftSeries(tab)
+	res := &Fig6Result{N: n}
+	step := len(before) / points
+	if step < 1 {
+		step = 1
+	}
+	var sb, sa float64
+	for i := range before {
+		sb += float64(before[i])
+		sa += float64(after[i])
+		if i%step == 0 {
+			res.Positions = append(res.Positions, i)
+			res.ModelErr = append(res.ModelErr, before[i])
+			res.CorrectedErr = append(res.CorrectedErr, after[i])
+		}
+	}
+	res.AvgModel = sb / float64(len(before))
+	res.AvgCorrected = sa / float64(len(after))
+	return res, nil
+}
+
+// ---- Figure 7: build times ----
+
+// Fig7Row is the average and standard deviation of one method's build time
+// across datasets.
+type Fig7Row struct {
+	Method  string
+	MeanMs  float64
+	StdevMs float64
+}
+
+// RunFig7 measures index build times averaged over the Table 2 datasets
+// (Fig. 7). Only methods that actually build something are included.
+func RunFig7(n int, seed int64, specs []dataset.Spec) ([]Fig7Row, error) {
+	if specs == nil {
+		specs = dataset.Table2
+	}
+	methodNames := []string{"ART", "B+tree", "FAST", "RBS", "RMI", "RS", "RS+ST", "IM+ST", "PGM"}
+	samples := make(map[string][]float64)
+	for _, spec := range specs {
+		keys64, err := dataset.Generate(spec.Name, spec.Bits, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		var rowErr error
+		if spec.Bits == 32 {
+			rowErr = buildRow(dataset.U32(keys64), methodNames, samples)
+		} else {
+			rowErr = buildRow(keys64, methodNames, samples)
+		}
+		if rowErr != nil {
+			return nil, fmt.Errorf("dataset %s: %w", spec, rowErr)
+		}
+	}
+	var out []Fig7Row
+	for _, name := range methodNames {
+		times := samples[name]
+		if len(times) == 0 {
+			continue
+		}
+		var mean float64
+		for _, t := range times {
+			mean += t
+		}
+		mean /= float64(len(times))
+		var vr float64
+		for _, t := range times {
+			vr += (t - mean) * (t - mean)
+		}
+		out = append(out, Fig7Row{Method: name, MeanMs: mean, StdevMs: math.Sqrt(vr / float64(len(times)))})
+	}
+	return out, nil
+}
+
+func buildRow[K interface{ ~uint32 | ~uint64 }](keys []K, names []string, samples map[string][]float64) error {
+	for _, m := range Methods[K]() {
+		if !contains(names, m.Name) {
+			continue
+		}
+		if m.NA(keys) != "" {
+			continue
+		}
+		ms, err := MeasureBuild(func() error {
+			_, err := m.Build(keys)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("building %s: %w", m.Name, err)
+		}
+		samples[m.Name] = append(samples[m.Name], ms)
+	}
+	return nil
+}
+
+// FormatFig7 renders the build-time table.
+func FormatFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 7 reproduction: index build times (ms, mean ± stdev across datasets)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %10.1f ± %.1f\n", r.Method, r.MeanMs, r.StdevMs)
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/search"
+)
+
+// This file implements the paper's §2.3 micro-benchmark: the error-to-
+// latency mapping L(s) measured over non-cached memory regions (Fig. 2a),
+// which also parameterises the §3.7 cost model.
+
+// LatencyPoint is one measured point of the L(s) curve.
+type LatencyPoint struct {
+	WindowSize int
+	LinearNs   float64
+	BinaryNs   float64
+	ExpNs      float64
+}
+
+// MeasureLatencyCurve measures local-search latency as a function of the
+// search-window size over a large array (windows land at random positions,
+// so they are cold for sizes beyond cache reach). It returns one point per
+// power-of-two window size up to maxWindow.
+func MeasureLatencyCurve(keys []uint64, maxWindow, probes int, seed int64) []LatencyPoint {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(keys)
+	var out []LatencyPoint
+	for s := 1; s <= maxWindow && s < n; s *= 2 {
+		// Pre-plan probes: true position + a window of size s around it.
+		pos := make([]int32, probes)
+		q := make([]uint64, probes)
+		for i := range pos {
+			p := rng.Intn(n - s)
+			pos[i] = int32(p)
+			q[i] = keys[p+rng.Intn(s)]
+		}
+		point := LatencyPoint{WindowSize: s}
+		point.LinearNs = timeIt(probes, func(i int) int {
+			return search.LinearRange(keys, int(pos[i]), int(pos[i])+s, q[i])
+		})
+		point.BinaryNs = timeIt(probes, func(i int) int {
+			return search.BinaryRange(keys, int(pos[i]), int(pos[i])+s, q[i])
+		})
+		point.ExpNs = timeIt(probes, func(i int) int {
+			return search.Exponential(keys, int(pos[i])+s/2, q[i])
+		})
+		out = append(out, point)
+	}
+	return out
+}
+
+func timeIt(n int, f func(i int) int) float64 {
+	var sink int
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		sink += f(i)
+	}
+	if sink == -1 {
+		panic("unreachable")
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+// FitLatencyFn interpolates a measured curve into the paper's L(s) cost
+// function (§3.7), selecting per size the best of the measured local-search
+// strategies (the cost model picks the search algorithm the same way,
+// §3.7: "the cost model can also be used to estimate which of the local
+// search algorithms should be used").
+func FitLatencyFn(points []LatencyPoint) core.LatencyFn {
+	if len(points) == 0 {
+		return func(s int) float64 { return 36 + 20*math.Log2(float64(s)+1) }
+	}
+	return func(s int) float64 {
+		if s < 1 {
+			s = 1
+		}
+		// Locate the bracketing measured sizes (powers of two).
+		prev := points[0]
+		for _, p := range points {
+			if p.WindowSize >= s {
+				lo := math.Min(p.LinearNs, math.Min(p.BinaryNs, p.ExpNs))
+				if p.WindowSize == s || prev.WindowSize == p.WindowSize {
+					return lo
+				}
+				loPrev := math.Min(prev.LinearNs, math.Min(prev.BinaryNs, prev.ExpNs))
+				// Log-linear interpolation between measured sizes.
+				t := (math.Log2(float64(s)) - math.Log2(float64(prev.WindowSize))) /
+					(math.Log2(float64(p.WindowSize)) - math.Log2(float64(prev.WindowSize)))
+				return loPrev + t*(lo-loPrev)
+			}
+			prev = p
+		}
+		last := points[len(points)-1]
+		return math.Min(last.LinearNs, math.Min(last.BinaryNs, last.ExpNs))
+	}
+}
+
+// Fig2Point is one x-position of Fig. 2a/2b: a planted prediction error and
+// the measured cost of each local-search strategy, plus the whole-array
+// baselines (binary search and FAST).
+type Fig2Point struct {
+	Err      int
+	LinearNs float64
+	BinaryNs float64
+	ExpNs    float64
+	BSNs     float64
+	FASTNs   float64
+	// Cache misses per lookup (filled by RunFig2b).
+	LinearMisses, BinaryMisses, ExpMisses, BSMisses, FASTMisses float64
+}
+
+// PlantedWorkload precomputes, for each query, a predicted position that is
+// exactly ±delta away from the true position — the paper's micro-benchmark
+// setup ("for each query, we pre-compute the output of the learned index
+// with error Δ").
+type PlantedWorkload[K kv.Key] struct {
+	Keys  []K
+	Q     []K
+	True  []int32
+	Pred  []int32
+	Delta int
+}
+
+// NewPlanted builds a planted-error workload.
+func NewPlanted[K kv.Key](keys []K, delta, nq int, seed int64) *PlantedWorkload[K] {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(keys)
+	w := &PlantedWorkload[K]{Keys: keys, Delta: delta}
+	for i := 0; i < nq; i++ {
+		t := rng.Intn(n)
+		q := keys[t]
+		t = kv.LowerBound(keys, q) // duplicate-safe true position
+		p := t
+		if rng.Intn(2) == 0 {
+			p = t + delta
+		} else {
+			p = t - delta
+		}
+		p = kv.Clamp(p, 0, n-1)
+		w.Q = append(w.Q, q)
+		w.True = append(w.True, int32(t))
+		w.Pred = append(w.Pred, int32(p))
+	}
+	return w
+}

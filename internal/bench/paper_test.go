@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestPaperTable2Complete(t *testing.T) {
+	if len(PaperTable2) != 14 {
+		t.Fatalf("paper table has %d datasets, want 14", len(PaperTable2))
+	}
+	methods := []string{"ART", "FAST", "RBS", "B+tree", "BS", "TIP", "IS", "IM", "IM+ST", "RMI", "RS", "RS+ST"}
+	for _, spec := range dataset.Table2 {
+		row, ok := PaperTable2[spec.String()]
+		if !ok {
+			t.Fatalf("paper table missing dataset %s", spec)
+		}
+		for _, m := range methods {
+			if _, ok := row[m]; !ok {
+				t.Errorf("%s: paper table missing method %s", spec, m)
+			}
+		}
+	}
+}
+
+func TestPaperSpeedupOverRMI(t *testing.T) {
+	// wiki64: 172 / 94.2 ≈ 1.83.
+	got := PaperSpeedupOverRMI("wiki64")
+	if got < 1.82 || got > 1.84 {
+		t.Errorf("wiki64 paper speedup = %.3f, want ≈1.83", got)
+	}
+	if PaperSpeedupOverRMI("nope") != 0 {
+		t.Error("unknown dataset should yield 0")
+	}
+	// The headline claim: 1.5–2.1x on every real-world dataset.
+	for _, ds := range PaperRealWorld {
+		s := PaperSpeedupOverRMI(ds)
+		if s < 1.5 || s > 2.1 {
+			t.Errorf("%s: paper speedup %.2f outside the 1.5-2x claim", ds, s)
+		}
+	}
+}
+
+func TestCheckTable2Shape(t *testing.T) {
+	// A synthetic result where the claims hold.
+	res := &Table2Result{
+		Methods: []string{"IM", "IM+ST", "RMI", "BS"},
+		Rows: []Table2Row{
+			{
+				Spec: dataset.Spec{Name: dataset.Wiki, Bits: 64},
+				Cells: map[string]Cell{
+					"IM": {Ns: 1000}, "IM+ST": {Ns: 100}, "RMI": {Ns: 180}, "BS": {Ns: 600},
+				},
+			},
+			{
+				Spec: dataset.Spec{Name: dataset.UDen, Bits: 64},
+				Cells: map[string]Cell{
+					"IM": {Ns: 20}, "IM+ST": {Ns: 35}, "RMI": {Ns: 25}, "BS": {Ns: 600},
+				},
+			},
+		},
+	}
+	checks := CheckTable2Shape(res)
+	if len(checks) != 4 { // rmi+im+bs for wiki64, uden rule for uden64
+		t.Fatalf("got %d checks, want 4: %+v", len(checks), checks)
+	}
+	for _, c := range checks {
+		if !c.Holds {
+			t.Errorf("check %s should hold: %+v", c.ID, c)
+		}
+		if c.Claim == "" || c.Ours == "" {
+			t.Errorf("check %s missing fields", c.ID)
+		}
+	}
+	// Flip the wiki row so every claim fails.
+	res.Rows[0].Cells["IM+ST"] = Cell{Ns: 5000}
+	for _, c := range CheckTable2Shape(res) {
+		if strings.HasPrefix(c.ID, "T2-uden") {
+			continue
+		}
+		if c.Holds {
+			t.Errorf("check %s should fail after flip", c.ID)
+		}
+	}
+	// N/A cells are skipped.
+	res.Rows[0].Cells["RMI"] = Cell{NAReason: "x"}
+	for _, c := range CheckTable2Shape(res) {
+		if c.ID == "T2-rmi-wiki64" {
+			t.Error("N/A RMI cell should produce no check")
+		}
+	}
+}
+
+func TestBuildMethodByName(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Face, 64, 5000, 3)
+	built, err := BuildMethod("IM+ST", keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Find(keys[10]) != 10 {
+		t.Error("BuildMethod returned a broken index")
+	}
+	if _, err := BuildMethod("nope", keys); err == nil {
+		t.Error("unknown method must error")
+	}
+	wiki := dataset.MustGenerate(dataset.Wiki, 64, 5000, 3)
+	if _, err := BuildMethod("ART", wiki); err == nil {
+		t.Error("N/A method must error with the reason")
+	}
+}

@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/kv"
+)
+
+// Cell is one Table 2 measurement.
+type Cell struct {
+	Ns       float64
+	NAReason string // non-empty means N/A, as in the paper's table
+	Size     int
+	BuildMs  float64
+}
+
+// NA reports whether the cell is not applicable.
+func (c Cell) NA() bool { return c.NAReason != "" }
+
+// Table2Row is one dataset's measurements across methods.
+type Table2Row struct {
+	Spec  dataset.Spec
+	Cells map[string]Cell
+}
+
+// Table2Result holds the full reproduction of the paper's Table 2.
+type Table2Result struct {
+	N       int
+	Queries int
+	Methods []string
+	Rows    []Table2Row
+}
+
+// Table2Config controls the Table 2 run.
+type Table2Config struct {
+	N        int // keys per dataset
+	Queries  int
+	Reps     int
+	Seed     int64
+	Datasets []dataset.Spec // nil means the paper's fourteen
+	Methods  []string       // nil means all
+}
+
+func (c *Table2Config) defaults() {
+	if c.N == 0 {
+		c.N = 2_000_000
+	}
+	if c.Queries == 0 {
+		c.Queries = 200_000
+	}
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Datasets == nil {
+		c.Datasets = dataset.Table2
+	}
+}
+
+// RunTable2 regenerates the paper's Table 2 (lookup nanoseconds per method
+// per dataset).
+func RunTable2(cfg Table2Config) (*Table2Result, error) {
+	cfg.defaults()
+	res := &Table2Result{N: cfg.N, Queries: cfg.Queries}
+	for _, m := range Methods[uint64]() {
+		if cfg.Methods != nil && !contains(cfg.Methods, m.Name) {
+			continue
+		}
+		res.Methods = append(res.Methods, m.Name)
+	}
+	for _, spec := range cfg.Datasets {
+		keys64, err := dataset.Generate(spec.Name, spec.Bits, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var row Table2Row
+		row.Spec = spec
+		if spec.Bits == 32 {
+			row.Cells, err = runRow(dataset.U32(keys64), cfg)
+		} else {
+			row.Cells, err = runRow(keys64, cfg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s: %w", spec, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runRow measures every selected method over one dataset.
+func runRow[K kv.Key](keys []K, cfg Table2Config) (map[string]Cell, error) {
+	w := NewWorkload(keys, cfg.Queries, cfg.Seed+1)
+	cells := make(map[string]Cell)
+	for _, m := range Methods[K]() {
+		if cfg.Methods != nil && !contains(cfg.Methods, m.Name) {
+			continue
+		}
+		if reason := m.NA(keys); reason != "" {
+			cells[m.Name] = Cell{NAReason: reason}
+			continue
+		}
+		var built *Built[K]
+		buildMs, err := MeasureBuild(func() error {
+			var err error
+			built, err = m.Build(keys)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("building %s: %w", m.Name, err)
+		}
+		ns, err := w.Measure(built.Find, cfg.Reps)
+		if err != nil {
+			return nil, fmt.Errorf("measuring %s: %w", m.Name, err)
+		}
+		cells[m.Name] = Cell{Ns: ns, Size: built.SizeBytes, BuildMs: buildMs}
+	}
+	return cells, nil
+}
+
+// Format renders the result as an aligned text table in the paper's layout
+// (datasets as rows, methods as columns, ns per lookup).
+func (r *Table2Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 reproduction: lookup time (ns), N=%d keys, %d queries of indexed keys\n", r.N, r.Queries)
+	fmt.Fprintf(&b, "%-8s", "dataset")
+	for _, m := range r.Methods {
+		fmt.Fprintf(&b, "%9s", m)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s", row.Spec.String())
+		for _, m := range r.Methods {
+			c := row.Cells[m]
+			if c.NA() {
+				fmt.Fprintf(&b, "%9s", "N/A")
+			} else {
+				fmt.Fprintf(&b, "%9.1f", c.Ns)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values.
+func (r *Table2Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("dataset")
+	for _, m := range r.Methods {
+		b.WriteString("," + m)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		b.WriteString(row.Spec.String())
+		for _, m := range r.Methods {
+			c := row.Cells[m]
+			if c.NA() {
+				b.WriteString(",NA")
+			} else {
+				fmt.Fprintf(&b, ",%.1f", c.Ns)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Winner returns the fastest method for a row and its margin over the
+// runner-up, for the EXPERIMENTS.md shape checks.
+func (row Table2Row) Winner() (name string, ns float64, margin float64) {
+	type entry struct {
+		name string
+		ns   float64
+	}
+	var entries []entry
+	for m, c := range row.Cells {
+		if !c.NA() {
+			entries = append(entries, entry{m, c.Ns})
+		}
+	}
+	if len(entries) == 0 {
+		return "", 0, 0
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ns < entries[j].ns })
+	if len(entries) == 1 {
+		return entries[0].name, entries[0].ns, 1
+	}
+	return entries[0].name, entries[0].ns, entries[1].ns / entries[0].ns
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/kv"
+)
+
+// Workload is a prepared query batch over one dataset. Queries sample the
+// indexed keys uniformly, as in SOSD and the paper's Table 2 (lookups of
+// existing keys; §3.5 assumes the query distribution matches the data).
+type Workload[K kv.Key] struct {
+	Keys    []K
+	Queries []K
+	// Expect[i] is the reference lower-bound rank for Queries[i]: every
+	// measured lookup is validated against it, so a benchmark can never
+	// silently measure a broken index.
+	Expect []int32
+}
+
+// NewWorkload samples nq queries from the keys.
+func NewWorkload[K kv.Key](keys []K, nq int, seed int64) *Workload[K] {
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload[K]{
+		Keys:    keys,
+		Queries: make([]K, nq),
+		Expect:  make([]int32, nq),
+	}
+	for i := range w.Queries {
+		q := keys[rng.Intn(len(keys))]
+		w.Queries[i] = q
+		w.Expect[i] = int32(kv.LowerBound(keys, q))
+	}
+	return w
+}
+
+// Measure times find over the workload and returns nanoseconds per lookup.
+// Every result is validated against the reference; it returns an error on
+// the first mismatch. Runs the batch `reps` times (first pass is warmup
+// when reps > 1).
+func (w *Workload[K]) Measure(find func(q K) int, reps int) (nsPerOp float64, err error) {
+	if reps < 1 {
+		reps = 1
+	}
+	// Validation + warmup pass.
+	for i, q := range w.Queries {
+		if got := find(q); got != int(w.Expect[i]) {
+			return 0, fmt.Errorf("bench: wrong result for query %v: got %d, want %d", q, got, w.Expect[i])
+		}
+	}
+	var sink int
+	best := 1e300
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for _, q := range w.Queries {
+			sink += find(q)
+		}
+		elapsed := float64(time.Since(start).Nanoseconds())
+		if perOp := elapsed / float64(len(w.Queries)); perOp < best {
+			best = perOp
+		}
+	}
+	if sink == -1 {
+		panic("unreachable; defeats dead-code elimination")
+	}
+	return best, nil
+}
+
+// MeasureBuild times a build function, returning milliseconds.
+func MeasureBuild(build func() error) (ms float64, err error) {
+	start := time.Now()
+	if err := build(); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+// NewZipfWorkload samples queries from the keys with a Zipf distribution
+// over positions (skew parameter s > 1; higher is more skewed). The paper's
+// error estimate (Eq. 8) assumes queries match the data distribution; a
+// skewed workload concentrates lookups on few partitions, which caching
+// rewards — this workload quantifies that effect (see
+// BenchmarkWorkloadSkew).
+func NewZipfWorkload[K kv.Key](keys []K, nq int, s float64, seed int64) *Workload[K] {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, s, 1, uint64(len(keys)-1))
+	w := &Workload[K]{
+		Keys:    keys,
+		Queries: make([]K, nq),
+		Expect:  make([]int32, nq),
+	}
+	// Scatter the Zipf ranks across the key space deterministically so the
+	// hot set is not simply a prefix of the array.
+	scatter := uint64(len(keys))/2 + 1
+	for i := range w.Queries {
+		pos := int(zipf.Uint64() * scatter % uint64(len(keys)))
+		q := keys[pos]
+		w.Queries[i] = q
+		w.Expect[i] = int32(kv.LowerBound(keys, q))
+	}
+	return w
+}

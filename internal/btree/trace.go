@@ -1,0 +1,43 @@
+package btree
+
+import (
+	"repro/internal/kv"
+	"repro/internal/search"
+)
+
+// TraceLowerBound is the instrumented twin of LowerBound, reporting the
+// node-key accesses of the descent and the leaf positioning. It returns the
+// value at the lower bound (the key's rank when bulk-loaded with positions)
+// and whether one exists.
+func (t *Tree[K]) TraceLowerBound(q K, touch search.Touch) (uint64, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	nd := t.root
+	for {
+		switch n := nd.(type) {
+		case *leaf[K]:
+			i := search.BinaryRangeTraced(n.keys, 0, len(n.keys), q, touch)
+			lf := n
+			for lf != nil && i >= len(lf.keys) {
+				lf = lf.next
+				if lf != nil {
+					touch(kv.PointerAddr(lf), 16)
+				}
+				i = 0
+			}
+			if lf == nil {
+				return 0, false
+			}
+			touch(kv.Addr(lf.vals, i), 8)
+			return lf.vals[i], true
+		case *inner[K]:
+			touch(kv.PointerAddr(n), 16) // node header
+			c := search.BinaryRangeTraced(n.keys, 0, len(n.keys), q, touch)
+			touch(kv.Addr(n.kids, c), 16)
+			nd = n.kids[c]
+		default:
+			return 0, false
+		}
+	}
+}

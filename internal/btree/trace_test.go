@@ -1,0 +1,31 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestTraceLowerBoundEqualsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nop := func(uint64, int) {}
+	for _, name := range dataset.Names {
+		keys := dataset.MustGenerate(name, 64, 3000, 9)
+		tr, err := NewBulk(keys, nil, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1500; i++ {
+			q := rng.Uint64() % (keys[len(keys)-1] + 3)
+			it := tr.LowerBound(q)
+			v, ok := tr.TraceLowerBound(q, nop)
+			if ok != it.Valid() {
+				t.Fatalf("%s: TraceLowerBound(%d) ok=%v, iterator valid=%v", name, q, ok, it.Valid())
+			}
+			if ok && v != it.Value() {
+				t.Fatalf("%s: TraceLowerBound(%d) = %d, iterator value %d", name, q, v, it.Value())
+			}
+		}
+	}
+}

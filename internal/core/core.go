@@ -1,0 +1,308 @@
+// Package core implements the paper's contribution: the Shift-Table layer
+// (§3), an algorithmic correction layer that sits on top of a learned CDF
+// model and eliminates its signed error (drift) at the cost of at most one
+// extra memory lookup.
+//
+// A learned model predicts position [N·Fθ(x)] for a query x; the true
+// position is N·F(x). The Shift-Table partitions keys by the model's output
+// and stores, per partition, how far ahead the actual records are. Two modes
+// are provided, matching the paper's evaluation (§3.4, Fig. 9):
+//
+//   - ModeRange ("R"): each partition stores the <Δ, C> pair of §3 — the
+//     minimum drift and the window length — giving a guaranteed range for a
+//     bounded local search (binary or linear, Alg. 1).
+//   - ModeMidpoint ("S"): each partition stores a single midpoint shift Δ̄
+//     (Eq. 7) — half the footprint, no guaranteed bounds, so local search
+//     is exponential (§3.4).
+//
+// The layer size M defaults to N (one partition per key, the paper's
+// recommended default, §3.9) and can be reduced (M = N/X, the paper's "S-X"
+// configurations) to trade memory for accuracy (§3.4).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/kv"
+)
+
+// Mode selects the Shift-Table flavour.
+type Mode int
+
+const (
+	// ModeRange stores <Δ, C> pairs: guaranteed windows, bounded local
+	// search (the paper's "R" configurations).
+	ModeRange Mode = iota
+	// ModeMidpoint stores single midpoint shifts Δ̄: half the memory, local
+	// search is unbounded exponential (the paper's "S" configurations).
+	ModeMidpoint
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeRange:
+		return "R"
+	case ModeMidpoint:
+		return "S"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config controls how a Shift-Table is built.
+type Config struct {
+	// Mode selects range pairs (R) or midpoint shifts (S). Default R.
+	Mode Mode
+	// M is the number of partitions. 0 means N, the paper's default
+	// (§3.9): "using a mapping layer that has the same number of entries
+	// as the keys ensures that the layer can exhibit its ultimate effect".
+	M int
+	// SampleStride, when > 1 in midpoint mode, builds the layer from every
+	// SampleStride-th key instead of all keys (§3.4: "it is possible to
+	// construct the map using a sample of the indexed keys, which comes at
+	// the cost of accuracy"). Ignored in range mode, which needs exact
+	// bounds.
+	SampleStride int
+}
+
+// Table is a built Shift-Table layer over a sorted key slice and a learned
+// CDF model. It is immutable after Build and safe for concurrent readers.
+type Table[K kv.Key] struct {
+	keys     []K
+	model    cdfmodel.Model[K]
+	mode     Mode
+	monotone bool // model guarantees windows (§3.8)
+	n        int
+	m        int
+
+	// Range mode: per-partition drift bounds. The window for a query with
+	// prediction p in partition k is [p+lo[k], p+hi[k]] (Eq. 5–6: Δ=lo,
+	// C=hi−lo). With M=N this degenerates to the paper's <Δk, Ck>.
+	lo, hi driftArray
+
+	// Midpoint mode: per-partition rounded mean drift Δ̄ (Eq. 7).
+	shift driftArray
+
+	// count[k] is the number of keys mapped to partition k (the paper's
+	// Ck cardinality), kept for the error estimate (Eq. 8) and cost model
+	// (Eq. 9–10). Stored at build time; not touched during lookups.
+	count []int32
+}
+
+// Build constructs a Shift-Table over sorted keys corrected against the
+// given model (Alg. 2 plus the empty-partition backfill of §3.1). Build is
+// O(N · cost(Fθ) + M), a single pass over the data and a single backward
+// pass over the layer (§3.3).
+func Build[K kv.Key](keys []K, model cdfmodel.Model[K], cfg Config) (*Table[K], error) {
+	n := len(keys)
+	if model == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if !kv.IsSorted(keys) {
+		return nil, fmt.Errorf("core: keys are not sorted")
+	}
+	m := cfg.M
+	if m == 0 {
+		m = n
+	}
+	if m < 1 || n == 0 {
+		if n == 0 {
+			return &Table[K]{keys: keys, model: model, mode: cfg.Mode, monotone: model.Monotone()}, nil
+		}
+		return nil, fmt.Errorf("core: invalid layer size M=%d", cfg.M)
+	}
+	if cfg.SampleStride < 0 {
+		return nil, fmt.Errorf("core: negative sample stride %d", cfg.SampleStride)
+	}
+	if cfg.Mode != ModeRange && cfg.Mode != ModeMidpoint {
+		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
+	}
+
+	t := &Table[K]{
+		keys:     keys,
+		model:    model,
+		mode:     cfg.Mode,
+		monotone: model.Monotone(),
+		n:        n,
+		m:        m,
+	}
+
+	stride := 1
+	if cfg.Mode == ModeMidpoint && cfg.SampleStride > 1 {
+		stride = cfg.SampleStride
+	}
+
+	// Pass 1 (Alg. 2 lines 3–9): accumulate per-partition statistics. With
+	// a monotone model the keys of one partition form a contiguous run of
+	// positions [minPos, endPos]; the drift bounds derive from that run in
+	// pass 2.
+	minPos := make([]int64, m) // first position (of a duplicate run, §3.2) per partition
+	endPos := make([]int64, m) // last position per partition
+	sumW := make([]int64, m)   // Σ drift, for midpoint mode
+	cnt := make([]int32, m)
+	for k := range minPos {
+		minPos[k] = math.MaxInt64
+		endPos[k] = math.MinInt64
+	}
+	firstOcc := 0 // position of the first key in the current duplicate run (§3.2)
+	for i := 0; i < n; i++ {
+		if i > 0 && keys[i] != keys[i-1] {
+			firstOcc = i
+		}
+		if stride > 1 && i%stride != 0 {
+			continue
+		}
+		pred := t.model.Predict(keys[i])
+		k := t.partitionOf(pred)
+		sumW[k] += int64(firstOcc) - int64(pred)
+		cnt[k]++
+		if int64(firstOcc) < minPos[k] {
+			minPos[k] = int64(firstOcc)
+		}
+		if int64(i) > endPos[k] {
+			endPos[k] = int64(i)
+		}
+	}
+
+	// Pass 2: derive per-partition drift bounds, and backfill empty
+	// partitions with pseudo-values pointing at the first key of the next
+	// non-empty partition (§3.1 — the paper's Alg. 2 pseudo-code reads
+	// from k−1, contradicting the text; we implement the text, see
+	// DESIGN.md §4).
+	//
+	// For a query q in partition k, monotonicity gives: keys of partitions
+	// < k are < q and keys of partitions > k are > q, so the answer lies in
+	// [minPos[k], endPos[k]+1]. The query's own prediction p can be any
+	// value in the partition's feasible range [pmin, pmax] (Eq. 5–6
+	// generalised to M<N), so the stored relative bounds must cover the
+	// absolute window from every such p:
+	//
+	//	lo[k] = minPos[k] − pmax,  hi[k] = endPos[k] − pmin.
+	//
+	// With M = N, pmin = pmax = k and these reduce exactly to the paper's
+	// Δk = minPos−k and window length Ck (Alg. 2).
+	loW := make([]int64, m)
+	hiW := make([]int64, m)
+	nextFirst := int64(n) // first position of the nearest non-empty partition to the right
+	for k := m - 1; k >= 0; k-- {
+		pmin, pmax := t.predRange(k)
+		if cnt[k] > 0 {
+			loW[k] = minPos[k] - pmax
+			hiW[k] = endPos[k] - pmin
+			nextFirst = minPos[k]
+			continue
+		}
+		// Empty partition: any query landing here resolves exactly to
+		// position nextFirst; encode a window whose just-after slot is
+		// nextFirst for every feasible prediction.
+		loW[k] = nextFirst - pmax
+		hiW[k] = nextFirst - 1 - pmin
+		sumW[k] = nextFirst - (pmin+pmax)/2 // midpoint aim
+		// cnt stays 0: these are pseudo-entries (§3.1), not real keys.
+	}
+
+	t.count = cnt
+	switch cfg.Mode {
+	case ModeRange:
+		t.lo = packDrifts(loW)
+		t.hi = packDrifts(hiW)
+	case ModeMidpoint:
+		mid := make([]int64, m)
+		for k := range mid {
+			if cnt[k] > 0 {
+				// Rounded mean drift (Eq. 7). Round half away from zero:
+				// the paper's Table 1 worked example yields Δ̄=−40 from a
+				// mean of −40.2, i.e. not floor.
+				mid[k] = roundHalfAway(float64(sumW[k]) / float64(cnt[k]))
+			} else {
+				mid[k] = sumW[k]
+			}
+		}
+		t.shift = packDrifts(mid)
+	}
+	return t, nil
+}
+
+// partitionOf maps a model prediction p ∈ [0, N) to its partition
+// [M·Fθ(x)] ∈ [0, M). The model interface exposes quantised predictions
+// [N·Fθ(x)] rather than Fθ itself, so the partition is derived as
+// [p·M/N]; build and query use the same mapping, which is all correctness
+// requires.
+func (t *Table[K]) partitionOf(pred int) int {
+	if t.m == t.n {
+		return pred
+	}
+	return int(int64(pred) * int64(t.m) / int64(t.n))
+}
+
+// predRange returns the inclusive range of predictions that map to
+// partition k: the feasible positions a query landing in an empty partition
+// can have been predicted at.
+func (t *Table[K]) predRange(k int) (pmin, pmax int64) {
+	if t.m == t.n {
+		return int64(k), int64(k)
+	}
+	// partitionOf(p) == k  ⟺  k·n ≤ p·m < (k+1)·n.
+	pmin = ceilDiv(int64(k)*int64(t.n), int64(t.m))
+	pmax = ceilDiv(int64(k+1)*int64(t.n), int64(t.m)) - 1
+	if pmax > int64(t.n-1) {
+		pmax = int64(t.n - 1)
+	}
+	if pmin > pmax {
+		pmin = pmax // degenerate partition no prediction maps to
+	}
+	return pmin, pmax
+}
+
+// N returns the number of indexed keys.
+func (t *Table[K]) N() int { return t.n }
+
+// M returns the number of layer partitions.
+func (t *Table[K]) M() int { return t.m }
+
+// Mode returns the layer flavour.
+func (t *Table[K]) Mode() Mode { return t.mode }
+
+// Model returns the underlying CDF model.
+func (t *Table[K]) Model() cdfmodel.Model[K] { return t.model }
+
+// Keys returns the indexed keys (shared, not copied).
+func (t *Table[K]) Keys() []K { return t.keys }
+
+// SizeBytes reports the footprint of the correction layer itself (the
+// paper's Fig. 8 index-size axis counts the mapping array; the model size is
+// reported separately by the model).
+func (t *Table[K]) SizeBytes() int {
+	switch t.mode {
+	case ModeRange:
+		return t.lo.sizeBytes() + t.hi.sizeBytes()
+	default:
+		return t.shift.sizeBytes()
+	}
+}
+
+// EntryBits reports the per-entry width selected for the drift arrays
+// (§3.9: "if the error is smaller than 2^16/2, then a 16-bit integer can be
+// used").
+func (t *Table[K]) EntryBits() int {
+	var d driftArray
+	if t.mode == ModeRange {
+		d = t.lo
+	} else {
+		d = t.shift
+	}
+	return d.entryBits()
+}
+
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+func roundHalfAway(v float64) int64 {
+	if v >= 0 {
+		return int64(v + 0.5)
+	}
+	return -int64(-v + 0.5)
+}

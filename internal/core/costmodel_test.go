@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/dataset"
+)
+
+// analyticL is a stand-in latency function shaped like the paper's Fig. 2a
+// measurement: a DRAM-latency floor plus a log term for binary local search.
+func analyticL(s int) float64 {
+	if s <= 1 {
+		return 36 // the paper's measured LLC miss penalty
+	}
+	return 36 + 20*math.Log2(float64(s))
+}
+
+func TestEstimateWithAndWithout(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Face, 64, 20000, 3)
+	model := cdfmodel.NewInterpolation(keys)
+	tab, err := Build(keys, model, Config{Mode: ModeRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const modelNs, layerNs = 10, 40
+	with := tab.EstimateWith(modelNs, layerNs, analyticL)
+	without := tab.EstimateWithout(modelNs, analyticL)
+
+	if with.TotalNs != with.ModelNs+with.LayerNs+with.SearchNs {
+		t.Error("EstimateWith total must be the sum of its parts")
+	}
+	if without.LayerNs != 0 {
+		t.Error("EstimateWithout must not charge the layer lookup")
+	}
+	// On face data the dumb model's drift is huge; Eq. 9 vs Eq. 10 must
+	// show the correction paying off decisively (the premise of Table 2).
+	if with.TotalNs >= without.TotalNs {
+		t.Errorf("cost model says Shift-Table does not pay off on face: with=%.0f without=%.0f",
+			with.TotalNs, without.TotalNs)
+	}
+}
+
+func TestEstimateOnPerfectModel(t *testing.T) {
+	// uden + IM: near-zero error. Eq. 10 (model alone) must beat Eq. 9
+	// (which charges the 40 ns layer lookup) — the paper's reason for
+	// disabling the layer on uden (§4.1, Table 2).
+	keys := dataset.MustGenerate(dataset.UDen, 64, 20000, 3)
+	tab, err := Build(keys, cdfmodel.NewInterpolation(keys), Config{Mode: ModeRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := tab.EstimateWith(10, 40, analyticL)
+	without := tab.EstimateWithout(10, analyticL)
+	if without.TotalNs >= with.TotalNs {
+		t.Errorf("on uden the bare model must win: with=%.0f without=%.0f", with.TotalNs, without.TotalNs)
+	}
+}
+
+func TestEstimateEmptyTable(t *testing.T) {
+	tab, err := Build(nil, cdfmodel.NewInterpolation[uint64](nil), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.EstimateWith(5, 40, analyticL); got.SearchNs != 0 || got.TotalNs != 45 {
+		t.Errorf("empty EstimateWith = %+v", got)
+	}
+	if got := tab.EstimateWithout(5, analyticL); got.TotalNs != 5 {
+		t.Errorf("empty EstimateWithout = %+v", got)
+	}
+}
+
+func TestAdviseRules(t *testing.T) {
+	cases := []struct {
+		before, after float64
+		want          bool
+	}{
+		{5, 0.1, false},    // rule 1: error already < 10
+		{9.99, 0.1, false}, // rule 1 boundary
+		{1000, 500, false}, // rule 2: < 10x improvement
+		{1000, 101, false}, // rule 2 boundary (9.9x)
+		{1000, 100, true},  // exactly 10x improvement
+		{1000, 1, true},
+		{1e7, 2, true}, // the face-like case
+	}
+	for _, c := range cases {
+		a := Advise(c.before, c.after)
+		if a.UseShiftTable != c.want {
+			t.Errorf("Advise(%.2f, %.2f) = %v (%s), want %v", c.before, c.after, a.UseShiftTable, a.Reason, c.want)
+		}
+		if a.Reason == "" {
+			t.Error("advice must carry a reason")
+		}
+	}
+}
+
+func TestAdviseTableEndToEnd(t *testing.T) {
+	// face: dumb model, huge error, big reduction → enable (the headline
+	// result of Table 2). uden: near-perfect model → disable.
+	face := dataset.MustGenerate(dataset.Face, 64, 20000, 3)
+	tab, _ := Build(face, cdfmodel.NewInterpolation(face), Config{Mode: ModeRange})
+	if a := tab.Advise(); !a.UseShiftTable {
+		t.Errorf("face advice should enable Shift-Table: %+v", a)
+	}
+	uden := dataset.MustGenerate(dataset.UDen, 64, 20000, 3)
+	tab, _ = Build(uden, cdfmodel.NewInterpolation(uden), Config{Mode: ModeRange})
+	if a := tab.Advise(); a.UseShiftTable {
+		t.Errorf("uden advice should disable Shift-Table: %+v", a)
+	}
+}

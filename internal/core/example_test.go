@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/core"
+)
+
+// ExampleBuild shows the paper's minimal configuration: the dummy IM model
+// corrected by a full-size range-mode Shift-Table.
+func ExampleBuild() {
+	keys := []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	table, err := core.Build(keys, cdfmodel.NewInterpolation(keys), core.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(table.Find(7))  // indexed key
+	fmt.Println(table.Find(8))  // lower bound of a non-indexed key
+	fmt.Println(table.Find(99)) // past the end
+	// Output:
+	// 3
+	// 4
+	// 10
+}
+
+// ExampleTable_FindRange shows a range query A <= key <= B.
+func ExampleTable_FindRange() {
+	keys := []uint64{10, 20, 20, 30, 40, 50}
+	table, _ := core.Build(keys, cdfmodel.NewInterpolation(keys), core.Config{})
+	first, last := table.FindRange(15, 35)
+	fmt.Println(keys[first:last])
+	// Output:
+	// [20 20 30]
+}
+
+// ExampleAdvise shows the §4.1 tuning rules.
+func ExampleAdvise() {
+	fmt.Println(core.Advise(5, 1).UseShiftTable)    // model already accurate
+	fmt.Println(core.Advise(1000, 2).UseShiftTable) // big reduction: enable
+	// Output:
+	// false
+	// true
+}

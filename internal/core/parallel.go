@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/kv"
+)
+
+// BuildParallel is Build with the data pass sharded across workers — the
+// §3.3 optimisation ("in case that running the model is expensive, model
+// executions can be parallelized for faster execution"). workers <= 0 uses
+// GOMAXPROCS. The result is bit-identical to Build: shards split on
+// duplicate-run boundaries so §3.2 first-occurrence semantics hold, and
+// per-partition statistics merge associatively.
+//
+// Midpoint sampling (Config.SampleStride) depends on global key indices, so
+// sampled builds fall back to the serial path.
+func BuildParallel[K kv.Key](keys []K, model cdfmodel.Model[K], cfg Config, workers int) (*Table[K], error) {
+	n := len(keys)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || n < 4096 || (cfg.Mode == ModeMidpoint && cfg.SampleStride > 1) {
+		return Build(keys, model, cfg)
+	}
+	// Validate inputs exactly as Build does (cheap relative to the pass).
+	if model == nil || !kv.IsSorted(keys) || cfg.SampleStride < 0 ||
+		(cfg.Mode != ModeRange && cfg.Mode != ModeMidpoint) || cfg.M < 0 {
+		return Build(keys, model, cfg) // serial path reports the error
+	}
+	m := cfg.M
+	if m == 0 {
+		m = n
+	}
+	t := &Table[K]{
+		keys:     keys,
+		model:    model,
+		mode:     cfg.Mode,
+		monotone: model.Monotone(),
+		n:        n,
+		m:        m,
+	}
+
+	// Shard boundaries aligned to duplicate-run starts.
+	bounds := make([]int, 0, workers+1)
+	bounds = append(bounds, 0)
+	for wk := 1; wk < workers; wk++ {
+		at := n * wk / workers
+		for at > 0 && at < n && keys[at] == keys[at-1] {
+			at--
+		}
+		if at > bounds[len(bounds)-1] {
+			bounds = append(bounds, at)
+		}
+	}
+	bounds = append(bounds, n)
+
+	type shardStats struct {
+		minPos, endPos, sum []int64
+		cnt                 []int32
+	}
+	shards := make([]shardStats, len(bounds)-1)
+	var wg sync.WaitGroup
+	for s := 0; s < len(bounds)-1; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			lo, hi := bounds[s], bounds[s+1]
+			st := shardStats{
+				minPos: make([]int64, m),
+				endPos: make([]int64, m),
+				sum:    make([]int64, m),
+				cnt:    make([]int32, m),
+			}
+			for k := range st.minPos {
+				st.minPos[k] = math.MaxInt64
+				st.endPos[k] = math.MinInt64
+			}
+			firstOcc := lo // shard starts at a run boundary
+			for i := lo; i < hi; i++ {
+				if i > lo && keys[i] != keys[i-1] {
+					firstOcc = i
+				}
+				pred := model.Predict(keys[i])
+				k := t.partitionOf(pred)
+				st.sum[k] += int64(firstOcc) - int64(pred)
+				st.cnt[k]++
+				if int64(firstOcc) < st.minPos[k] {
+					st.minPos[k] = int64(firstOcc)
+				}
+				if int64(i) > st.endPos[k] {
+					st.endPos[k] = int64(i)
+				}
+			}
+			shards[s] = st
+		}(s)
+	}
+	wg.Wait()
+
+	// Merge shard statistics (all operations are associative).
+	minPos := shards[0].minPos
+	endPos := shards[0].endPos
+	sumW := shards[0].sum
+	cnt := shards[0].cnt
+	for _, st := range shards[1:] {
+		for k := 0; k < m; k++ {
+			if st.minPos[k] < minPos[k] {
+				minPos[k] = st.minPos[k]
+			}
+			if st.endPos[k] > endPos[k] {
+				endPos[k] = st.endPos[k]
+			}
+			sumW[k] += st.sum[k]
+			cnt[k] += st.cnt[k]
+		}
+	}
+
+	// Pass 2 is identical to Build's (serial; O(M)).
+	loW := make([]int64, m)
+	hiW := make([]int64, m)
+	nextFirst := int64(n)
+	for k := m - 1; k >= 0; k-- {
+		pmin, pmax := t.predRange(k)
+		if cnt[k] > 0 {
+			loW[k] = minPos[k] - pmax
+			hiW[k] = endPos[k] - pmin
+			nextFirst = minPos[k]
+			continue
+		}
+		loW[k] = nextFirst - pmax
+		hiW[k] = nextFirst - 1 - pmin
+		sumW[k] = nextFirst - (pmin+pmax)/2
+	}
+	t.count = cnt
+	switch cfg.Mode {
+	case ModeRange:
+		t.lo = packDrifts(loW)
+		t.hi = packDrifts(hiW)
+	default:
+		mid := make([]int64, m)
+		for k := range mid {
+			if cnt[k] > 0 {
+				mid[k] = roundHalfAway(float64(sumW[k]) / float64(cnt[k]))
+			} else {
+				mid[k] = sumW[k]
+			}
+		}
+		t.shift = packDrifts(mid)
+	}
+	return t, nil
+}

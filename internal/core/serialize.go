@@ -1,0 +1,219 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/kv"
+)
+
+// This file implements layer persistence. A Shift-Table is cheap to rebuild
+// (one pass, §3.3) but at the paper's 200M-key scale that pass still reads
+// ~1.6 GB; persisting the layer makes index startup I/O-bound instead.
+// The file stores only the correction layer — the keys live in the caller's
+// clustered storage and the model is re-derived or stored by the caller —
+// plus fingerprints of both so a stale layer cannot be attached silently.
+
+const (
+	layerMagic   = 0x53485442 // "SHTB"
+	layerVersion = 1
+)
+
+// WriteTo serialises the layer (not the keys or the model) to w.
+func (t *Table[K]) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := &countWriter{w: bw}
+	head := []uint64{
+		layerMagic,
+		layerVersion,
+		uint64(t.mode),
+		uint64(t.n),
+		uint64(t.m),
+		boolU64(t.monotone),
+		keysFingerprint(t.keys),
+		modelFingerprint(t.model),
+	}
+	for _, v := range head {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return cw.n, err
+		}
+	}
+	arrays := []*driftArray{}
+	switch t.mode {
+	case ModeRange:
+		arrays = append(arrays, &t.lo, &t.hi)
+	default:
+		arrays = append(arrays, &t.shift)
+	}
+	for _, d := range arrays {
+		if err := writeDrifts(cw, d, t.m); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, t.count); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Load reads a layer previously written with WriteTo and attaches it to the
+// given keys and model. The keys and model must be the ones the layer was
+// built over; fingerprint mismatches are rejected.
+func Load[K kv.Key](r io.Reader, keys []K, model cdfmodel.Model[K]) (*Table[K], error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var head [8]uint64
+	for i := range head {
+		if err := binary.Read(br, binary.LittleEndian, &head[i]); err != nil {
+			return nil, fmt.Errorf("core: reading layer header: %w", err)
+		}
+	}
+	if head[0] != layerMagic {
+		return nil, fmt.Errorf("core: not a Shift-Table layer file")
+	}
+	if head[1] != layerVersion {
+		return nil, fmt.Errorf("core: unsupported layer version %d", head[1])
+	}
+	t := &Table[K]{
+		keys:     keys,
+		model:    model,
+		mode:     Mode(head[2]),
+		n:        int(head[3]),
+		m:        int(head[4]),
+		monotone: head[5] != 0,
+	}
+	if t.n != len(keys) {
+		return nil, fmt.Errorf("core: layer built over %d keys, got %d", t.n, len(keys))
+	}
+	if got := keysFingerprint(keys); got != head[6] {
+		return nil, fmt.Errorf("core: key fingerprint mismatch (layer is stale or for other data)")
+	}
+	if model == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if got := modelFingerprint(model); got != head[7] {
+		return nil, fmt.Errorf("core: model mismatch (layer was built over %q-class model)", model.Name())
+	}
+	var arrays []*driftArray
+	switch t.mode {
+	case ModeRange:
+		arrays = []*driftArray{&t.lo, &t.hi}
+	case ModeMidpoint:
+		arrays = []*driftArray{&t.shift}
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d in layer file", head[2])
+	}
+	for _, d := range arrays {
+		if err := readDrifts(br, d, t.m); err != nil {
+			return nil, err
+		}
+	}
+	t.count = make([]int32, t.m)
+	if err := binary.Read(br, binary.LittleEndian, t.count); err != nil {
+		return nil, fmt.Errorf("core: reading partition counts: %w", err)
+	}
+	return t, nil
+}
+
+// writeDrifts stores the entry width then the packed array.
+func writeDrifts(w io.Writer, d *driftArray, m int) error {
+	if d.len() != m {
+		return fmt.Errorf("core: drift array length %d, want %d", d.len(), m)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(d.entryBits())); err != nil {
+		return err
+	}
+	switch {
+	case d.w8 != nil:
+		return binary.Write(w, binary.LittleEndian, d.w8)
+	case d.w16 != nil:
+		return binary.Write(w, binary.LittleEndian, d.w16)
+	case d.w32 != nil:
+		return binary.Write(w, binary.LittleEndian, d.w32)
+	default:
+		return binary.Write(w, binary.LittleEndian, d.w64)
+	}
+}
+
+func readDrifts(r io.Reader, d *driftArray, m int) error {
+	var bits uint64
+	if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+		return fmt.Errorf("core: reading drift width: %w", err)
+	}
+	switch bits {
+	case 8:
+		d.w8 = make([]int8, m)
+		return binary.Read(r, binary.LittleEndian, d.w8)
+	case 16:
+		d.w16 = make([]int16, m)
+		return binary.Read(r, binary.LittleEndian, d.w16)
+	case 32:
+		d.w32 = make([]int32, m)
+		return binary.Read(r, binary.LittleEndian, d.w32)
+	case 64:
+		d.w64 = make([]int64, m)
+		return binary.Read(r, binary.LittleEndian, d.w64)
+	default:
+		return fmt.Errorf("core: invalid drift entry width %d", bits)
+	}
+}
+
+// keysFingerprint hashes a structural sample of the keys (size, endpoints,
+// and a strided sample) — cheap, order-sensitive, and strong enough to
+// catch attaching a layer to the wrong dataset.
+func keysFingerprint[K kv.Key](keys []K) uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(len(keys)))
+	if len(keys) == 0 {
+		return h
+	}
+	stride := len(keys)/64 + 1
+	for i := 0; i < len(keys); i += stride {
+		mix(uint64(keys[i]))
+	}
+	mix(uint64(keys[len(keys)-1]))
+	return h
+}
+
+// modelFingerprint identifies the model family and a probe of its
+// predictions, so a layer built over IM cannot be attached to an RS model.
+func modelFingerprint[K kv.Key](m cdfmodel.Model[K]) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range m.Name() {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	probe := ^K(0)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(m.Predict(probe / K(i+1)))
+		h *= 1099511628211
+	}
+	return h
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

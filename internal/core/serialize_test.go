@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/dataset"
+	"repro/internal/kv"
+)
+
+func TestLayerRoundTrip(t *testing.T) {
+	for _, name := range []dataset.Name{dataset.Face, dataset.Wiki, dataset.UDen} {
+		keys := dataset.MustGenerate(name, 64, 20_000, 5)
+		model := cdfmodel.NewInterpolation(keys)
+		for _, cfg := range []Config{
+			{Mode: ModeRange},
+			{Mode: ModeMidpoint},
+			{Mode: ModeRange, M: 777},
+		} {
+			orig, err := Build(keys, model, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			n, err := orig.WriteTo(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(buf.Len()) {
+				t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+			}
+			loaded, err := Load(bytes.NewReader(buf.Bytes()), keys, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.M() != orig.M() || loaded.Mode() != orig.Mode() || loaded.N() != orig.N() {
+				t.Fatal("round-trip metadata mismatch")
+			}
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 3000; i++ {
+				q := rng.Uint64() % (keys[len(keys)-1] + 3)
+				if got, want := loaded.Find(q), orig.Find(q); got != want {
+					t.Fatalf("%s %v: loaded Find(%d) = %d, want %d", name, cfg.Mode, q, got, want)
+				}
+			}
+			if loaded.AvgError() != orig.AvgError() {
+				t.Error("partition counts not preserved")
+			}
+		}
+	}
+}
+
+func TestLoadRejectsMismatches(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Face, 64, 10_000, 5)
+	model := cdfmodel.NewInterpolation(keys)
+	tab, err := Build(keys, model, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong data.
+	other := dataset.MustGenerate(dataset.Face, 64, 10_000, 6)
+	if _, err := Load(bytes.NewReader(buf.Bytes()), other, cdfmodel.NewInterpolation(other)); err == nil {
+		t.Error("Load must reject a layer built over different keys")
+	}
+	// Wrong length.
+	if _, err := Load(bytes.NewReader(buf.Bytes()), keys[:500], model); err == nil {
+		t.Error("Load must reject a key-count mismatch")
+	}
+	// Wrong model family.
+	if _, err := Load(bytes.NewReader(buf.Bytes()), keys, cdfmodel.NewLinear(keys)); err == nil {
+		t.Error("Load must reject a different model")
+	}
+	// Nil model.
+	if _, err := Load[uint64](bytes.NewReader(buf.Bytes()), keys, nil); err == nil {
+		t.Error("Load must reject a nil model")
+	}
+	// Corrupted magic.
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[0] ^= 0xFF
+	if _, err := Load(bytes.NewReader(bad), keys, model); err == nil {
+		t.Error("Load must reject a corrupted header")
+	}
+	// Truncated stream.
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2]), keys, model); err == nil {
+		t.Error("Load must reject a truncated stream")
+	}
+	// Empty stream.
+	if _, err := Load(bytes.NewReader(nil), keys, model); err == nil {
+		t.Error("Load must reject an empty stream")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.USpr, 64, 5_000, 5)
+	fp := keysFingerprint(keys)
+	mutated := append([]uint64(nil), keys...)
+	mutated[len(mutated)-1]++
+	if keysFingerprint(mutated) == fp {
+		t.Error("fingerprint must change when the last key changes")
+	}
+	if keysFingerprint(keys[:4999]) == fp {
+		t.Error("fingerprint must change with the length")
+	}
+	if keysFingerprint([]uint64{}) == fp {
+		t.Error("empty fingerprint must differ")
+	}
+	_ = kv.LowerBound(keys, 0) // keep kv imported for the test's package shape
+}

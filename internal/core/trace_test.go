@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/dataset"
+)
+
+func nop(uint64, int) {}
+
+func TestTraceFindEqualsFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, name := range dataset.Names {
+		keys := dataset.MustGenerate(name, 64, 3000, 9)
+		for _, cfg := range []Config{{Mode: ModeRange}, {Mode: ModeMidpoint}, {Mode: ModeRange, M: 100}} {
+			for _, model := range []cdfmodel.Model[uint64]{cdfmodel.NewInterpolation(keys), chaosModel{len(keys)}} {
+				tab, err := Build(keys, model, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 1000; i++ {
+					q := rng.Uint64() % (keys[len(keys)-1] + 3)
+					if got, want := tab.TraceFind(q, nop), tab.Find(q); got != want {
+						t.Fatalf("%s %v: TraceFind(%d) = %d, Find = %d", name, cfg.Mode, q, got, want)
+					}
+				}
+			}
+		}
+		model := cdfmodel.NewInterpolation(keys)
+		for i := 0; i < 500; i++ {
+			q := rng.Uint64() % (keys[len(keys)-1] + 3)
+			if got, want := TraceModelFind(keys, model, q, nop), ModelFind(keys, model, q); got != want {
+				t.Fatalf("TraceModelFind(%d) = %d, want %d", q, got, want)
+			}
+		}
+	}
+}
+
+func TestTraceFindTouchesLayerOnce(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Face, 64, 2000, 9)
+	tab, err := Build(keys, cdfmodel.NewInterpolation(keys), Config{Mode: ModeMidpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layerTouches := 0
+	tab.TraceFind(keys[1234], func(addr uint64, width int) {
+		if width <= 2 { // the packed drift entries are narrow
+			layerTouches++
+		}
+	})
+	if layerTouches != 1 {
+		t.Errorf("midpoint lookup should touch the layer exactly once, got %d", layerTouches)
+	}
+}

@@ -1,0 +1,190 @@
+// Package dataset generates the key distributions used by the paper's
+// evaluation (§4): the four synthetic SOSD distributions (uden, uspr, norm,
+// logn) and offline stand-ins for the four real-world SOSD datasets (face,
+// amzn, osmc, wiki).
+//
+// The real-world datasets are not available offline, so this package
+// synthesises distributions that reproduce the property the paper identifies
+// as decisive for learned-index performance (§2.4): a smooth macro-level CDF
+// with high micro-level unpredictability (local variance, spikes, clustered
+// gaps). See DESIGN.md §2 for the substitution rationale.
+//
+// All generators are deterministic for a given seed, return sorted keys, and
+// can target a 32- or 64-bit key domain.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Name identifies one of the paper's key distributions.
+type Name string
+
+// The eight distributions from the paper's evaluation (§4, Table 2).
+const (
+	UDen Name = "uden" // uniformly-generated dense integers
+	USpr Name = "uspr" // uniformly-generated sparse integers
+	Norm Name = "norm" // normal distribution
+	LogN Name = "logn" // lognormal distribution (0, 2)
+	Face Name = "face" // Facebook-user-ID-like (simulated; see DESIGN.md §2)
+	Amzn Name = "amzn" // Amazon-sales-rank-like (simulated)
+	Osmc Name = "osmc" // OpenStreetMap-cell-like (simulated)
+	Wiki Name = "wiki" // Wikipedia-edit-timestamp-like (simulated, has duplicates)
+)
+
+// Spec names one benchmark dataset: a distribution at a key width.
+type Spec struct {
+	Name Name
+	Bits int // 32 or 64
+}
+
+// String formats the spec the way the paper labels datasets, e.g. "face64".
+func (s Spec) String() string { return fmt.Sprintf("%s%d", s.Name, s.Bits) }
+
+// Synthetic reports whether the distribution is one of the paper's synthetic
+// ones (as opposed to a real-world stand-in).
+func (s Spec) Synthetic() bool {
+	switch s.Name {
+	case UDen, USpr, Norm, LogN:
+		return true
+	}
+	return false
+}
+
+// Table2 lists the fourteen datasets of the paper's Table 2, in the paper's
+// row order.
+var Table2 = []Spec{
+	{LogN, 32}, {Norm, 32}, {UDen, 32}, {USpr, 32},
+	{LogN, 64}, {Norm, 64}, {UDen, 64}, {USpr, 64},
+	{Amzn, 32}, {Face, 32}, {Amzn, 64}, {Face, 64},
+	{Osmc, 64}, {Wiki, 64},
+}
+
+// Fig9 lists the eight datasets of the paper's Figure 9, in the paper's
+// x-axis order.
+var Fig9 = []Spec{
+	{Amzn, 64}, {Face, 32}, {LogN, 32}, {Norm, 64},
+	{Osmc, 64}, {UDen, 32}, {USpr, 32}, {Wiki, 64},
+}
+
+// Names lists every distribution.
+var Names = []Name{UDen, USpr, Norm, LogN, Face, Amzn, Osmc, Wiki}
+
+// Generate returns n sorted keys from the named distribution, all within the
+// domain of the given key width (32 or 64 bits). Generation is deterministic
+// in seed. Only Wiki and Amzn may contain duplicates by construction; the
+// narrow-domain 32-bit variants of skewed distributions (logn32, norm32) can
+// also contain duplicates due to quantisation, as in SOSD.
+func Generate(name Name, bits, n int, seed int64) ([]uint64, error) {
+	if bits != 32 && bits != 64 {
+		return nil, fmt.Errorf("dataset: unsupported key width %d (want 32 or 64)", bits)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("dataset: negative size %d", n)
+	}
+	if n == 0 {
+		return []uint64{}, nil
+	}
+	domain := DomainMax(bits)
+	rng := rand.New(rand.NewSource(seed ^ int64(len(name))<<32 ^ int64(bits)))
+	var keys []uint64
+	switch name {
+	case UDen:
+		keys = genUDen(rng, n, domain)
+	case USpr:
+		keys = genUSpr(rng, n, domain)
+	case Norm:
+		keys = genNorm(rng, n, domain)
+	case LogN:
+		keys = genLogN(rng, n, domain, bits)
+	case Face:
+		keys = genFace(rng, n, domain)
+	case Amzn:
+		keys = genAmzn(rng, n, domain)
+	case Osmc:
+		keys = genOsmc(rng, n, bits)
+	case Wiki:
+		keys = genWiki(rng, n, domain)
+	default:
+		return nil, fmt.Errorf("dataset: unknown distribution %q", name)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys, nil
+}
+
+// MustGenerate is Generate, panicking on error. Intended for benchmarks and
+// examples where the spec is a compile-time constant.
+func MustGenerate(name Name, bits, n int, seed int64) []uint64 {
+	keys, err := Generate(name, bits, n, seed)
+	if err != nil {
+		panic(err)
+	}
+	return keys
+}
+
+// DomainMax returns the largest representable key for the width.
+func DomainMax(bits int) uint64 {
+	if bits == 32 {
+		return math.MaxUint32
+	}
+	return math.MaxUint64
+}
+
+// U32 narrows 64-bit keys known to fit in 32 bits. It panics if any key does
+// not fit: the generators guarantee 32-bit specs stay within the domain, so a
+// panic here indicates a bug, not bad input.
+func U32(keys []uint64) []uint32 {
+	out := make([]uint32, len(keys))
+	for i, k := range keys {
+		if k > math.MaxUint32 {
+			panic(fmt.Sprintf("dataset: key %d exceeds 32-bit domain", k))
+		}
+		out[i] = uint32(k)
+	}
+	return out
+}
+
+// Payloads returns the per-record 64-bit payloads used by the benchmark: as
+// in SOSD, payload i is a deterministic function of the position so that
+// result checksums can be validated cheaply.
+func Payloads(n int) []uint64 {
+	p := make([]uint64, n)
+	for i := range p {
+		p[i] = splitmix64(uint64(i))
+	}
+	return p
+}
+
+// splitmix64 is the SplitMix64 finaliser; a cheap, high-quality mixing
+// function used for payload generation and hashing throughout the package.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DupStats reports the number of distinct keys and the maximum run length of
+// duplicates in a sorted key slice.
+func DupStats(keys []uint64) (distinct, maxRun int) {
+	if len(keys) == 0 {
+		return 0, 0
+	}
+	distinct = 1
+	run, maxRun := 1, 1
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			distinct++
+			run = 1
+		}
+	}
+	return distinct, maxRun
+}

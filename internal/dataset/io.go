@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The on-disk format matches SOSD: a little-endian uint64 element count
+// followed by the keys, each stored in the dataset's native width. This lets
+// cmd tools persist generated datasets and reload them between runs, and
+// would let a user drop in the original SOSD files where available.
+
+// Save writes keys to path in SOSD binary format with the given key width.
+func Save(path string, keys []uint64, bits int) (err error) {
+	if bits != 32 && bits != 64 {
+		return fmt.Errorf("dataset: unsupported key width %d", bits)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(keys))); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, k := range keys {
+		if bits == 32 {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(k))
+			if _, err := w.Write(buf[:4]); err != nil {
+				return err
+			}
+		} else {
+			binary.LittleEndian.PutUint64(buf[:8], k)
+			if _, err := w.Write(buf[:8]); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
+// Load reads keys from a SOSD binary file with the given key width.
+func Load(path string, bits int) ([]uint64, error) {
+	if bits != 32 && bits != 64 {
+		return nil, fmt.Errorf("dataset: unsupported key width %d", bits)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var count uint64
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("dataset: reading count from %s: %w", path, err)
+	}
+	const maxReasonable = 1 << 33
+	if count > maxReasonable {
+		return nil, fmt.Errorf("dataset: implausible element count %d in %s", count, path)
+	}
+	keys := make([]uint64, count)
+	var buf [8]byte
+	width := bits / 8
+	for i := range keys {
+		if _, err := io.ReadFull(r, buf[:width]); err != nil {
+			return nil, fmt.Errorf("dataset: reading key %d from %s: %w", i, path, err)
+		}
+		if bits == 32 {
+			keys[i] = uint64(binary.LittleEndian.Uint32(buf[:4]))
+		} else {
+			keys[i] = binary.LittleEndian.Uint64(buf[:8])
+		}
+	}
+	return keys, nil
+}

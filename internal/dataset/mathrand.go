@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// poisson draws from a Poisson distribution with mean lambda using Knuth's
+// multiplication method, adequate for the small rates used by the wiki
+// generator (lambda ≲ 40).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10_000 { // safety net against pathological lambda
+			return k
+		}
+	}
+}
+
+// pareto draws from a Pareto distribution with scale xm and shape alpha via
+// inverse-CDF sampling.
+func pareto(rng *rand.Rand, xm, alpha float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// mortonInterleave interleaves the low `half` bits of x and y into a Z-order
+// (Morton) code: bit i of x lands at position 2i, bit i of y at 2i+1.
+func mortonInterleave(x, y uint64, half uint) uint64 {
+	return spreadBits(x, half) | spreadBits(y, half)<<1
+}
+
+// spreadBits spaces out the low `half` bits of v so consecutive bits land
+// two positions apart (the classic Morton bit-spreading with magic masks).
+func spreadBits(v uint64, half uint) uint64 {
+	v &= (1 << half) - 1
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// mortonDeinterleave is the inverse of mortonInterleave; used by tests.
+func mortonDeinterleave(m uint64) (x, y uint64) {
+	return compactBits(m), compactBits(m >> 1)
+}
+
+func compactBits(v uint64) uint64 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v>>4) & 0x00FF00FF00FF00FF
+	v = (v | v>>8) & 0x0000FFFF0000FFFF
+	v = (v | v>>16) & 0x00000000FFFFFFFF
+	return v
+}

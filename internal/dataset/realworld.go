@@ -1,0 +1,191 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file holds the offline stand-ins for the paper's four real-world SOSD
+// datasets. Each generator reproduces the structural property the paper
+// identifies as decisive (§2.4): a macro CDF that closely matches a smooth
+// distribution while the micro-level ("zoomed-in") CDF is jagged and
+// unpredictable, so small cache-resident models cannot fit it accurately.
+
+// genFace simulates Facebook user IDs: a near-uniform macro distribution
+// produced by a heavy-tailed mixture of gaps — dense allocation runs, medium
+// gaps, and rare huge gaps (deleted/reserved ID ranges). Matches the paper's
+// observation that face closely tracks a uniform CDF yet is far harder to
+// model than uden/uspr.
+func genFace(rng *rand.Rand, n int, domain uint64) []uint64 {
+	// Target mean gap leaves 10% headroom at the top of the domain. The
+	// mixture below has mean ≈ 237.2·g, so scale the unit g accordingly.
+	target := float64(domain) / float64(n+1) * 0.9
+	g := target / 237.2
+	if g < 1 {
+		g = 1
+	}
+	gaps := make([]float64, n)
+	for i := range gaps {
+		r := rng.Float64()
+		switch {
+		case r < 0.80: // dense run: tiny gaps
+			gaps[i] = 1 + rng.Float64()*(2*g-1)
+		case r < 0.95: // medium gap
+			gaps[i] = g * (16 + rng.Float64()*48)
+		default: // huge gap: deleted / reserved range
+			gaps[i] = g * (1024 + rng.Float64()*7168)
+		}
+	}
+	return fromGaps(gaps, domain)
+}
+
+// genAmzn simulates Amazon sales-rank data: Pareto-distributed gaps (a few
+// items dominate sales, ranks thin out down the tail) interleaved with
+// plateaus of near-consecutive ranks (clusters of similar titles). The macro
+// CDF is smooth power-law-ish; the micro CDF alternates between flats and
+// jumps.
+func genAmzn(rng *rand.Rand, n int, domain uint64) []uint64 {
+	const alpha = 1.5 // Pareto shape; mean = alpha/(alpha-1)·xm = 3·xm
+	target := float64(domain) / float64(n+1) * 0.9
+	xm := target / 3
+	if xm < 1 {
+		xm = 1
+	}
+	gaps := make([]float64, 0, n)
+	for len(gaps) < n {
+		if rng.Float64() < 0.02 {
+			// Best-seller cluster: a short run of almost-consecutive ranks.
+			run := 2 + rng.Intn(49)
+			for j := 0; j < run && len(gaps) < n; j++ {
+				gaps = append(gaps, 1+rng.Float64()*3)
+			}
+			continue
+		}
+		gaps = append(gaps, pareto(rng, xm, alpha))
+	}
+	return fromGaps(gaps, domain)
+}
+
+// genOsmc simulates OpenStreetMap cell IDs: 2D locations drawn from a
+// multi-scale Gaussian cluster mixture (cities within regions) and encoded
+// as Morton (Z-order) cell IDs, giving the hierarchical clustered structure
+// of spatial cell identifiers.
+func genOsmc(rng *rand.Rand, n int, bits int) []uint64 {
+	clusters := n / 2000
+	if clusters < 4 {
+		clusters = 4
+	}
+	type cluster struct {
+		cx, cy, sigma float64
+	}
+	cs := make([]cluster, clusters)
+	for i := range cs {
+		cs[i] = cluster{
+			cx: rng.Float64(),
+			cy: rng.Float64(),
+			// Multi-scale spread: lognormal sigma spanning villages to regions.
+			sigma: math.Exp(rng.NormFloat64()*1.5 - 6),
+		}
+	}
+	half := uint(bits / 2)
+	maxCoord := (uint64(1) << half) - 1
+	keys := make([]uint64, n)
+	for i := range keys {
+		c := cs[rng.Intn(clusters)]
+		x := wrap01(c.cx + rng.NormFloat64()*c.sigma)
+		y := wrap01(c.cy + rng.NormFloat64()*c.sigma)
+		xi := uint64(x * float64(maxCoord))
+		yi := uint64(y * float64(maxCoord))
+		keys[i] = mortonInterleave(xi, yi, half)
+	}
+	return keys
+}
+
+// genWiki simulates Wikipedia edit timestamps: arrivals from a
+// non-homogeneous Poisson process with diurnal and weekly cycles plus burst
+// events, recorded at one-second granularity. Multiple edits in the same
+// second yield duplicate keys, as in the real dataset (§3.2).
+func genWiki(rng *rand.Rand, n int, domain uint64) []uint64 {
+	const (
+		day  = 86400.0
+		week = 7 * day
+	)
+	base := uint64(1_100_000_000) // a 2004-ish epoch, as in the Wikipedia dump
+	if base > domain/2 {
+		base = domain / 2
+	}
+	keys := make([]uint64, 0, n)
+	burstLeft := 0
+	burstMult := 1.0
+	for t := 0.0; len(keys) < n; t++ {
+		if burstLeft > 0 {
+			burstLeft--
+		} else {
+			burstMult = 1.0
+			if rng.Float64() < 1.0/5000 {
+				// A vandalism war or breaking-news burst.
+				burstLeft = 60 + rng.Intn(540)
+				burstMult = 20.0
+			}
+		}
+		lambda := 1.0 *
+			(1 + 0.5*math.Sin(2*math.Pi*t/day)) *
+			(1 + 0.3*math.Sin(2*math.Pi*t/week)) *
+			burstMult
+		k := poisson(rng, lambda)
+		ts := base + uint64(t)
+		if ts > domain {
+			ts = domain
+		}
+		for j := 0; j < k && len(keys) < n; j++ {
+			keys = append(keys, ts)
+		}
+	}
+	return keys
+}
+
+// fromGaps turns a slice of positive float gaps into strictly increasing
+// keys, rescaling uniformly if the cumulative sum would overflow the domain.
+// Rescaling preserves the relative gap structure — the micro-level variance
+// the generators exist to produce.
+func fromGaps(gaps []float64, domain uint64) []uint64 {
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	scale := 1.0
+	if limit := 0.95 * float64(domain); sum > limit {
+		scale = limit / sum
+	}
+	keys := make([]uint64, len(gaps))
+	cur := 0.0
+	var prev uint64
+	for i, g := range gaps {
+		cur += g * scale
+		k := uint64(cur)
+		if i > 0 && k <= prev {
+			k = prev + 1
+		}
+		if k > domain {
+			k = domain
+		}
+		keys[i] = k
+		prev = k
+	}
+	return keys
+}
+
+// wrap01 reflects v into [0, 1).
+func wrap01(v float64) float64 {
+	v = math.Mod(v, 2)
+	if v < 0 {
+		v += 2
+	}
+	if v >= 1 {
+		v = 2 - v
+	}
+	if v >= 1 { // v was exactly 1 after reflection
+		v = math.Nextafter(1, 0)
+	}
+	return v
+}

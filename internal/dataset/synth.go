@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// genUDen generates dense uniform integers: consecutive keys from a random
+// base. This mirrors the property SOSD's uden exhibits and the paper relies
+// on (§2.4, Table 2): the CDF is an exact line, so a two-parameter linear
+// model fits it with near-zero error and no correction layer is needed.
+func genUDen(rng *rand.Rand, n int, domain uint64) []uint64 {
+	headroom := domain - uint64(n)
+	base := uint64(rng.Int63n(int64(min64(headroom, 1<<40)) + 1))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = base + uint64(i)
+	}
+	return keys
+}
+
+// genUSpr generates sparse uniform integers: n draws from the full key
+// domain. Macro-uniform like uden, but the i.i.d. gaps give it the local
+// variance that makes it "significantly harder" for a plain model (§3.6).
+func genUSpr(rng *rand.Rand, n int, domain uint64) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = randUint64n(rng, domain)
+	}
+	sortAndDistinct(keys, domain)
+	return keys
+}
+
+// genNorm generates keys from a normal distribution centred in the domain.
+// Tail samples clamp to the domain edges and would collide there; the
+// paper's norm datasets are duplicate-free (ART runs on them in Table 2),
+// so edge collisions are nudged apart.
+func genNorm(rng *rand.Rand, n int, domain uint64) []uint64 {
+	mean := float64(domain) / 2
+	sd := float64(domain) / 8
+	// Clamp tails with n of headroom below the domain ceiling, so the
+	// distinctness nudge in sortAndDistinct can never saturate.
+	ceil := domain - uint64(n)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = clampF(rng.NormFloat64()*sd+mean, ceil)
+	}
+	sortAndDistinct(keys, domain)
+	return keys
+}
+
+// genLogN generates keys from the paper's lognormal(0, 2) distribution,
+// scaled so the +4.5σ quantile maps to the top of the domain. The extreme
+// skew concentrates most keys in a tiny prefix of the domain; with 32-bit
+// quantisation this produces heavy duplication at the low end, which is why
+// the paper marks ART as N/A on logn32 but not on logn64 — at 64 bits the
+// quantisation is fine enough that keys stay distinct (enforced here, as
+// the low tail would otherwise collapse onto 0).
+func genLogN(rng *rand.Rand, n int, domain uint64, bits int) []uint64 {
+	scale := float64(domain) / math.Exp(2*4.5)
+	ceil := domain
+	if bits == 64 {
+		ceil -= uint64(n) // headroom for the distinctness nudge
+	}
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = clampF(math.Exp(2*rng.NormFloat64())*scale, ceil)
+	}
+	if bits == 64 {
+		sortAndDistinct(keys, domain)
+	}
+	return keys
+}
+
+// sortAndDistinct sorts keys in place and nudges exact duplicates upward so
+// the result is strictly increasing (except, at worst, saturated at the top
+// of the domain). Used by generators whose real-world counterparts hold
+// distinct keys.
+func sortAndDistinct(keys []uint64, domain uint64) {
+	insertionOrHeapSort(keys)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			if keys[i-1] == domain {
+				keys[i] = domain
+			} else {
+				keys[i] = keys[i-1] + 1
+			}
+		}
+	}
+}
+
+// insertionOrHeapSort sorts the slice; generators call it before the final
+// sort in Generate, so correctness (not speed) is all that matters here, but
+// large datasets make an O(n log n) in-place sort worthwhile.
+func insertionOrHeapSort(keys []uint64) {
+	// Bottom-up heapsort: no allocation, O(n log n) worst case.
+	n := len(keys)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(keys, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		keys[0], keys[end] = keys[end], keys[0]
+		siftDown(keys, 0, end)
+	}
+}
+
+func siftDown(keys []uint64, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && keys[child+1] > keys[child] {
+			child++
+		}
+		if keys[root] >= keys[child] {
+			return
+		}
+		keys[root], keys[child] = keys[child], keys[root]
+		root = child
+	}
+}
+
+// clampF rounds a float sample into the key domain.
+func clampF(v float64, domain uint64) uint64 {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v >= float64(domain) {
+		return domain
+	}
+	return uint64(v)
+}
+
+// randUint64n draws a uniform value in [0, bound] (inclusive).
+func randUint64n(rng *rand.Rand, bound uint64) uint64 {
+	if bound == math.MaxUint64 {
+		return rng.Uint64()
+	}
+	return rng.Uint64() % (bound + 1)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,6 @@
+package dataset
+
+import "math/rand"
+
+// newTestRNG returns a deterministic RNG for statistical tests.
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(12345)) }

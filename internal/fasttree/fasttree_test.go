@@ -1,0 +1,134 @@
+package fasttree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kv"
+)
+
+type finder interface {
+	Find(q uint64) int
+	SizeBytes() int
+	Name() string
+}
+
+func TestFindMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, name := range dataset.Names {
+		keys := dataset.MustGenerate(name, 64, 3000, 11)
+		ey, err := NewEytzinger(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bl, err := NewBlocked(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []finder{ey, bl} {
+			for i := 0; i < 1500; i++ {
+				var q uint64
+				if i%2 == 0 {
+					q = keys[rng.Intn(len(keys))]
+				} else {
+					q = rng.Uint64() % (keys[len(keys)-1] + 3)
+				}
+				if got, want := f.Find(q), kv.LowerBound(keys, q); got != want {
+					t.Fatalf("%s %s: Find(%d) = %d, want %d", name, f.Name(), q, got, want)
+				}
+			}
+			for _, q := range []uint64{0, keys[0], keys[len(keys)-1], keys[len(keys)-1] + 1, ^uint64(0)} {
+				if got, want := f.Find(q), kv.LowerBound(keys, q); got != want {
+					t.Fatalf("%s %s: boundary Find(%d) = %d, want %d", name, f.Name(), q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestExhaustiveSmallSizes(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(3 * i)
+		}
+		ey, _ := NewEytzinger(keys)
+		bl, _ := NewBlocked(keys)
+		for q := uint64(0); q <= uint64(3*n+2); q++ {
+			want := kv.LowerBound(keys, q)
+			if got := ey.Find(q); got != want {
+				t.Fatalf("eytzinger n=%d Find(%d) = %d, want %d", n, q, got, want)
+			}
+			if got := bl.Find(q); got != want {
+				t.Fatalf("blocked n=%d Find(%d) = %d, want %d", n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestDuplicatesReturnFirst(t *testing.T) {
+	keys := []uint64{5, 5, 5, 7, 7, 9, 9, 9, 9, 11}
+	ey, _ := NewEytzinger(keys)
+	bl, _ := NewBlocked(keys)
+	for _, c := range []struct {
+		q    uint64
+		want int
+	}{{5, 0}, {6, 3}, {7, 3}, {8, 5}, {9, 5}, {10, 9}, {11, 9}, {12, 10}} {
+		if got := ey.Find(c.q); got != c.want {
+			t.Errorf("eytzinger Find(%d) = %d, want %d", c.q, got, c.want)
+		}
+		if got := bl.Find(c.q); got != c.want {
+			t.Errorf("blocked Find(%d) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSentinelSafetyNearMaxKey(t *testing.T) {
+	// Keys at the top of the domain collide with the blocked layout's
+	// maxKey padding; lookups must still be exact.
+	max := ^uint64(0)
+	keys := []uint64{max - 3, max - 2, max - 1, max}
+	bl, _ := NewBlocked(keys)
+	ey, _ := NewEytzinger(keys)
+	for i, k := range keys {
+		if got := bl.Find(k); got != i {
+			t.Errorf("blocked Find(max-%d) = %d, want %d", 3-i, got, i)
+		}
+		if got := ey.Find(k); got != i {
+			t.Errorf("eytzinger Find(max-%d) = %d, want %d", 3-i, got, i)
+		}
+	}
+}
+
+func TestUnsortedRejected(t *testing.T) {
+	if _, err := NewEytzinger([]uint64{2, 1}); err == nil {
+		t.Error("eytzinger should reject unsorted keys")
+	}
+	if _, err := NewBlocked([]uint64{2, 1}); err == nil {
+		t.Error("blocked should reject unsorted keys")
+	}
+}
+
+func TestUint32Layouts(t *testing.T) {
+	keys := dataset.U32(dataset.MustGenerate(dataset.Face, 32, 2500, 5))
+	ey, _ := NewEytzinger(keys)
+	bl, _ := NewBlocked(keys)
+	if bl.b != 16 {
+		t.Errorf("uint32 blocked node should hold 16 keys per line, got %d", bl.b)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1500; i++ {
+		q := uint32(rng.Uint64())
+		want := kv.LowerBound(keys, q)
+		if got := ey.Find(q); got != want {
+			t.Fatalf("uint32 eytzinger Find(%d) = %d, want %d", q, got, want)
+		}
+		if got := bl.Find(q); got != want {
+			t.Fatalf("uint32 blocked Find(%d) = %d, want %d", q, got, want)
+		}
+	}
+	if ey.SizeBytes() <= 0 || bl.SizeBytes() <= 0 {
+		t.Error("size accounting broken")
+	}
+}

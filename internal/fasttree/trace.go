@@ -1,0 +1,62 @@
+package fasttree
+
+import (
+	"repro/internal/kv"
+	"repro/internal/search"
+)
+
+// TraceFind is the instrumented twin of Eytzinger.Find.
+func (e *Eytzinger[K]) TraceFind(q K, touch search.Touch) int {
+	if e.n == 0 {
+		return 0
+	}
+	w := kv.Width[K]()
+	i := 1
+	bestNode := 0
+	for i <= e.n {
+		touch(kv.Addr(e.tree, i), w)
+		if e.tree[i] >= q {
+			bestNode = i
+			i = 2 * i
+		} else {
+			i = 2*i + 1
+		}
+	}
+	if bestNode == 0 {
+		return e.n
+	}
+	touch(kv.Addr(e.rank, bestNode), 4)
+	return int(e.rank[bestNode])
+}
+
+// TraceFind is the instrumented twin of Blocked.Find. Whole-node scans
+// touch each inspected slot; slots of one node share a cache line, so the
+// simulator sees at most one line fill per node, which is the layout's
+// point.
+func (t *Blocked[K]) TraceFind(q K, touch search.Touch) int {
+	if t.n == 0 {
+		return 0
+	}
+	w := kv.Width[K]()
+	best := t.n
+	node := 0
+	for node < t.nodes {
+		base := node * t.b
+		slot := 0
+		for slot < t.b {
+			touch(kv.Addr(t.blocks, base+slot), w)
+			if t.blocks[base+slot] >= q {
+				break
+			}
+			slot++
+		}
+		if slot < t.b && t.blocks[base+slot] >= q {
+			touch(kv.Addr(t.rank, base+slot), 4)
+			if r := int(t.rank[base+slot]); r < best {
+				best = r
+			}
+		}
+		node = node*(t.b+1) + slot + 1
+	}
+	return best
+}

@@ -1,0 +1,27 @@
+package fasttree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestTraceFindEqualsFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nop := func(uint64, int) {}
+	for _, name := range dataset.Names {
+		keys := dataset.MustGenerate(name, 64, 3000, 9)
+		ey, _ := NewEytzinger(keys)
+		bl, _ := NewBlocked(keys)
+		for i := 0; i < 1500; i++ {
+			q := rng.Uint64() % (keys[len(keys)-1] + 3)
+			if got, want := ey.TraceFind(q, nop), ey.Find(q); got != want {
+				t.Fatalf("%s eytzinger: TraceFind(%d) = %d, Find = %d", name, q, got, want)
+			}
+			if got, want := bl.TraceFind(q, nop), bl.Find(q); got != want {
+				t.Fatalf("%s blocked: TraceFind(%d) = %d, Find = %d", name, q, got, want)
+			}
+		}
+	}
+}

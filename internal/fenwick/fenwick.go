@@ -1,0 +1,83 @@
+// Package fenwick implements a binary indexed tree (Fenwick tree) over
+// int64 counts. The paper's future-work section (§6) proposes exactly this
+// structure for update handling: "use Fenwick trees to estimate and correct
+// the drifts in both the model and the Shift-Table". internal/updatable
+// builds that design on this substrate.
+package fenwick
+
+import "fmt"
+
+// Tree is a Fenwick (binary indexed) tree over n slots, supporting point
+// updates and prefix sums in O(log n).
+type Tree struct {
+	bit []int64 // 1-based
+}
+
+// New returns a tree with n zeroed slots.
+func New(n int) (*Tree, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("fenwick: negative size %d", n)
+	}
+	return &Tree{bit: make([]int64, n+1)}, nil
+}
+
+// Len returns the number of slots.
+func (t *Tree) Len() int { return len(t.bit) - 1 }
+
+// Add adds delta to slot i (0-based).
+func (t *Tree) Add(i int, delta int64) {
+	if i < 0 || i >= t.Len() {
+		panic(fmt.Sprintf("fenwick: index %d out of range [0,%d)", i, t.Len()))
+	}
+	for j := i + 1; j < len(t.bit); j += j & (-j) {
+		t.bit[j] += delta
+	}
+}
+
+// PrefixSum returns the sum of slots [0, i) — i.e. strictly before i.
+// PrefixSum(0) is 0; PrefixSum(Len()) is the total.
+func (t *Tree) PrefixSum(i int) int64 {
+	if i < 0 {
+		return 0
+	}
+	if i > t.Len() {
+		i = t.Len()
+	}
+	var s int64
+	for j := i; j > 0; j -= j & (-j) {
+		s += t.bit[j]
+	}
+	return s
+}
+
+// RangeSum returns the sum of slots [lo, hi).
+func (t *Tree) RangeSum(lo, hi int) int64 {
+	return t.PrefixSum(hi) - t.PrefixSum(lo)
+}
+
+// Total returns the sum over all slots.
+func (t *Tree) Total() int64 { return t.PrefixSum(t.Len()) }
+
+// FindByPrefix returns the smallest index i such that PrefixSum(i+1) >= target,
+// assuming all slot values are non-negative. It returns Len() when the total
+// is below target. O(log n) via binary lifting.
+func (t *Tree) FindByPrefix(target int64) int {
+	if target <= 0 {
+		return 0
+	}
+	pos := 0
+	var acc int64
+	// Highest power of two <= len.
+	step := 1
+	for step*2 <= t.Len() {
+		step *= 2
+	}
+	for ; step > 0; step /= 2 {
+		next := pos + step
+		if next <= t.Len() && acc+t.bit[next] < target {
+			pos = next
+			acc += t.bit[next]
+		}
+	}
+	return pos
+}

@@ -1,0 +1,118 @@
+package fenwick
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefixSumsSmall(t *testing.T) {
+	tr, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int64{3, 0, -2, 5, 1, 0, 4, -1}
+	for i, v := range vals {
+		tr.Add(i, v)
+	}
+	want := int64(0)
+	for i := 0; i <= 8; i++ {
+		if got := tr.PrefixSum(i); got != want {
+			t.Errorf("PrefixSum(%d) = %d, want %d", i, got, want)
+		}
+		if i < 8 {
+			want += vals[i]
+		}
+	}
+	if got := tr.RangeSum(2, 5); got != -2+5+1 {
+		t.Errorf("RangeSum(2,5) = %d, want 4", got)
+	}
+	if tr.Total() != 10 {
+		t.Errorf("Total = %d, want 10", tr.Total())
+	}
+}
+
+func TestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 200
+	tr, _ := New(n)
+	naive := make([]int64, n)
+	for op := 0; op < 5000; op++ {
+		i := rng.Intn(n)
+		d := int64(rng.Intn(21) - 10)
+		tr.Add(i, d)
+		naive[i] += d
+		j := rng.Intn(n + 1)
+		var want int64
+		for k := 0; k < j; k++ {
+			want += naive[k]
+		}
+		if got := tr.PrefixSum(j); got != want {
+			t.Fatalf("op %d: PrefixSum(%d) = %d, want %d", op, j, got, want)
+		}
+	}
+}
+
+func TestFindByPrefix(t *testing.T) {
+	tr, _ := New(10)
+	// Counts: slot i has count i (slot 0 empty).
+	for i := 0; i < 10; i++ {
+		tr.Add(i, int64(i))
+	}
+	// Prefix sums P(i): 0,0,1,3,6,10,15,21,28,36,45 for i = 0..10; the
+	// result is the smallest slot i with P(i+1) >= target.
+	cases := []struct {
+		target int64
+		want   int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {6, 3}, {7, 4}, {45, 9}, {46, 10},
+	}
+	for _, c := range cases {
+		if got := tr.FindByPrefix(c.target); got != c.want {
+			t.Errorf("FindByPrefix(%d) = %d, want %d", c.target, got, c.want)
+		}
+	}
+}
+
+func TestFindByPrefixQuick(t *testing.T) {
+	f := func(raw []uint8, targetRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		tr, _ := New(len(raw))
+		for i, v := range raw {
+			tr.Add(i, int64(v))
+		}
+		target := int64(targetRaw % 300)
+		got := tr.FindByPrefix(target)
+		// Naive: smallest i with prefix(i+1) >= target.
+		var acc int64
+		for i, v := range raw {
+			acc += int64(v)
+			if acc >= target {
+				return got == i || target == 0 && got == 0
+			}
+		}
+		return got == len(raw) || target == 0 && got == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdges(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Error("want error for negative size")
+	}
+	tr, _ := New(0)
+	if tr.Total() != 0 || tr.FindByPrefix(1) != 0 {
+		t.Error("empty tree misbehaves")
+	}
+	tr, _ = New(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Add out of range should panic")
+		}
+	}()
+	tr.Add(3, 1)
+}

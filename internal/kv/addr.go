@@ -1,0 +1,32 @@
+package kv
+
+import "reflect"
+
+// Addr returns the memory address of s[i] without unsafe: the slice data
+// pointer via reflect plus the element offset. The memory-hierarchy
+// simulator (internal/memsim) feeds these real addresses to its cache
+// model, so simulated layouts match the live process exactly.
+func Addr[T any](s []T, i int) uint64 {
+	if len(s) == 0 {
+		return 0
+	}
+	// The element size comes from the slice type, not a zero element:
+	// reflect.TypeOf on a zero interface value is nil.
+	size := reflect.TypeOf(s).Elem().Size()
+	return uint64(reflect.ValueOf(s).Pointer()) + uint64(i)*uint64(size)
+}
+
+// PointerAddr returns the address a pointer-shaped value (node pointer,
+// interface holding a pointer) refers to; 0 for nil.
+func PointerAddr(v any) uint64 {
+	if v == nil {
+		return 0
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Pointer, reflect.UnsafePointer, reflect.Map, reflect.Chan, reflect.Func, reflect.Slice:
+		return uint64(rv.Pointer())
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,61 @@
+package kv
+
+import "testing"
+
+func TestAddrArithmetic(t *testing.T) {
+	s64 := make([]uint64, 16)
+	base := Addr(s64, 0)
+	if base == 0 {
+		t.Fatal("base address of non-empty slice must be non-zero")
+	}
+	for i := 1; i < len(s64); i++ {
+		if got := Addr(s64, i); got != base+uint64(i)*8 {
+			t.Fatalf("Addr(s64, %d) = %#x, want base+%d", i, got, i*8)
+		}
+	}
+	s32 := make([]uint32, 4)
+	b32 := Addr(s32, 0)
+	if Addr(s32, 3) != b32+12 {
+		t.Error("uint32 elements must be 4 bytes apart")
+	}
+	type wide struct{ a, b uint64 }
+	sw := make([]wide, 3)
+	if Addr(sw, 2) != Addr(sw, 0)+32 {
+		t.Error("struct elements must use the struct size")
+	}
+	if Addr([]uint64(nil), 0) != 0 {
+		t.Error("nil slice address must be 0")
+	}
+	// Interface-element slices must not panic (their zero element has no
+	// dynamic type).
+	si := make([]any, 2)
+	if Addr(si, 1) == 0 {
+		t.Error("interface slice elements must still have addresses")
+	}
+}
+
+func TestPointerAddr(t *testing.T) {
+	v := new(int)
+	if PointerAddr(v) == 0 {
+		t.Error("pointer address must be non-zero")
+	}
+	if PointerAddr(nil) != 0 {
+		t.Error("nil must map to 0")
+	}
+	if PointerAddr(42) != 0 {
+		t.Error("non-pointer values must map to 0")
+	}
+	a, b := new(int), new(int)
+	if PointerAddr(a) == PointerAddr(b) {
+		t.Error("distinct pointers must have distinct addresses")
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if Width[uint32]() != 4 {
+		t.Error("uint32 width must be 4")
+	}
+	if Width[uint64]() != 8 {
+		t.Error("uint64 width must be 8")
+	}
+}

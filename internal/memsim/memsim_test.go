@@ -1,0 +1,238 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fasttree"
+	"repro/internal/kv"
+	"repro/internal/search"
+)
+
+func tinySim(t *testing.T, sizeBytes, assoc int) *Sim {
+	t.Helper()
+	s, err := New(Config{
+		Levels: []LevelSpec{{Name: "L1", SizeBytes: sizeBytes, Assoc: assoc, LineBytes: 64, LatencyNs: 1}},
+		DRAMNs: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLRUBasics(t *testing.T) {
+	// One set, two ways: lines map to the same set when they differ by a
+	// multiple of 64 bytes (sets = 128/(64*2) = 1).
+	s := tinySim(t, 128, 2)
+	a, b, c := uint64(0), uint64(64), uint64(128)
+	s.Access(a, 8) // miss
+	s.Access(b, 8) // miss
+	s.Access(a, 8) // hit
+	s.Access(c, 8) // miss, evicts b (LRU)
+	s.Access(a, 8) // hit (still resident)
+	s.Access(b, 8) // miss (was evicted)
+	st := s.Stats()
+	if st.Levels[0].Hits != 2 || st.Levels[0].Misses != 4 {
+		t.Errorf("hits/misses = %d/%d, want 2/4", st.Levels[0].Hits, st.Levels[0].Misses)
+	}
+	wantNs := 2*1.0 + 4*100.0
+	if st.TotalNs != wantNs {
+		t.Errorf("TotalNs = %.1f, want %.1f", st.TotalNs, wantNs)
+	}
+}
+
+func TestSameLineIsOneAccessManyHits(t *testing.T) {
+	s := tinySim(t, 1024, 4)
+	for i := 0; i < 16; i++ {
+		s.Access(uint64(i*4), 4) // 16 uint32s on one line
+	}
+	st := s.Stats()
+	if st.Levels[0].Misses != 1 {
+		t.Errorf("misses = %d, want 1 (single line)", st.Levels[0].Misses)
+	}
+	if st.Levels[0].Hits != 15 {
+		t.Errorf("hits = %d, want 15", st.Levels[0].Hits)
+	}
+}
+
+func TestStraddlingAccessTouchesTwoLines(t *testing.T) {
+	s := tinySim(t, 1024, 4)
+	s.Access(60, 8) // bytes 60..67 straddle lines 0 and 1
+	st := s.Stats()
+	if st.Accesses != 2 || st.Levels[0].Misses != 2 {
+		t.Errorf("straddle: accesses=%d misses=%d, want 2/2", st.Accesses, st.Levels[0].Misses)
+	}
+}
+
+func TestInclusiveHierarchyPromotion(t *testing.T) {
+	s, err := New(Config{
+		Levels: []LevelSpec{
+			{Name: "L1", SizeBytes: 128, Assoc: 2, LineBytes: 64, LatencyNs: 1},
+			{Name: "L2", SizeBytes: 1024, Assoc: 16, LineBytes: 64, LatencyNs: 10},
+		},
+		DRAMNs: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill L1 beyond capacity; older lines stay in L2.
+	for i := 0; i < 4; i++ {
+		s.Access(uint64(i*64), 8)
+	}
+	s.ResetStats()
+	s.Access(0, 8) // evicted from L1 (2 ways), still in L2
+	st := s.Stats()
+	if st.Levels[0].Misses != 1 {
+		t.Errorf("L1 misses = %d, want 1", st.Levels[0].Misses)
+	}
+	if st.Levels[1].Hits != 1 {
+		t.Errorf("L2 hits = %d, want 1", st.Levels[1].Hits)
+	}
+	if st.TotalNs != 10 {
+		t.Errorf("TotalNs = %.1f, want 10 (L2 hit)", st.TotalNs)
+	}
+}
+
+func TestFlushAndResetStats(t *testing.T) {
+	s := tinySim(t, 1024, 4)
+	s.Access(0, 8)
+	s.Access(0, 8)
+	s.ResetStats()
+	if st := s.Stats(); st.Accesses != 0 || st.TotalNs != 0 {
+		t.Error("ResetStats should clear counters")
+	}
+	s.Access(0, 8) // still cached: hit
+	if st := s.Stats(); st.Levels[0].Hits != 1 {
+		t.Error("ResetStats must keep cache contents")
+	}
+	s.Flush()
+	s.ResetStats()
+	s.Access(0, 8)
+	if st := s.Stats(); st.Levels[0].Misses != 1 {
+		t.Error("Flush must empty the cache")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("want error for empty hierarchy")
+	}
+	if _, err := New(Config{Levels: []LevelSpec{{SizeBytes: 0, Assoc: 1, LineBytes: 64}}}); err == nil {
+		t.Error("want error for zero-size level")
+	}
+	if _, err := New(Config{Levels: []LevelSpec{{SizeBytes: 64, Assoc: 4, LineBytes: 64}}}); err == nil {
+		t.Error("want error for level smaller than one set")
+	}
+}
+
+func TestSkylakeShape(t *testing.T) {
+	cfg := Skylake()
+	if len(cfg.Levels) != 3 || cfg.DRAMNs != 36 {
+		t.Fatalf("Skylake config unexpected: %+v", cfg)
+	}
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinarySearchMissProfile reproduces the structure behind the paper's
+// Fig. 1b/2b: on a large array, hot binary-search midpoints become cache
+// resident, so repeated lookups miss only on the cold tail of each descent;
+// a Shift-Table-corrected lookup misses far less; and the full traced
+// result always equals the plain result.
+func TestBinarySearchMissProfile(t *testing.T) {
+	// 4M keys = 32 MB: well beyond the simulated 8 MB L3, as the paper's
+	// 200M-key working set is beyond its machine's LLC.
+	keys := dataset.MustGenerate(dataset.Face, 64, 4_000_000, 3)
+	rng := rand.New(rand.NewSource(7))
+	queries := make([]uint64, 2000)
+	for i := range queries {
+		queries[i] = keys[rng.Intn(len(keys))]
+	}
+
+	run := func(find func(q uint64, touch search.Touch) int) (missesPerLookup float64) {
+		sim, err := New(Skylake())
+		if err != nil {
+			t.Fatal(err)
+		}
+		touch := func(addr uint64, width int) { sim.Access(addr, width) }
+		// Warm up, then measure.
+		for _, q := range queries[:1000] {
+			find(q, touch)
+		}
+		sim.ResetStats()
+		for _, q := range queries[1000:] {
+			if got, want := find(q, touch), kv.LowerBound(keys, q); got != want {
+				t.Fatalf("traced find = %d, want %d", got, want)
+			}
+		}
+		return sim.Stats().MissesPer("L3", 1000)
+	}
+
+	bsMisses := run(func(q uint64, touch search.Touch) int {
+		return search.BinaryTraced(keys, q, touch)
+	})
+
+	tab, err := core.Build(keys, cdfmodel.NewInterpolation(keys), core.Config{Mode: core.ModeRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stMisses := run(tab.TraceFind)
+
+	fast, err := fasttree.NewBlocked(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastMisses := run(fast.TraceFind)
+
+	ey, err := fasttree.NewEytzinger(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eyMisses := run(ey.TraceFind)
+
+	t.Logf("LLC misses/lookup: binary=%.2f fast=%.2f eytzinger=%.2f shift-table=%.2f",
+		bsMisses, fastMisses, eyMisses, stMisses)
+	// The paper's ordering (§2.2, Fig. 2b): the line-blocked FAST layout
+	// beats plain binary search, and a Shift-Table-corrected dummy model
+	// beats both. (Eytzinger without line blocking only helps the upper
+	// cache levels, so it is logged but not ordered here.)
+	if !(stMisses < fastMisses && fastMisses < bsMisses) {
+		t.Errorf("expected shift-table < FAST < binary misses, got st=%.2f fast=%.2f bs=%.2f",
+			stMisses, fastMisses, bsMisses)
+	}
+	if bsMisses < 4 {
+		t.Errorf("binary search on 4M cold keys should miss several times per lookup, got %.2f", bsMisses)
+	}
+	if stMisses > 4 {
+		t.Errorf("IM+Shift-Table on face should be a handful of misses, got %.2f", stMisses)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := tinySim(t, 1024, 4)
+	s.Access(0, 8)    // miss
+	s.Access(0, 8)    // hit
+	s.Access(4096, 8) // miss
+	st := s.Stats()
+	if got := st.MissRatio("L1"); got < 0.66 || got > 0.67 {
+		t.Errorf("MissRatio = %.3f, want 2/3", got)
+	}
+	if st.MissRatio("L9") != 0 {
+		t.Error("unknown level must yield 0")
+	}
+	if got := st.MissesPer("L1", 2); got != 1 {
+		t.Errorf("MissesPer(L1, 2) = %.2f, want 1", got)
+	}
+	if st.MissesPer("L1", 0) != 0 {
+		t.Error("zero unit must yield 0")
+	}
+	empty := Stats{}
+	if empty.MissRatio("L1") != 0 {
+		t.Error("empty stats MissRatio must be 0")
+	}
+}

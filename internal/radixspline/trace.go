@@ -1,0 +1,69 @@
+package radixspline
+
+import (
+	"repro/internal/kv"
+	"repro/internal/search"
+)
+
+// TracePredict is the instrumented twin of Predict: radix-table access,
+// traced spline-point binary search, and the two segment endpoint reads.
+func (idx *Index[K]) TracePredict(q K, touch search.Touch) int {
+	if idx.n == 0 {
+		return 0
+	}
+	kw := kv.Width[K]()
+	if q <= idx.splineX[0] {
+		touch(kv.Addr(idx.splineX, 0), kw)
+		return 0
+	}
+	last := len(idx.splineX) - 1
+	if q >= idx.splineX[last] {
+		touch(kv.Addr(idx.splineX, last), kw)
+		touch(kv.Addr(idx.splineY, last), 4)
+		return int(idx.splineY[last])
+	}
+	p := int(uint64(q) >> idx.shift)
+	if p >= len(idx.table)-1 {
+		p = len(idx.table) - 2
+	}
+	touch(kv.Addr(idx.table, p), 8) // table[p], table[p+1] adjacent
+	lo, hi := int(idx.table[p]), int(idx.table[p+1])
+	if hi > len(idx.splineX) {
+		hi = len(idx.splineX)
+	}
+	j := search.BinaryRangeTraced(idx.splineX, lo, hi, q, touch)
+	if j == 0 {
+		j = 1
+	}
+	if j >= len(idx.splineX) {
+		j = len(idx.splineX) - 1
+	}
+	touch(kv.Addr(idx.splineX, j-1), 2*kw) // both segment keys
+	touch(kv.Addr(idx.splineY, j-1), 8)    // both segment positions
+	x0, y0 := float64(idx.splineX[j-1]), float64(idx.splineY[j-1])
+	x1, y1 := float64(idx.splineX[j]), float64(idx.splineY[j])
+	if x1 <= x0 {
+		return int(idx.splineY[j])
+	}
+	v := y0 + (float64(q)-x0)*(y1-y0)/(x1-x0)
+	if !(v > 0) {
+		return 0
+	}
+	if v >= float64(idx.n-1) {
+		return idx.n - 1
+	}
+	return int(v)
+}
+
+// TraceFind is the instrumented twin of Find.
+func (idx *Index[K]) TraceFind(q K, touch search.Touch) int {
+	if idx.n == 0 {
+		return 0
+	}
+	pred := idx.TracePredict(q, touch)
+	r := search.WindowTraced(idx.keys, pred-idx.maxErr, pred+idx.maxErr, q, touch)
+	if idx.valid(r, q) {
+		return r
+	}
+	return search.ExponentialTraced(idx.keys, pred, q, touch)
+}

@@ -1,0 +1,29 @@
+package radixspline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestTraceFindEqualsFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nop := func(uint64, int) {}
+	for _, name := range dataset.Names {
+		keys := dataset.MustGenerate(name, 64, 3000, 9)
+		idx, err := New(keys, Config{MaxError: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1500; i++ {
+			q := rng.Uint64() % (keys[len(keys)-1] + 3)
+			if got, want := idx.TracePredict(q, nop), idx.Predict(q); got != want {
+				t.Fatalf("%s: TracePredict(%d) = %d, Predict = %d", name, q, got, want)
+			}
+			if got, want := idx.TraceFind(q, nop), idx.Find(q); got != want {
+				t.Fatalf("%s: TraceFind(%d) = %d, Find = %d", name, q, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package rbs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kv"
+)
+
+func TestFindMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, name := range dataset.Names {
+		keys := dataset.MustGenerate(name, 64, 4000, 11)
+		for _, rbits := range []int{0, 4, 12, 24} {
+			idx, err := New(keys, rbits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 1200; i++ {
+				var q uint64
+				if i%2 == 0 {
+					q = keys[rng.Intn(len(keys))]
+				} else {
+					q = rng.Uint64() % (keys[len(keys)-1] + 3)
+				}
+				if got, want := idx.Find(q), kv.LowerBound(keys, q); got != want {
+					t.Fatalf("%s r=%d: Find(%d) = %d, want %d", name, rbits, q, got, want)
+				}
+			}
+			for _, q := range []uint64{0, keys[0], keys[len(keys)-1], keys[len(keys)-1] + 1, ^uint64(0)} {
+				if got, want := idx.Find(q), kv.LowerBound(keys, q); got != want {
+					t.Fatalf("%s r=%d: boundary Find(%d) = %d, want %d", name, rbits, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMoreBitsLargerTable(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.USpr, 64, 5000, 3)
+	small, _ := New(keys, 8)
+	large, _ := New(keys, 20)
+	if large.SizeBytes() <= small.SizeBytes() {
+		t.Errorf("20-bit table (%dB) should exceed 8-bit (%dB)", large.SizeBytes(), small.SizeBytes())
+	}
+	if small.Name() != "RBS" {
+		t.Error("name accessor broken")
+	}
+}
+
+func TestRadixBitsClampedToKeyWidth(t *testing.T) {
+	keys := []uint64{0, 1, 2, 3} // 2-bit key space
+	idx, err := New(keys, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.RadixBits() > 2 {
+		t.Errorf("radix bits %d should clamp to key bit length", idx.RadixBits())
+	}
+	for q := uint64(0); q < 6; q++ {
+		if got, want := idx.Find(q), kv.LowerBound(keys, q); got != want {
+			t.Fatalf("Find(%d) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestErrorsAndEmpty(t *testing.T) {
+	if _, err := New([]uint64{2, 1}, 0); err == nil {
+		t.Error("want error for unsorted keys")
+	}
+	if _, err := New([]uint64{1}, 99); err == nil {
+		t.Error("want error for oversized radix bits")
+	}
+	idx, err := New([]uint64{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Find(5); got != 0 {
+		t.Errorf("empty Find = %d, want 0", got)
+	}
+	idx, _ = New([]uint64{0, 0, 0}, 0)
+	if got := idx.Find(0); got != 0 {
+		t.Errorf("zero-keys Find(0) = %d, want 0", got)
+	}
+	if got := idx.Find(1); got != 3 {
+		t.Errorf("zero-keys Find(1) = %d, want 3", got)
+	}
+}
+
+func TestUint32(t *testing.T) {
+	keys := dataset.U32(dataset.MustGenerate(dataset.LogN, 32, 3000, 5))
+	idx, err := New(keys, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1500; i++ {
+		q := uint32(rng.Uint64())
+		if got, want := idx.Find(q), kv.LowerBound(keys, q); got != want {
+			t.Fatalf("uint32 Find(%d) = %d, want %d", q, got, want)
+		}
+	}
+}

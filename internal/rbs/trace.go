@@ -1,0 +1,24 @@
+package rbs
+
+import (
+	"repro/internal/kv"
+	"repro/internal/search"
+)
+
+// TraceFind is the instrumented twin of Find: one radix-table access plus
+// the traced bounded binary search. Used by the memsim experiments.
+func (idx *Index[K]) TraceFind(q K, touch search.Touch) int {
+	if idx.n == 0 {
+		return 0
+	}
+	p := int(uint64(q) >> idx.shift)
+	if p >= len(idx.table)-1 {
+		p = len(idx.table) - 2
+		if uint64(q)>>idx.shift > uint64(p) {
+			return idx.n
+		}
+	}
+	touch(kv.Addr(idx.table, p), 8) // table[p] and table[p+1] are adjacent
+	lo, hi := int(idx.table[p]), int(idx.table[p+1])
+	return search.BinaryRangeTraced(idx.keys, lo, hi, q, touch)
+}

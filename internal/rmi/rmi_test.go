@@ -1,0 +1,176 @@
+package rmi
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/dataset"
+	"repro/internal/kv"
+)
+
+func TestFindMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, name := range dataset.Names {
+		keys := dataset.MustGenerate(name, 64, 5000, 11)
+		for _, cfg := range []Config{
+			{}, // defaults
+			{Leaves: 1},
+			{Leaves: 16},
+			{Leaves: 500},
+			{Leaves: 5000},
+			{Leaves: 16, Root: RootCubic},
+			{Leaves: 500, Root: RootCubic},
+		} {
+			idx, err := New(keys, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 600; i++ {
+				var q uint64
+				if i%2 == 0 {
+					q = keys[rng.Intn(len(keys))]
+				} else {
+					q = rng.Uint64() % (keys[len(keys)-1] + 3)
+				}
+				if got, want := idx.Find(q), kv.LowerBound(keys, q); got != want {
+					t.Fatalf("%s leaves=%d root=%v: Find(%d) = %d, want %d",
+						name, cfg.Leaves, cfg.Root, q, got, want)
+				}
+			}
+			// Beyond-domain probes.
+			for _, q := range []uint64{0, ^uint64(0), keys[len(keys)-1] + 1} {
+				if got, want := idx.Find(q), kv.LowerBound(keys, q); got != want {
+					t.Fatalf("%s: Find(%d) = %d, want %d", name, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMonotoneWithLinearRoot(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Face, 64, 8000, 5)
+	idx, err := New(keys, Config{Leaves: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.Monotone() {
+		t.Fatal("linear-root RMI must report monotone")
+	}
+	// Dense sweep: predictions must be non-decreasing in the key.
+	rng := rand.New(rand.NewSource(7))
+	prevQ, prevP := uint64(0), 0
+	for i := 0; i < 20000; i++ {
+		q := rng.Uint64()
+		p := idx.Predict(q)
+		if q >= prevQ && i > 0 && q > prevQ && p < prevP {
+			// Only comparable when ordered; do an explicit pairwise check.
+			t.Fatalf("monotonicity violated: Predict(%d)=%d < Predict(%d)=%d", q, p, prevQ, prevP)
+		}
+		if q > prevQ {
+			prevQ, prevP = q, p
+		}
+	}
+	if cdf := cdfmodel.IsMonotoneOn[uint64](idx, keys); !cdf {
+		t.Error("linear-root RMI not monotone over its own training keys")
+	}
+}
+
+func TestCubicRootReportsNonMonotone(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.LogN, 64, 3000, 5)
+	idx, err := New(keys, Config{Leaves: 32, Root: RootCubic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Monotone() {
+		t.Error("cubic-root RMI must not claim monotonicity (§3.8)")
+	}
+}
+
+func TestMoreLeavesReduceError(t *testing.T) {
+	// Fig. 8: larger models → lower log2 error (until cache effects, which
+	// the analytic metric here does not include).
+	keys := dataset.MustGenerate(dataset.Osmc, 64, 50000, 5)
+	small, _ := New(keys, Config{Leaves: 8})
+	large, _ := New(keys, Config{Leaves: 4096})
+	if large.Log2Error() >= small.Log2Error() {
+		t.Errorf("4096-leaf log2 error %.2f not below 8-leaf %.2f",
+			large.Log2Error(), small.Log2Error())
+	}
+}
+
+func TestAsModelForShiftTable(t *testing.T) {
+	// RMI satisfies cdfmodel.Model, so it can host a Shift-Table layer.
+	keys := dataset.MustGenerate(dataset.Amzn, 64, 3000, 5)
+	var m cdfmodel.Model[uint64]
+	idx, _ := New(keys, Config{Leaves: 16})
+	m = idx
+	if m.Name() != "RMI" || m.SizeBytes() <= 0 {
+		t.Error("model metadata broken")
+	}
+	for _, q := range keys {
+		p := m.Predict(q)
+		if p < 0 || p >= len(keys) {
+			t.Fatalf("Predict out of range: %d", p)
+		}
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Wiki, 64, 5000, 9)
+	idx, err := New(keys, Config{Leaves: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		q := keys[rng.Intn(len(keys))]
+		got := idx.Find(q)
+		if want := kv.LowerBound(keys, q); got != want {
+			t.Fatalf("duplicate lower bound: Find(%d) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if _, err := New([]uint64{3, 1}, Config{}); err == nil {
+		t.Error("want error for unsorted keys")
+	}
+	if _, err := New([]uint64{1, 2}, Config{Root: RootKind(9)}); err == nil {
+		t.Error("want error for unknown root kind")
+	}
+	idx, err := New([]uint64{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Find(5); got != 0 {
+		t.Errorf("empty Find = %d, want 0", got)
+	}
+	idx, err = New([]uint64{42}, Config{Leaves: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		q    uint64
+		want int
+	}{{41, 0}, {42, 0}, {43, 1}} {
+		if got := idx.Find(c.q); got != c.want {
+			t.Errorf("single-key Find(%d) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestUint32(t *testing.T) {
+	keys := dataset.U32(dataset.MustGenerate(dataset.Face, 32, 4000, 5))
+	idx, err := New(keys, Config{Leaves: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		q := uint32(rng.Uint64())
+		if got, want := idx.Find(q), kv.LowerBound(keys, q); got != want {
+			t.Fatalf("uint32 Find(%d) = %d, want %d", q, got, want)
+		}
+	}
+}

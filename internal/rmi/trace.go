@@ -1,0 +1,36 @@
+package rmi
+
+import (
+	"repro/internal/kv"
+	"repro/internal/search"
+)
+
+// TraceFind is the instrumented twin of Find. The root model is a handful
+// of registers (cache-resident by construction), so only the per-leaf
+// parameter loads and the last-mile key accesses are traced — exactly the
+// accesses the paper charges an RMI for (§2.1: cache misses for model
+// parameters and local search).
+func (idx *Index[K]) TraceFind(q K, touch search.Touch) int {
+	if idx.n == 0 {
+		return 0
+	}
+	l := idx.route(q)
+	// One leaf's parameters: three floats plus the clamp/error bounds. In
+	// a production RMI these live in one contiguous struct; the separate
+	// slices here usually land on two lines, slightly overcharging.
+	touch(kv.Addr(idx.slope, l), 8)
+	touch(kv.Addr(idx.xref, l), 8)
+	touch(kv.Addr(idx.yref, l), 8)
+	touch(kv.Addr(idx.clampLo, l), 4)
+	touch(kv.Addr(idx.clampHi, l), 4)
+	touch(kv.Addr(idx.errLo, l), 4)
+	touch(kv.Addr(idx.errHi, l), 4)
+	pred := idx.leafPredict(l, q)
+	lo := pred + int(idx.errLo[l])
+	hi := pred + int(idx.errHi[l])
+	r := search.WindowTraced(idx.keys, lo, hi, q, touch)
+	if idx.validateAt(r, q) {
+		return r
+	}
+	return search.ExponentialTraced(idx.keys, pred, q, touch)
+}

@@ -1,0 +1,28 @@
+package rmi
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestTraceFindEqualsFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nop := func(uint64, int) {}
+	for _, name := range dataset.Names {
+		keys := dataset.MustGenerate(name, 64, 3000, 9)
+		for _, cfg := range []Config{{Leaves: 32}, {Leaves: 32, Root: RootCubic}} {
+			idx, err := New(keys, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 1500; i++ {
+				q := rng.Uint64() % (keys[len(keys)-1] + 3)
+				if got, want := idx.TraceFind(q, nop), idx.Find(q); got != want {
+					t.Fatalf("%s root=%v: TraceFind(%d) = %d, Find = %d", name, cfg.Root, q, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package search
+
+import "repro/internal/kv"
+
+// Interpolation is classic interpolation search (Peterson [33]; the paper's
+// "IS" baseline): each iteration probes the linearly interpolated position
+// between the range endpoints. O(log log n) expected on uniform data but up
+// to O(n) on skewed data, which is why the paper reports it as N/A (too
+// slow) on the lognormal and osmc datasets.
+func Interpolation[K kv.Key](keys []K, q K) int {
+	pos, _ := InterpolationCapped(keys, q, 0)
+	return pos
+}
+
+// InterpolationCapped is Interpolation with an iteration budget. A maxIter
+// of 0 means unlimited. The boolean result reports whether the search
+// finished within budget; when false, the caller should treat the algorithm
+// as "N/A, takes too much time" the way the paper's Table 2 does (it still
+// returns the correct position by falling back to binary search).
+func InterpolationCapped[K kv.Key](keys []K, q K, maxIter int) (int, bool) {
+	n := len(keys)
+	if n == 0 {
+		return 0, true
+	}
+	if q > keys[n-1] {
+		return n, true
+	}
+	lo, hi := 0, n-1
+	// Invariant: keys[hi] >= q and the answer is in [lo, hi].
+	iters := 0
+	for lo < hi {
+		if q <= keys[lo] {
+			return lo, true
+		}
+		if keys[lo] == keys[hi] {
+			// Flat range with keys[hi] >= q: every slot equals keys[hi].
+			return lo, true
+		}
+		if maxIter > 0 && iters >= maxIter {
+			return BinaryRange(keys, lo, hi+1, q), false
+		}
+		iters++
+		frac := float64(q-keys[lo]) / float64(keys[hi]-keys[lo])
+		mid := lo + int(frac*float64(hi-lo))
+		if mid >= hi {
+			mid = hi - 1
+		}
+		if mid < lo {
+			mid = lo
+		}
+		if keys[mid] < q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, true
+}
+
+// TIP is three-point interpolation search (Van Sandt et al. [40]; the
+// paper's "TIP" baseline). Instead of the linear interpolant of IS it fits
+// an inverse quadratic through three bracketing samples, which tracks
+// non-linear CDFs far better; probes that fall outside the bracket or make
+// insufficient progress fall back to bisection, bounding the worst case at
+// O(log n).
+func TIP[K kv.Key](keys []K, q K) int {
+	n := len(keys)
+	if n == 0 {
+		return 0
+	}
+	if q > keys[n-1] {
+		return n
+	}
+	if q <= keys[0] {
+		return 0
+	}
+	lo, hi := 0, n-1
+	mid := int(uint(lo+hi) >> 1)
+	// Invariant: keys[hi] >= q, keys[lo] < q, answer in (lo, hi].
+	for hi-lo > 1 {
+		var probe int
+		if keys[lo] < keys[mid] && keys[mid] < keys[hi] && mid > lo && mid < hi {
+			probe = inverseQuadratic(keys, lo, mid, hi, q)
+		} else {
+			probe = int(uint(lo+hi) >> 1)
+		}
+		// Keep the probe strictly inside the bracket so progress is
+		// guaranteed; degenerate estimates become bisection steps.
+		if probe <= lo || probe >= hi {
+			probe = int(uint(lo+hi) >> 1)
+		}
+		if keys[probe] < q {
+			lo = probe
+		} else {
+			hi = probe
+		}
+		mid = probe
+		if mid <= lo || mid >= hi {
+			mid = int(uint(lo+hi) >> 1)
+		}
+	}
+	// keys[hi] >= q and keys[lo] < q: hi is the lower bound within this
+	// bracket, but duplicates of keys[hi] may extend to the left of hi.
+	return leftmostEqual(keys, hi, q)
+}
+
+// inverseQuadratic evaluates the Lagrange inverse-quadratic interpolant
+// through (keys[a], a), (keys[b], b), (keys[c], c) at q, i.e. it estimates
+// position as a function of key using three points.
+func inverseQuadratic[K kv.Key](keys []K, a, b, c int, q K) int {
+	fa, fb, fc := float64(keys[a]), float64(keys[b]), float64(keys[c])
+	x := float64(q)
+	den1 := (fa - fb) * (fa - fc)
+	den2 := (fb - fa) * (fb - fc)
+	den3 := (fc - fa) * (fc - fb)
+	if den1 == 0 || den2 == 0 || den3 == 0 {
+		return (a + c) / 2
+	}
+	est := float64(a)*(x-fb)*(x-fc)/den1 +
+		float64(b)*(x-fa)*(x-fc)/den2 +
+		float64(c)*(x-fa)*(x-fb)/den3
+	if est != est { // NaN guard
+		return (a + c) / 2
+	}
+	return int(est)
+}
+
+// leftmostEqual walks left from a known lower-bound candidate across a run
+// of keys equal to keys[pos] >= q, returning true lower-bound semantics.
+func leftmostEqual[K kv.Key](keys []K, pos int, q K) int {
+	for pos > 0 && keys[pos-1] >= q {
+		pos--
+	}
+	return pos
+}

@@ -1,0 +1,258 @@
+package search
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/kv"
+)
+
+// allAlgorithms enumerates every full-array lower-bound algorithm under a
+// stable name for table-driven verification.
+func allAlgorithms() map[string]func([]uint64, uint64) int {
+	return map[string]func([]uint64, uint64) int{
+		"Binary":        Binary[uint64],
+		"Branchless":    Branchless[uint64],
+		"Interpolation": Interpolation[uint64],
+		"TIP":           TIP[uint64],
+		"LinearFrom(0)": func(keys []uint64, q uint64) int { return LinearFrom(keys, 0, q) },
+		"Exponential(0)": func(keys []uint64, q uint64) int {
+			return Exponential(keys, 0, q)
+		},
+		"Exponential(mid)": func(keys []uint64, q uint64) int {
+			return Exponential(keys, len(keys)/2, q)
+		},
+		"Exponential(end)": func(keys []uint64, q uint64) int {
+			return Exponential(keys, len(keys)-1, q)
+		},
+	}
+}
+
+func refLB(keys []uint64, q uint64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] >= q })
+}
+
+func TestAllAlgorithmsSmallCases(t *testing.T) {
+	cases := [][]uint64{
+		{},
+		{5},
+		{5, 5, 5, 5},
+		{1, 2, 3, 4, 5},
+		{0, 10, 10, 10, 20, 30, 30, 40},
+		{0, 1 << 60, 1<<60 + 1, 1 << 62},
+	}
+	for name, fn := range allAlgorithms() {
+		for _, keys := range cases {
+			maxQ := uint64(50)
+			if len(keys) > 0 {
+				maxQ = keys[len(keys)-1] + 2
+			}
+			for _, q := range []uint64{0, 1, 4, 5, 6, 9, 10, 11, 29, 30, 31, maxQ} {
+				want := refLB(keys, q)
+				if got := fn(keys, q); got != want {
+					t.Errorf("%s(%v, %d) = %d, want %d", name, keys, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllAlgorithmsRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(500)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(1000))
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for name, fn := range allAlgorithms() {
+			for probe := 0; probe < 50; probe++ {
+				q := uint64(rng.Intn(1002))
+				want := refLB(keys, q)
+				if got := fn(keys, q); got != want {
+					t.Fatalf("trial %d %s(q=%d) = %d, want %d (keys=%v)", trial, name, q, got, want, keys)
+				}
+			}
+		}
+	}
+}
+
+func TestAllAlgorithmsOnPaperDistributions(t *testing.T) {
+	for _, spec := range []dataset.Spec{{Name: dataset.Face, Bits: 64}, {Name: dataset.LogN, Bits: 32}, {Name: dataset.Wiki, Bits: 64}} {
+		keys := dataset.MustGenerate(spec.Name, spec.Bits, 5000, 11)
+		rng := rand.New(rand.NewSource(5))
+		for name, fn := range allAlgorithms() {
+			for probe := 0; probe < 300; probe++ {
+				var q uint64
+				if probe%2 == 0 {
+					q = keys[rng.Intn(len(keys))] // indexed key
+				} else {
+					q = rng.Uint64() % (keys[len(keys)-1] + 2) // arbitrary
+				}
+				want := refLB(keys, q)
+				if got := fn(keys, q); got != want {
+					t.Fatalf("%s on %s: q=%d got %d want %d", name, spec, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBinaryRangeBounds(t *testing.T) {
+	keys := []uint64{0, 10, 20, 30, 40, 50}
+	if got := BinaryRange(keys, 2, 5, 25); got != 3 {
+		t.Errorf("BinaryRange = %d, want 3", got)
+	}
+	// All keys in range below q: returns hi.
+	if got := BinaryRange(keys, 1, 3, 99); got != 3 {
+		t.Errorf("BinaryRange saturates at hi: got %d, want 3", got)
+	}
+	// Empty range: returns lo.
+	if got := BinaryRange(keys, 4, 4, 0); got != 4 {
+		t.Errorf("BinaryRange on empty range = %d, want 4", got)
+	}
+}
+
+func TestLinearRange(t *testing.T) {
+	keys := []uint64{0, 10, 20, 30}
+	if got := LinearRange(keys, 1, 3, 15); got != 2 {
+		t.Errorf("LinearRange = %d, want 2", got)
+	}
+	if got := LinearRange(keys, 1, 3, 99); got != 3 {
+		t.Errorf("LinearRange saturates at hi: got %d, want 3", got)
+	}
+}
+
+func TestLinearFromBothDirections(t *testing.T) {
+	keys := []uint64{0, 10, 20, 30, 40}
+	// Start right of target: must walk left.
+	if got := LinearFrom(keys, 4, 15); got != 2 {
+		t.Errorf("walk left: got %d, want 2", got)
+	}
+	// Start left of target: must walk right.
+	if got := LinearFrom(keys, 0, 35); got != 4 {
+		t.Errorf("walk right: got %d, want 4", got)
+	}
+	// Out-of-range starting positions are clamped.
+	if got := LinearFrom(keys, -5, 15); got != 2 {
+		t.Errorf("clamped low: got %d, want 2", got)
+	}
+	if got := LinearFrom(keys, 100, 15); got != 2 {
+		t.Errorf("clamped high: got %d, want 2", got)
+	}
+	if got := LinearFrom(keys, 2, 99); got != 5 {
+		t.Errorf("past end: got %d, want 5", got)
+	}
+}
+
+func TestExponentialFromAnyStart(t *testing.T) {
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i * 3)
+	}
+	for start := -10; start < 1010; start += 7 {
+		for _, q := range []uint64{0, 1, 500, 1500, 2997, 2998, 5000} {
+			want := refLB(keys, q)
+			if got := Exponential(keys, start, q); got != want {
+				t.Fatalf("Exponential(start=%d, q=%d) = %d, want %d", start, q, got, want)
+			}
+		}
+	}
+}
+
+func TestWindowPolicy(t *testing.T) {
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = uint64(i * 2)
+	}
+	// The answer may be one slot right of the window (§3.1): lower bound of
+	// 26 is index 13, just past the window [10, 12].
+	if got := Window(keys, 10, 12, 26); got != 13 {
+		t.Errorf("Window just-after case = %d, want 13", got)
+	}
+	// Small window → linear; large window → binary. Both must agree with ref.
+	for lo := 0; lo < 90; lo += 13 {
+		for width := 0; width < 40; width += 5 {
+			hi := lo + width
+			for q := uint64(2 * lo); q <= uint64(2*(hi+1)); q++ {
+				want := refLB(keys, q)
+				if want < lo || want > hi+1 {
+					continue // outside the window's contract
+				}
+				if got := Window(keys, lo, hi, q); got != want {
+					t.Fatalf("Window(lo=%d,hi=%d,q=%d) = %d, want %d", lo, hi, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWindowClamping(t *testing.T) {
+	keys := []uint64{10, 20, 30}
+	if got := Window(keys, -5, 99, 25); got != 2 {
+		t.Errorf("Window with out-of-range bounds = %d, want 2", got)
+	}
+	if got := Window(keys, 0, 99, 99); got != 3 {
+		t.Errorf("Window past end = %d, want 3", got)
+	}
+	if got := Window(nil, 0, 0, uint64(5)); got != 0 {
+		t.Errorf("Window on empty = %d, want 0", got)
+	}
+}
+
+func TestInterpolationCapped(t *testing.T) {
+	// Heavily skewed data forces many IS iterations; the cap must kick in
+	// and still return the correct answer via the binary fallback.
+	keys := dataset.MustGenerate(dataset.LogN, 64, 20000, 13)
+	rng := rand.New(rand.NewSource(77))
+	sawCap := false
+	for i := 0; i < 500; i++ {
+		q := keys[rng.Intn(len(keys))]
+		got, ok := InterpolationCapped(keys, q, 4)
+		if !ok {
+			sawCap = true
+		}
+		if want := refLB(keys, q); got != want {
+			t.Fatalf("capped IS q=%d: got %d want %d", q, got, want)
+		}
+	}
+	if !sawCap {
+		t.Error("expected at least one capped interpolation search on lognormal data")
+	}
+}
+
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(vals []uint32, q uint32) bool {
+		keys := make([]uint64, len(vals))
+		for i, v := range vals {
+			keys[i] = uint64(v)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		want := kv.LowerBound(keys, uint64(q))
+		return Binary(keys, uint64(q)) == want &&
+			Branchless(keys, uint64(q)) == want &&
+			TIP(keys, uint64(q)) == want &&
+			Interpolation(keys, uint64(q)) == want &&
+			Exponential(keys, len(keys)/3, uint64(q)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint32Keys(t *testing.T) {
+	keys := []uint32{1, 5, 5, 9, 100}
+	for _, q := range []uint32{0, 1, 5, 6, 100, 101} {
+		want := sort.Search(len(keys), func(i int) bool { return keys[i] >= q })
+		if got := Binary(keys, q); got != want {
+			t.Errorf("Binary[uint32](%d) = %d, want %d", q, got, want)
+		}
+		if got := TIP(keys, q); got != want {
+			t.Errorf("TIP[uint32](%d) = %d, want %d", q, got, want)
+		}
+	}
+}

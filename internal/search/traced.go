@@ -1,0 +1,133 @@
+package search
+
+import "repro/internal/kv"
+
+// This file mirrors the search primitives with traced variants that report
+// every key access through a touch callback. The memsim experiments (the
+// paper's cache-miss measurements, Fig. 2b and Fig. 8) replay these traces
+// through the cache simulator; tests assert traced and plain variants
+// always return identical results.
+
+// Touch receives one callback per memory access: the byte address and the
+// access width.
+type Touch func(addr uint64, width int)
+
+// BinaryTraced mirrors Binary.
+func BinaryTraced[K kv.Key](keys []K, q K, touch Touch) int {
+	return BinaryRangeTraced(keys, 0, len(keys), q, touch)
+}
+
+// BinaryRangeTraced mirrors BinaryRange.
+func BinaryRangeTraced[K kv.Key](keys []K, lo, hi int, q K, touch Touch) int {
+	w := kv.Width[K]()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		touch(kv.Addr(keys, mid), w)
+		if keys[mid] < q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// LinearRangeTraced mirrors LinearRange.
+func LinearRangeTraced[K kv.Key](keys []K, lo, hi int, q K, touch Touch) int {
+	w := kv.Width[K]()
+	for lo < hi {
+		touch(kv.Addr(keys, lo), w)
+		if keys[lo] >= q {
+			break
+		}
+		lo++
+	}
+	return lo
+}
+
+// LinearFromTraced mirrors LinearFrom.
+func LinearFromTraced[K kv.Key](keys []K, pos int, q K, touch Touch) int {
+	n := len(keys)
+	if n == 0 {
+		return 0
+	}
+	w := kv.Width[K]()
+	pos = kv.Clamp(pos, 0, n-1)
+	touch(kv.Addr(keys, pos), w)
+	if keys[pos] < q {
+		for pos < n {
+			touch(kv.Addr(keys, pos), w)
+			if keys[pos] >= q {
+				break
+			}
+			pos++
+		}
+		return pos
+	}
+	for pos > 0 {
+		touch(kv.Addr(keys, pos-1), w)
+		if keys[pos-1] < q {
+			break
+		}
+		pos--
+	}
+	return pos
+}
+
+// ExponentialTraced mirrors Exponential.
+func ExponentialTraced[K kv.Key](keys []K, pos int, q K, touch Touch) int {
+	n := len(keys)
+	if n == 0 {
+		return 0
+	}
+	w := kv.Width[K]()
+	pos = kv.Clamp(pos, 0, n-1)
+	touch(kv.Addr(keys, pos), w)
+	if keys[pos] < q {
+		bound := 1
+		for pos+bound < n {
+			touch(kv.Addr(keys, pos+bound), w)
+			if keys[pos+bound] >= q {
+				break
+			}
+			bound <<= 1
+		}
+		lo := pos + bound>>1 + 1
+		hi := pos + bound
+		if hi > n {
+			hi = n
+		}
+		return BinaryRangeTraced(keys, lo, hi, q, touch)
+	}
+	bound := 1
+	for pos-bound >= 0 {
+		touch(kv.Addr(keys, pos-bound), w)
+		if keys[pos-bound] < q {
+			break
+		}
+		bound <<= 1
+	}
+	hi := pos - bound>>1
+	lo := pos - bound + 1
+	if lo < 0 {
+		lo = 0
+	}
+	return BinaryRangeTraced(keys, lo, hi, q, touch)
+}
+
+// WindowTraced mirrors Window (the Alg. 1 local-search policy).
+func WindowTraced[K kv.Key](keys []K, lo, hi int, q K, touch Touch) int {
+	n := len(keys)
+	lo = kv.Clamp(lo, 0, n)
+	if hi >= n-1 {
+		hi = n - 1
+	}
+	end := hi + 1
+	if end > n {
+		end = n
+	}
+	if end-lo <= WindowThreshold {
+		return LinearRangeTraced(keys, lo, end, q, touch)
+	}
+	return BinaryRangeTraced(keys, lo, end, q, touch)
+}

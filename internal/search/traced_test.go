@@ -1,0 +1,58 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func nop(uint64, int) {}
+
+func TestTracedVariantsMatchPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	keys := dataset.MustGenerate(dataset.Wiki, 64, 4000, 9)
+	n := len(keys)
+	for i := 0; i < 3000; i++ {
+		q := rng.Uint64() % (keys[n-1] + 3)
+		pos := rng.Intn(n)
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo)
+		if got, want := BinaryTraced(keys, q, nop), Binary(keys, q); got != want {
+			t.Fatalf("BinaryTraced(%d) = %d, want %d", q, got, want)
+		}
+		if got, want := BinaryRangeTraced(keys, lo, hi, q, nop), BinaryRange(keys, lo, hi, q); got != want {
+			t.Fatalf("BinaryRangeTraced(%d,[%d,%d)) = %d, want %d", q, lo, hi, got, want)
+		}
+		if got, want := LinearRangeTraced(keys, lo, hi, q, nop), LinearRange(keys, lo, hi, q); got != want {
+			t.Fatalf("LinearRangeTraced mismatch")
+		}
+		if got, want := LinearFromTraced(keys, pos, q, nop), LinearFrom(keys, pos, q); got != want {
+			t.Fatalf("LinearFromTraced(pos=%d, q=%d) = %d, want %d", pos, q, got, want)
+		}
+		if got, want := ExponentialTraced(keys, pos, q, nop), Exponential(keys, pos, q); got != want {
+			t.Fatalf("ExponentialTraced(pos=%d, q=%d) = %d, want %d", pos, q, got, want)
+		}
+		wl := rng.Intn(40)
+		if got, want := WindowTraced(keys, lo, lo+wl, q, nop), Window(keys, lo, lo+wl, q); got != want {
+			t.Fatalf("WindowTraced mismatch")
+		}
+	}
+}
+
+func TestTracedTouchCounts(t *testing.T) {
+	keys := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	count := 0
+	BinaryTraced(keys, 700, func(uint64, int) { count++ })
+	if count != 10 { // log2(1024)
+		t.Errorf("binary over 1024 keys should touch 10 slots, got %d", count)
+	}
+	count = 0
+	LinearRangeTraced(keys, 100, 200, 105, func(uint64, int) { count++ })
+	if count != 6 {
+		t.Errorf("linear scan 100→105 should touch 6 slots, got %d", count)
+	}
+}

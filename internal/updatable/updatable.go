@@ -1,0 +1,247 @@
+// Package updatable implements the paper's future-work direction (§6): a
+// Shift-Table index that supports inserts and deletes. The sketch in the
+// paper — "capture the drifts in data distribution using update-tracking
+// segments, and use Fenwick trees to estimate and correct the drifts" — is
+// realised as:
+//
+//   - the read-optimised base: a sorted key array with a Shift-Table over
+//     the paper's IM model, rebuilt only on compaction;
+//   - deletions as tombstones whose position drift is tracked by a Fenwick
+//     tree (a deleted key shifts every logical rank after it by one — the
+//     prefix sum corrects that drift in O(log n));
+//   - insertions in a small sorted delta buffer, merged into the base when
+//     it exceeds a threshold (compaction rebuilds model, layer and tree).
+//
+// Lookups stay lower-bound exact at all times: the logical rank of a query
+// is its base rank, minus the deleted-before count from the Fenwick tree,
+// plus its delta-buffer rank.
+package updatable
+
+import (
+	"fmt"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/core"
+	"repro/internal/fenwick"
+	"repro/internal/kv"
+)
+
+// Config parameterises New.
+type Config struct {
+	// MaxDelta triggers compaction when the insert buffer reaches this
+	// size. 0 defaults to max(1024, N/64).
+	MaxDelta int
+	// Layer configures the Shift-Table over the base (§3 defaults apply).
+	Layer core.Config
+}
+
+// Index is an updatable Shift-Table index over integer keys.
+type Index[K kv.Key] struct {
+	cfg      Config
+	maxDelta int
+
+	base      []K // sorted, may contain tombstoned slots
+	table     *core.Table[K]
+	dead      []bool        // tombstones, parallel to base
+	delTree   *fenwick.Tree // prefix counts of tombstones
+	deadCount int
+
+	delta []K // sorted insert buffer
+
+	rebuilds int
+}
+
+// New builds the index over sorted initial keys (which may be empty).
+func New[K kv.Key](keys []K, cfg Config) (*Index[K], error) {
+	if !kv.IsSorted(keys) {
+		return nil, fmt.Errorf("updatable: keys are not sorted")
+	}
+	if cfg.MaxDelta < 0 {
+		return nil, fmt.Errorf("updatable: negative MaxDelta %d", cfg.MaxDelta)
+	}
+	ix := &Index[K]{cfg: cfg}
+	if err := ix.setBase(append([]K(nil), keys...)); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// setBase installs a new base array and rebuilds model, layer and trees.
+func (ix *Index[K]) setBase(keys []K) error {
+	model := cdfmodel.NewInterpolation(keys)
+	table, err := core.Build(keys, model, ix.cfg.Layer)
+	if err != nil {
+		return err
+	}
+	tree, err := fenwick.New(len(keys))
+	if err != nil {
+		return err
+	}
+	ix.base = keys
+	ix.table = table
+	ix.dead = make([]bool, len(keys))
+	ix.delTree = tree
+	ix.deadCount = 0
+	ix.maxDelta = ix.cfg.MaxDelta
+	if ix.maxDelta == 0 {
+		ix.maxDelta = len(keys) / 64
+		if ix.maxDelta < 1024 {
+			ix.maxDelta = 1024
+		}
+	}
+	return nil
+}
+
+// Len returns the number of live keys.
+func (ix *Index[K]) Len() int {
+	return len(ix.base) - ix.deadCount + len(ix.delta)
+}
+
+// Rebuilds returns how many compactions have run.
+func (ix *Index[K]) Rebuilds() int { return ix.rebuilds }
+
+// DeltaLen returns the current insert-buffer size (observability).
+func (ix *Index[K]) DeltaLen() int { return len(ix.delta) }
+
+// Find returns the logical lower-bound rank of q among live keys: the
+// number of live keys < q, which is the index the first key >= q would
+// have in the live sorted multiset.
+func (ix *Index[K]) Find(q K) int {
+	basePos := ix.table.Find(q)
+	deletedBefore := int(ix.delTree.PrefixSum(basePos))
+	deltaPos := kv.LowerBound(ix.delta, q)
+	return basePos - deletedBefore + deltaPos
+}
+
+// Lookup reports whether q is a live key and its logical rank.
+func (ix *Index[K]) Lookup(q K) (rank int, found bool) {
+	rank = ix.Find(q)
+	// Any live duplicate of q in the base?
+	for p := ix.table.Find(q); p < len(ix.base) && ix.base[p] == q; p++ {
+		if !ix.dead[p] {
+			return rank, true
+		}
+	}
+	// Or in the delta buffer?
+	d := kv.LowerBound(ix.delta, q)
+	if d < len(ix.delta) && ix.delta[d] == q {
+		return rank, true
+	}
+	return rank, false
+}
+
+// Insert adds k (duplicates allowed). Amortised O(MaxDelta) for the buffer
+// insertion plus a periodic O(N) compaction.
+func (ix *Index[K]) Insert(k K) error {
+	i := kv.UpperBound(ix.delta, k)
+	ix.delta = append(ix.delta, k)
+	copy(ix.delta[i+1:], ix.delta[i:])
+	ix.delta[i] = k
+	if len(ix.delta) >= ix.maxDelta {
+		return ix.Compact()
+	}
+	return nil
+}
+
+// Delete removes one live occurrence of k, reporting whether one existed.
+// Delta occurrences are removed first (cheap); base occurrences become
+// tombstones tracked by the Fenwick tree.
+func (ix *Index[K]) Delete(k K) bool {
+	if d := kv.LowerBound(ix.delta, k); d < len(ix.delta) && ix.delta[d] == k {
+		ix.delta = append(ix.delta[:d], ix.delta[d+1:]...)
+		return true
+	}
+	for p := ix.table.Find(k); p < len(ix.base) && ix.base[p] == k; p++ {
+		if !ix.dead[p] {
+			ix.dead[p] = true
+			ix.delTree.Add(p, 1)
+			ix.deadCount++
+			return true
+		}
+	}
+	return false
+}
+
+// Scan calls fn for every live key in [a, b] in sorted order; fn returning
+// false stops the scan. It merges the live base run with the delta run.
+func (ix *Index[K]) Scan(a, b K, fn func(k K) bool) {
+	if b < a {
+		return
+	}
+	bp := ix.table.Find(a)
+	dp := kv.LowerBound(ix.delta, a)
+	for {
+		// Skip tombstones.
+		for bp < len(ix.base) && ix.dead[bp] {
+			bp++
+		}
+		baseOK := bp < len(ix.base) && ix.base[bp] <= b
+		deltaOK := dp < len(ix.delta) && ix.delta[dp] <= b
+		switch {
+		case !baseOK && !deltaOK:
+			return
+		case baseOK && (!deltaOK || ix.base[bp] <= ix.delta[dp]):
+			if !fn(ix.base[bp]) {
+				return
+			}
+			bp++
+		default:
+			if !fn(ix.delta[dp]) {
+				return
+			}
+			dp++
+		}
+	}
+}
+
+// Compact merges the delta buffer and drops tombstones, rebuilding the
+// model, Shift-Table and Fenwick tree over the merged base.
+func (ix *Index[K]) Compact() error {
+	merged := make([]K, 0, ix.Len())
+	bp, dp := 0, 0
+	for bp < len(ix.base) || dp < len(ix.delta) {
+		for bp < len(ix.base) && ix.dead[bp] {
+			bp++
+		}
+		switch {
+		case bp >= len(ix.base):
+			merged = append(merged, ix.delta[dp:]...)
+			dp = len(ix.delta)
+		case dp >= len(ix.delta):
+			merged = append(merged, ix.base[bp])
+			bp++
+		case ix.base[bp] <= ix.delta[dp]:
+			merged = append(merged, ix.base[bp])
+			bp++
+		default:
+			merged = append(merged, ix.delta[dp])
+			dp++
+		}
+	}
+	ix.delta = nil
+	ix.rebuilds++
+	return ix.setBase(merged)
+}
+
+// Stats summarises the index composition (observability for the example
+// and tests).
+type Stats struct {
+	Live       int
+	BaseLen    int
+	Tombstones int
+	DeltaLen   int
+	Rebuilds   int
+	LayerBytes int
+}
+
+// Stats returns the current composition.
+func (ix *Index[K]) Stats() Stats {
+	return Stats{
+		Live:       ix.Len(),
+		BaseLen:    len(ix.base),
+		Tombstones: ix.deadCount,
+		DeltaLen:   len(ix.delta),
+		Rebuilds:   ix.rebuilds,
+		LayerBytes: ix.table.SizeBytes(),
+	}
+}

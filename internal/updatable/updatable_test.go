@@ -1,0 +1,216 @@
+package updatable
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kv"
+)
+
+// reference is a naive sorted multiset used as the test oracle.
+type reference struct{ keys []uint64 }
+
+func (r *reference) insert(k uint64) {
+	i := kv.UpperBound(r.keys, k)
+	r.keys = append(r.keys, k)
+	copy(r.keys[i+1:], r.keys[i:])
+	r.keys[i] = k
+}
+
+func (r *reference) delete(k uint64) bool {
+	i := kv.LowerBound(r.keys, k)
+	if i >= len(r.keys) || r.keys[i] != k {
+		return false
+	}
+	r.keys = append(r.keys[:i], r.keys[i+1:]...)
+	return true
+}
+
+func TestRandomisedOpsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	initial := dataset.MustGenerate(dataset.Face, 64, 5_000, 3)
+	ix, err := New(initial, Config{MaxDelta: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &reference{keys: append([]uint64(nil), initial...)}
+	domain := initial[len(initial)-1] + 1000
+
+	for op := 0; op < 20_000; op++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // insert (possibly duplicate)
+			var k uint64
+			if rng.Intn(3) == 0 && len(ref.keys) > 0 {
+				k = ref.keys[rng.Intn(len(ref.keys))] // duplicate
+			} else {
+				k = rng.Uint64() % domain
+			}
+			if err := ix.Insert(k); err != nil {
+				t.Fatal(err)
+			}
+			ref.insert(k)
+		case 4, 5, 6: // delete
+			var k uint64
+			if rng.Intn(2) == 0 && len(ref.keys) > 0 {
+				k = ref.keys[rng.Intn(len(ref.keys))]
+			} else {
+				k = rng.Uint64() % domain
+			}
+			if got, want := ix.Delete(k), ref.delete(k); got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, want)
+			}
+		default: // query
+			q := rng.Uint64() % domain
+			want := kv.LowerBound(ref.keys, q)
+			if got := ix.Find(q); got != want {
+				t.Fatalf("op %d: Find(%d) = %d, want %d", op, q, got, want)
+			}
+			_, foundWant := func() (int, bool) {
+				i := kv.LowerBound(ref.keys, q)
+				return i, i < len(ref.keys) && ref.keys[i] == q
+			}()
+			if _, found := ix.Lookup(q); found != foundWant {
+				t.Fatalf("op %d: Lookup(%d) found=%v, want %v", op, q, found, foundWant)
+			}
+		}
+		if ix.Len() != len(ref.keys) {
+			t.Fatalf("op %d: Len = %d, want %d", op, ix.Len(), len(ref.keys))
+		}
+	}
+	if ix.Rebuilds() == 0 {
+		t.Error("expected at least one compaction during the workload")
+	}
+}
+
+func TestScanMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	initial := dataset.MustGenerate(dataset.Wiki, 64, 3_000, 3)
+	ix, err := New(initial, Config{MaxDelta: 100_000}) // no compaction: exercise merge path
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &reference{keys: append([]uint64(nil), initial...)}
+	for i := 0; i < 2_000; i++ {
+		k := initial[0] + uint64(rng.Intn(1_000_000))
+		if rng.Intn(2) == 0 {
+			_ = ix.Insert(k)
+			ref.insert(k)
+		} else if len(ref.keys) > 0 {
+			k = ref.keys[rng.Intn(len(ref.keys))]
+			ix.Delete(k)
+			ref.delete(k)
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		a := ref.keys[rng.Intn(len(ref.keys))]
+		b := a + uint64(rng.Intn(100_000))
+		var got []uint64
+		ix.Scan(a, b, func(k uint64) bool {
+			got = append(got, k)
+			return true
+		})
+		lo := kv.LowerBound(ref.keys, a)
+		hi := kv.UpperBound(ref.keys, b)
+		want := ref.keys[lo:hi]
+		if len(got) != len(want) {
+			t.Fatalf("Scan(%d,%d) returned %d keys, want %d", a, b, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Scan mismatch at %d: %d want %d", i, got[i], want[i])
+			}
+		}
+	}
+	// Early-stop contract.
+	count := 0
+	ix.Scan(0, ^uint64(0), func(uint64) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early-stop scan visited %d keys, want 10", count)
+	}
+	// Inverted range is empty.
+	ix.Scan(100, 50, func(uint64) bool { t.Fatal("inverted range must not visit"); return false })
+}
+
+func TestCompactionThreshold(t *testing.T) {
+	ix, err := New([]uint64{10, 20, 30}, Config{MaxDelta: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := ix.Insert(uint64(100 + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Rebuilds() != 0 {
+		t.Fatal("compaction fired early")
+	}
+	if err := ix.Insert(103); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Rebuilds() != 1 || ix.DeltaLen() != 0 {
+		t.Fatalf("compaction should fire at MaxDelta: rebuilds=%d delta=%d", ix.Rebuilds(), ix.DeltaLen())
+	}
+	s := ix.Stats()
+	if s.Live != 7 || s.Tombstones != 0 || s.BaseLen != 7 {
+		t.Errorf("post-compaction stats wrong: %+v", s)
+	}
+}
+
+func TestEmptyStart(t *testing.T) {
+	ix, err := New[uint64](nil, Config{MaxDelta: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Find(5); got != 0 {
+		t.Errorf("empty Find = %d, want 0", got)
+	}
+	if ix.Delete(5) {
+		t.Error("Delete on empty should fail")
+	}
+	for i := 0; i < 20; i++ {
+		if err := ix.Insert(uint64(i * 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 20 {
+		t.Errorf("Len = %d, want 20", ix.Len())
+	}
+	for q := uint64(0); q < 60; q++ {
+		want := int((q + 2) / 3)
+		if got := ix.Find(q); got != want {
+			t.Fatalf("Find(%d) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New([]uint64{2, 1}, Config{}); err == nil {
+		t.Error("want error for unsorted keys")
+	}
+	if _, err := New([]uint64{1}, Config{MaxDelta: -1}); err == nil {
+		t.Error("want error for negative MaxDelta")
+	}
+}
+
+func TestWithMidpointLayer(t *testing.T) {
+	initial := dataset.MustGenerate(dataset.Osmc, 64, 4_000, 3)
+	ix, err := New(initial, Config{MaxDelta: 256, Layer: core.Config{Mode: core.ModeMidpoint}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := append([]uint64(nil), initial...)
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2_000; i++ {
+		q := rng.Uint64() % (ref[len(ref)-1] + 2)
+		if got, want := ix.Find(q), kv.LowerBound(ref, q); got != want {
+			t.Fatalf("midpoint-layer Find(%d) = %d, want %d", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports that the race detector is active; timing-shape tests
+// skip themselves because instrumentation distorts relative latencies.
+const raceEnabled = true
