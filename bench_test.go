@@ -311,6 +311,110 @@ func BenchmarkCostModel(b *testing.B) {
 	}
 }
 
+// ---- Batched query engine (DESIGN.md §5) ----
+
+// stBuiltFor caches an IM+Shift-Table layer per (dataset, mode) across
+// sub-benchmark calibration rounds, like builtFor does for Table 2.
+func stBuiltFor(b *testing.B, spec dataset.Spec, mode core.Mode) (*core.Table[uint64], *bench.Workload[uint64]) {
+	b.Helper()
+	id := fmt.Sprintf("st/%s/%s", spec, mode)
+	keys := keysFor(b, spec)
+	builtMu.Lock()
+	defer builtMu.Unlock()
+	type cached struct {
+		tab *core.Table[uint64]
+		w   *bench.Workload[uint64]
+	}
+	if v, ok := builtCache[id]; ok {
+		c := v.(cached)
+		return c.tab, c.w
+	}
+	model := cdfmodel.NewInterpolation(keys)
+	tab, err := core.Build(keys, model, core.Config{Mode: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := bench.NewWorkload(keys, 1<<16, benchSeed+1)
+	builtCache[id] = cached{tab, w}
+	return tab, w
+}
+
+var batchBenchSpecs = []dataset.Spec{
+	{Name: dataset.Face, Bits: 64},
+	{Name: dataset.LogN, Bits: 64},
+}
+
+// BenchmarkFindScalar is the scalar baseline the batch speedups are
+// measured against: one dependent Find per iteration, same workload and
+// layer as BenchmarkFindBatch.
+func BenchmarkFindScalar(b *testing.B) {
+	for _, spec := range batchBenchSpecs {
+		for _, mode := range []core.Mode{core.ModeRange, core.ModeMidpoint} {
+			tab, w := stBuiltFor(b, spec, mode)
+			mask := len(w.Queries) - 1
+			b.Run(fmt.Sprintf("%s/%s", spec, mode), func(b *testing.B) {
+				sink := 0
+				for i := 0; i < b.N; i++ {
+					sink += tab.Find(w.Queries[i&mask])
+				}
+				if sink == -1 {
+					b.Fatal("impossible")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFindBatch measures the staged pipeline at several batch sizes.
+// b.N counts individual lookups, so ns/op is directly comparable with
+// BenchmarkFindScalar (compare with benchstat).
+func BenchmarkFindBatch(b *testing.B) {
+	for _, spec := range batchBenchSpecs {
+		for _, mode := range []core.Mode{core.ModeRange, core.ModeMidpoint} {
+			tab, w := stBuiltFor(b, spec, mode)
+			mask := len(w.Queries) - 1
+			for _, bs := range []int{64, 256, 1024} {
+				b.Run(fmt.Sprintf("%s/%s/batch=%d", spec, mode, bs), func(b *testing.B) {
+					out := make([]int, bs)
+					sink := 0
+					b.ResetTimer()
+					for i := 0; i < b.N; i += bs {
+						lo := i & mask
+						res := tab.FindBatch(w.Queries[lo:lo+bs], out)
+						sink += res[0]
+					}
+					if sink == -1 {
+						b.Fatal("impossible")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFindBatchParallel measures the sharded throughput path: the
+// whole query block per call, GOMAXPROCS workers.
+func BenchmarkFindBatchParallel(b *testing.B) {
+	for _, spec := range batchBenchSpecs {
+		for _, mode := range []core.Mode{core.ModeRange, core.ModeMidpoint} {
+			tab, w := stBuiltFor(b, spec, mode)
+			qs := w.Queries
+			b.Run(fmt.Sprintf("%s/%s", spec, mode), func(b *testing.B) {
+				out := make([]int, len(qs))
+				sink := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i += len(qs) {
+					res := tab.FindBatchParallel(qs, out, 0)
+					sink += res[0]
+				}
+				if sink == -1 {
+					b.Fatal("impossible")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkMemsim measures the simulator itself (it is the substrate of
 // Fig. 2b and Fig. 8; its own throughput bounds their runtime).
 func BenchmarkMemsim(b *testing.B) {

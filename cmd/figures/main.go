@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	figures -fig 2a|2b|3|6|7|8|9|L [-n N] [-q Q] [-seed S] [-dataset face64]
+//	figures -fig 2a|2b|3|6|7|8|9|L|batch [-n N] [-q Q] [-seed S] [-dataset face64]
 //
 // The "L" pseudo-figure prints the §2.3 error-to-latency micro-benchmark
-// (the L(s) curve parameterising the §3.7 cost model).
+// (the L(s) curve parameterising the §3.7 cost model). The "batch"
+// pseudo-figure prints the batched-query throughput sweep (scalar Find vs
+// FindBatch vs FindBatchParallel across batch sizes, R and S modes) as CSV.
 package main
 
 import (
@@ -45,8 +47,10 @@ func main() {
 		err = fig9(*n, *q, *seed)
 	case "L":
 		err = latencyCurve(*n, *seed)
+	case "batch":
+		err = batchSweep(*n, *q, *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L")
+		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -152,6 +156,20 @@ func fig9(n, q int, seed int64) error {
 		return err
 	}
 	fmt.Print(res.Format())
+	return nil
+}
+
+func batchSweep(n, q int, seed int64) error {
+	pts, err := bench.RunBatch(bench.BatchConfig{N: n, Queries: q, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("dataset,mode,batch_size,scalar_ns,batch_ns,parallel_ns,speedup_batch,speedup_parallel")
+	for _, p := range pts {
+		fmt.Printf("%s,%s,%d,%.1f,%.1f,%.1f,%.2f,%.2f\n",
+			p.Dataset, p.Mode, p.BatchSize, p.ScalarNs, p.BatchNs, p.ParallelNs,
+			p.SpeedupBatch, p.SpeedupParallel)
+	}
 	return nil
 }
 

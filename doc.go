@@ -11,6 +11,16 @@
 // measurements (internal/memsim), and a benchmark harness that regenerates
 // every table and figure in the paper's evaluation (internal/bench).
 //
+// Beyond the paper, the query layer has a batched engine (DESIGN.md §5):
+// core.Table.FindBatch, LookupBatch and FindRangeBatch run a staged
+// pipeline — one cdfmodel.PredictBatch call per chunk, drift-entry gathers
+// with the packed-width switch hoisted out of the inner loop, and
+// interleaved window probes whose independent cache misses overlap instead
+// of serialising — and FindBatchParallel shards a batch across GOMAXPROCS
+// workers. Batch results are bit-identical to the scalar path (property
+// tested); see examples/batch for usage and `figures -fig batch` for the
+// throughput sweep.
+//
 // See DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. Root-level benchmarks in
 // bench_test.go regenerate each table and figure; the cmd/ binaries produce

@@ -1,0 +1,73 @@
+package cdfmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// nonBatch wraps a model so it does not implement BatchPredictor,
+// exercising PredictBatch's generic fallback.
+type nonBatch struct{ m Model[uint64] }
+
+func (o nonBatch) Predict(k uint64) int { return o.m.Predict(k) }
+func (o nonBatch) Monotone() bool       { return o.m.Monotone() }
+func (o nonBatch) SizeBytes() int       { return o.m.SizeBytes() }
+func (o nonBatch) Name() string         { return o.m.Name() }
+
+// TestPredictBatchMatchesScalar checks, for every model family and the
+// generic fallback, that PredictBatch is element-wise identical to Predict
+// — including on queries far outside the trained key range.
+func TestPredictBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]uint64, 10_000)
+	v := uint64(1 << 40)
+	for i := range keys {
+		v += uint64(rng.Intn(1 << 20))
+		keys[i] = v
+	}
+	models := map[string]Model[uint64]{
+		"IM":       NewInterpolation(keys),
+		"Linear":   NewLinear(keys),
+		"Cubic":    NewCubic(keys),
+		"fallback": nonBatch{NewInterpolation(keys)},
+	}
+	qs := make([]uint64, 4_096)
+	for i := range qs {
+		switch rng.Intn(5) {
+		case 0:
+			qs[i] = rng.Uint64() // anywhere in the domain
+		case 1:
+			qs[i] = 0
+		case 2:
+			qs[i] = ^uint64(0)
+		default:
+			qs[i] = keys[rng.Intn(len(keys))] + uint64(rng.Intn(7)) - 3
+		}
+	}
+	out := make([]int, len(qs))
+	for name, m := range models {
+		PredictBatch(m, qs, out)
+		for i, q := range qs {
+			if want := m.Predict(q); out[i] != want {
+				t.Fatalf("%s: PredictBatch[%d] (q=%d) = %d, Predict = %d", name, i, q, out[i], want)
+			}
+		}
+	}
+}
+
+// TestPredictBatchEmptyModel covers models trained on no keys.
+func TestPredictBatchEmptyModel(t *testing.T) {
+	for name, m := range map[string]Model[uint64]{
+		"IM":     NewInterpolation([]uint64(nil)),
+		"Linear": NewLinear([]uint64(nil)),
+		"Cubic":  NewCubic([]uint64(nil)),
+	} {
+		out := []int{-1, -1}
+		PredictBatch(m, []uint64{5, 10}, out)
+		for i, got := range out {
+			if got != 0 {
+				t.Fatalf("%s: empty-model PredictBatch[%d] = %d, want 0", name, i, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/kv"
+	"repro/internal/search"
+)
+
+// This file is the batched query engine. The scalar Find pays, per query, a
+// virtual Model.Predict call, a width dispatch into the drift arrays, and a
+// fully serialized chain of dependent cache misses (layer entry, then each
+// probe of the local search). Batching restructures the same work as a
+// staged pipeline over a chunk of queries:
+//
+//  1. predict the whole chunk in one PredictBatch call (the interface
+//     dispatch is hoisted to once per chunk and the model parameters stay
+//     in registers across the loop);
+//  2. gather the drift entries with one typed loop per packed width (the
+//     width switch runs once per chunk, and the gather loads are
+//     independent, so their misses overlap);
+//  3. probe the key array in an interleaved order — every round issues one
+//     independent load per unfinished lane before any comparison consumes
+//     one — so the memory-level parallelism of the machine hides the
+//     latency the scalar path pays serially.
+//
+// This is the group-prefetching scheme of the in-memory-index literature
+// (SOSD-style batched harnesses; AMAC/group prefetch for hash and tree
+// probes), expressed in portable Go: instead of prefetch intrinsics, the
+// touch pass loads the target cache line into a scratch slot that the
+// finishing pass then consumes.
+//
+// Every batch entry point returns results bit-identical to its scalar
+// twin; the property tests in batch_test.go enforce this on every mode and
+// configuration.
+
+// batchChunk is the number of queries staged per pipeline pass. Chosen so
+// the per-lane state (prediction, partition, window bounds, probe slot)
+// fits comfortably in L1 while still giving the memory system far more
+// independent misses than it can service concurrently.
+const batchChunk = 256
+
+// batchScratch is the per-chunk lane state (~13 KiB). It is pooled on the
+// Table (Table.scratch) so steady-state batches allocate nothing; every
+// slot is written before it is read within a chunk, so a recycled scratch
+// needs no zeroing. Each concurrent FindBatch (e.g. the shards of
+// FindBatchParallel) gets its own instance from the pool.
+type batchScratch[K kv.Key] struct {
+	pred  [batchChunk]int   // stage 1: model predictions
+	wlo   [batchChunk]int   // stage 2/3: window start, then binary-search lo
+	wend  [batchChunk]int   // stage 2/3: window end (half-open), then hi
+	mid   [batchChunk]int   // stage 3: probe position per round
+	probe [batchChunk]K     // stage 3: touched key per lane
+	lanes [batchChunk]int32 // stage 3: unfinished-lane worklist
+}
+
+// ensureInts returns out if it can hold n results, a fresh slice otherwise.
+func ensureInts(out []int, n int) []int {
+	if cap(out) >= n {
+		return out[:n]
+	}
+	return make([]int, n)
+}
+
+// FindBatch answers lower-bound queries for every element of qs, writing
+// result i into out[i]. It returns the result slice (out when it has
+// capacity, a fresh slice otherwise). Results are bit-identical to calling
+// Find on each query; only the schedule differs — see the pipeline
+// description at the top of this file.
+func (t *Table[K]) FindBatch(qs []K, out []int) []int {
+	out = ensureInts(out, len(qs))
+	if t.n == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return out
+	}
+	st, _ := t.scratch.Get().(*batchScratch[K])
+	if st == nil {
+		st = new(batchScratch[K])
+	}
+	for base := 0; base < len(qs); base += batchChunk {
+		c := len(qs) - base
+		if c > batchChunk {
+			c = batchChunk
+		}
+		t.findChunk(qs[base:base+c], out[base:base+c], st)
+	}
+	t.scratch.Put(st)
+	return out
+}
+
+// findChunk runs the staged pipeline over one chunk of at most batchChunk
+// queries.
+func (t *Table[K]) findChunk(qs []K, out []int, st *batchScratch[K]) {
+	c := len(qs)
+	pred := st.pred[:c]
+
+	// Stage 1: predict the whole chunk (one interface dispatch).
+	cdfmodel.PredictBatch(t.model, qs, pred)
+
+	// Stage 2: partition ids overwrite nothing — they feed straight into
+	// the drift gathers, which run as one typed loop per packed width.
+	if t.mode == ModeRange {
+		t.gatherWindows(pred, st.wlo[:c], st.wend[:c])
+		t.probeWindows(qs, out, st)
+		if !t.monotone {
+			// Non-monotone model (§3.8): the window was only a hint.
+			// Validate each result globally and fall back to exponential
+			// search for the (rare) lanes whose true answer lies outside.
+			for i, q := range qs {
+				if !t.valid(out[i], q) {
+					out[i] = search.Exponential(t.keys, out[i], q)
+				}
+			}
+		}
+		return
+	}
+
+	// Midpoint mode: gather the shifts, touch every start position so the
+	// first line of each gallop is fetched with overlapping misses, then
+	// finish each lane with the scalar exponential search.
+	wlo := st.wlo[:c]
+	t.gatherStarts(pred, wlo)
+	keys := t.keys
+	for i, s := range wlo {
+		st.probe[i] = keys[kv.Clamp(s, 0, t.n-1)]
+	}
+	for i, q := range qs {
+		out[i] = search.Exponential(keys, wlo[i], q)
+	}
+}
+
+// gatherAdd writes out[i] = pred[i] + d[part(pred[i])] with the packed
+// width dispatched once per call instead of once per query; the drift
+// loads form an independent gather whose misses overlap. part maps a
+// prediction to its partition (Table.partitionOf, passed in so the m==n
+// fast path stays branch-free inside the loop).
+func (d *driftArray) gatherAdd(pred, out []int, part func(int) int) {
+	switch d.width {
+	case 1:
+		a := d.w8
+		for i, p := range pred {
+			out[i] = p + int(a[part(p)])
+		}
+	case 2:
+		a := d.w16
+		for i, p := range pred {
+			out[i] = p + int(a[part(p)])
+		}
+	case 4:
+		a := d.w32
+		for i, p := range pred {
+			out[i] = p + int(a[part(p)])
+		}
+	default:
+		a := d.w64
+		for i, p := range pred {
+			out[i] = p + int(a[part(p)])
+		}
+	}
+}
+
+// partitioner returns the prediction-to-partition mapping as a closure
+// for the gather loops: identity when M = N, the partitionOf scaling
+// otherwise.
+func (t *Table[K]) partitioner() func(int) int {
+	if t.m == t.n {
+		return func(p int) int { return p }
+	}
+	mm, nn := int64(t.m), int64(t.n)
+	return func(p int) int { return int(int64(p) * mm / nn) }
+}
+
+// gatherWindows computes, per lane, the clamped local-search window
+// [wlo, wend) exactly as search.Window derives it from the raw drift
+// bounds.
+func (t *Table[K]) gatherWindows(pred, wlo, wend []int) {
+	part := t.partitioner()
+	t.lo.gatherAdd(pred, wlo, part)
+	t.hi.gatherAdd(pred, wend, part)
+	// Clamp to search.Window's semantics: lo into [0, n], inclusive hi cut
+	// at n-1, then one slot past the window (§3.1) capped at n.
+	n := t.n
+	for i := range wlo {
+		lo := wlo[i]
+		if lo < 0 {
+			lo = 0
+		} else if lo > n {
+			lo = n
+		}
+		hi := wend[i]
+		if hi >= n-1 {
+			hi = n - 1
+		}
+		end := hi + 1
+		if end > n {
+			end = n
+		}
+		wlo[i] = lo
+		wend[i] = end
+	}
+}
+
+// gatherStarts computes, per lane, the midpoint-corrected start position
+// pred + shift.
+func (t *Table[K]) gatherStarts(pred, wlo []int) {
+	t.shift.gatherAdd(pred, wlo, t.partitioner())
+}
+
+// probeWindows resolves every lane's window [wlo, wend) to its lower bound.
+// Short windows (Alg. 1's linear regime) get a touch pass that loads the
+// first key of every window with independent, overlapping misses, then a
+// scalar finish on now-warm lines. Long windows run an interleaved binary
+// search: each round issues one independent probe load per unfinished lane
+// before any lane consumes its comparison.
+func (t *Table[K]) probeWindows(qs []K, out []int, st *batchScratch[K]) {
+	c := len(qs)
+	keys := t.keys
+	wlo, wend := st.wlo[:c], st.wend[:c]
+
+	long := st.lanes[:0]
+	for i := 0; i < c; i++ {
+		if wend[i]-wlo[i] > search.WindowThreshold {
+			long = append(long, int32(i))
+		}
+	}
+
+	// Touch pass for the short windows (most lanes with M=N, where windows
+	// are a handful of keys): one independent load per lane.
+	for i := 0; i < c; i++ {
+		if w := wend[i] - wlo[i]; w > 0 && w <= search.WindowThreshold {
+			st.probe[i] = keys[wlo[i]]
+		}
+	}
+	// Finish the short windows. The first comparison consumes the touched
+	// key; the rest of the scan stays within the fetched line(s).
+	for i := 0; i < c; i++ {
+		lo, end := wlo[i], wend[i]
+		if end-lo > search.WindowThreshold {
+			continue
+		}
+		if lo < end && st.probe[i] < qs[i] {
+			lo = search.LinearRange(keys, lo+1, end, qs[i])
+		}
+		out[i] = lo
+	}
+
+	// Interleaved binary search over the long windows. The worklist is
+	// filtered in place each round (append lands at or before the read
+	// position), so a lane's result must be emitted the moment it
+	// converges — the original list is clobbered by the filtering.
+	act := long
+	for len(act) > 0 {
+		for _, ix := range act {
+			m := int(uint(wlo[ix]+wend[ix]) >> 1)
+			st.mid[ix] = m
+			st.probe[ix] = keys[m] // independent loads: misses overlap
+		}
+		next := act[:0]
+		for _, ix := range act {
+			if st.probe[ix] < qs[ix] {
+				wlo[ix] = st.mid[ix] + 1
+			} else {
+				wend[ix] = st.mid[ix]
+			}
+			if wlo[ix] < wend[ix] {
+				next = append(next, ix)
+			} else {
+				out[ix] = wlo[ix]
+			}
+		}
+		act = next
+	}
+}
+
+// LookupBatch pairs FindBatch with the existence check of Lookup: pos[i]
+// is the lower-bound position of qs[i] and found[i] reports whether the key
+// at that position equals qs[i]. Like FindBatch it reuses the supplied
+// slices when they have capacity.
+func (t *Table[K]) LookupBatch(qs []K, pos []int, found []bool) ([]int, []bool) {
+	pos = t.FindBatch(qs, pos)
+	if cap(found) >= len(qs) {
+		found = found[:len(qs)]
+	} else {
+		found = make([]bool, len(qs))
+	}
+	for i, p := range pos {
+		found[i] = p < t.n && t.keys[p] == qs[i]
+	}
+	return pos, found
+}
+
+// FindRangeBatch answers FindRange for every pair (as[i], bs[i]): the
+// half-open position range [firsts[i], lasts[i]) of keys in the inclusive
+// key range [as[i], bs[i]]. Both lower-bound passes run through FindBatch.
+func (t *Table[K]) FindRangeBatch(as, bs []K, firsts, lasts []int) ([]int, []int) {
+	if len(as) != len(bs) {
+		panic("core: FindRangeBatch slice length mismatch")
+	}
+	firsts = t.FindBatch(as, firsts)
+	lasts = ensureInts(lasts, len(bs))
+	// Second pass queries b+1; the wrap at the domain maximum resolves to
+	// last = n, exactly as FindRange does.
+	max := maxOf[K]()
+	qs := make([]K, len(bs))
+	for i, b := range bs {
+		qs[i] = b + 1 // wraps to 0 when b == max; overwritten below
+	}
+	lasts = t.FindBatch(qs, lasts)
+	for i, b := range bs {
+		switch {
+		case b < as[i]:
+			firsts[i], lasts[i] = 0, 0
+		case b == max:
+			lasts[i] = t.n
+		}
+	}
+	return firsts, lasts
+}
+
+// FindBatchParallel shards a batch across workers (GOMAXPROCS when
+// workers <= 0), mirroring BuildParallel on the query side: each worker
+// runs the staged FindBatch pipeline over a contiguous shard, so the
+// per-core memory-level parallelism of FindBatch multiplies across cores.
+// Results are bit-identical to FindBatch (and therefore to scalar Find);
+// the table is immutable, so shards share it without synchronisation.
+func (t *Table[K]) FindBatchParallel(qs []K, out []int, workers int) []int {
+	out = ensureInts(out, len(qs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if shards := (len(qs) + batchChunk - 1) / batchChunk; workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		return t.FindBatch(qs, out)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := len(qs) * w / workers
+		hi := len(qs) * (w + 1) / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			t.FindBatch(qs[lo:hi], out[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -23,6 +23,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/cdfmodel"
 	"repro/internal/kv"
@@ -89,6 +90,10 @@ type Table[K kv.Key] struct {
 	// Ck cardinality), kept for the error estimate (Eq. 8) and cost model
 	// (Eq. 9–10). Stored at build time; not touched during lookups.
 	count []int32
+
+	// scratch pools *batchScratch[K] instances for the batched query
+	// engine (batch.go); concurrent batches each draw their own.
+	scratch sync.Pool
 }
 
 // Build constructs a Shift-Table over sorted keys corrected against the

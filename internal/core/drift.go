@@ -3,12 +3,15 @@ package core
 // driftArray stores per-partition drift values at the narrowest integer
 // width that fits, realising §3.9's observation that the entry width can
 // follow the model's maximum error (16-bit entries when the error fits in
-// ±2^15, and so on). Exactly one backing slice is non-nil.
+// ±2^15, and so on). Exactly one backing slice is non-nil; width caches
+// which one, so lookups dispatch on a byte instead of probing slice headers
+// for nil-ness on every query.
 type driftArray struct {
-	w8  []int8
-	w16 []int16
-	w32 []int32
-	w64 []int64
+	width uint8 // entry width in bytes (1, 2, 4, 8); 0 for an empty array
+	w8    []int8
+	w16   []int16
+	w32   []int32
+	w64   []int64
 }
 
 // packDrifts selects the narrowest width that holds every value.
@@ -28,34 +31,34 @@ func packDrifts(vals []int64) driftArray {
 		for i, v := range vals {
 			out[i] = int8(v)
 		}
-		return driftArray{w8: out}
+		return driftArray{width: 1, w8: out}
 	case maxAbs <= 32767:
 		out := make([]int16, len(vals))
 		for i, v := range vals {
 			out[i] = int16(v)
 		}
-		return driftArray{w16: out}
+		return driftArray{width: 2, w16: out}
 	case maxAbs <= 1<<31-1:
 		out := make([]int32, len(vals))
 		for i, v := range vals {
 			out[i] = int32(v)
 		}
-		return driftArray{w32: out}
+		return driftArray{width: 4, w32: out}
 	default:
 		out := make([]int64, len(vals))
 		copy(out, vals)
-		return driftArray{w64: out}
+		return driftArray{width: 8, w64: out}
 	}
 }
 
 // get returns the drift for partition k.
 func (d *driftArray) get(k int) int {
-	switch {
-	case d.w8 != nil:
+	switch d.width {
+	case 1:
 		return int(d.w8[k])
-	case d.w16 != nil:
+	case 2:
 		return int(d.w16[k])
-	case d.w32 != nil:
+	case 4:
 		return int(d.w32[k])
 	default:
 		return int(d.w64[k])
@@ -64,12 +67,12 @@ func (d *driftArray) get(k int) int {
 
 // len returns the number of partitions.
 func (d *driftArray) len() int {
-	switch {
-	case d.w8 != nil:
+	switch d.width {
+	case 1:
 		return len(d.w8)
-	case d.w16 != nil:
+	case 2:
 		return len(d.w16)
-	case d.w32 != nil:
+	case 4:
 		return len(d.w32)
 	default:
 		return len(d.w64)
@@ -83,16 +86,5 @@ func (d *driftArray) sizeBytes() int {
 
 // entryBits returns the selected per-entry width in bits.
 func (d *driftArray) entryBits() int {
-	switch {
-	case d.w8 != nil:
-		return 8
-	case d.w16 != nil:
-		return 16
-	case d.w32 != nil:
-		return 32
-	case d.w64 != nil:
-		return 64
-	default:
-		return 0
-	}
+	return int(d.width) * 8
 }

@@ -145,6 +145,7 @@ func readDrifts(r io.Reader, d *driftArray, m int) error {
 	if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
 		return fmt.Errorf("core: reading drift width: %w", err)
 	}
+	d.width = uint8(bits / 8)
 	switch bits {
 	case 8:
 		d.w8 = make([]int8, m)
@@ -159,6 +160,7 @@ func readDrifts(r io.Reader, d *driftArray, m int) error {
 		d.w64 = make([]int64, m)
 		return binary.Read(r, binary.LittleEndian, d.w64)
 	default:
+		d.width = 0
 		return fmt.Errorf("core: invalid drift entry width %d", bits)
 	}
 }

@@ -46,14 +46,14 @@ func (t *Table[K]) TraceFind(q K, touch search.Touch) int {
 
 // touchEntry reports the address of drift entry k at its packed width.
 func (t *Table[K]) touchEntry(d *driftArray, k int, touch search.Touch) {
-	switch {
-	case d.w8 != nil:
+	switch d.width {
+	case 1:
 		touch(kv.Addr(d.w8, k), 1)
-	case d.w16 != nil:
+	case 2:
 		touch(kv.Addr(d.w16, k), 2)
-	case d.w32 != nil:
+	case 4:
 		touch(kv.Addr(d.w32, k), 4)
-	case d.w64 != nil:
+	case 8:
 		touch(kv.Addr(d.w64, k), 8)
 	}
 }

@@ -108,26 +108,70 @@ func (ix *Index[K]) DeltaLen() int { return len(ix.delta) }
 // have in the live sorted multiset.
 func (ix *Index[K]) Find(q K) int {
 	basePos := ix.table.Find(q)
-	deletedBefore := int(ix.delTree.PrefixSum(basePos))
 	deltaPos := kv.LowerBound(ix.delta, q)
-	return basePos - deletedBefore + deltaPos
+	return ix.rankAt(basePos, deltaPos)
 }
 
-// Lookup reports whether q is a live key and its logical rank.
+// rankAt combines a base-table position and a delta-buffer position into
+// the logical rank: the base rank minus the deleted-before count from the
+// Fenwick tree, plus the delta rank.
+func (ix *Index[K]) rankAt(basePos, deltaPos int) int {
+	return basePos - int(ix.delTree.PrefixSum(basePos)) + deltaPos
+}
+
+// Lookup reports whether q is a live key and its logical rank. The base
+// table and delta buffer are each probed once; rank and existence both
+// derive from those two positions.
 func (ix *Index[K]) Lookup(q K) (rank int, found bool) {
-	rank = ix.Find(q)
+	basePos := ix.table.Find(q)
+	deltaPos := kv.LowerBound(ix.delta, q)
+	rank = ix.rankAt(basePos, deltaPos)
+	return rank, ix.liveAt(q, basePos, deltaPos)
+}
+
+// liveAt reports whether q has a live occurrence, given its base and delta
+// lower-bound positions.
+func (ix *Index[K]) liveAt(q K, basePos, deltaPos int) bool {
 	// Any live duplicate of q in the base?
-	for p := ix.table.Find(q); p < len(ix.base) && ix.base[p] == q; p++ {
+	for p := basePos; p < len(ix.base) && ix.base[p] == q; p++ {
 		if !ix.dead[p] {
-			return rank, true
+			return true
 		}
 	}
 	// Or in the delta buffer?
-	d := kv.LowerBound(ix.delta, q)
-	if d < len(ix.delta) && ix.delta[d] == q {
-		return rank, true
+	return deltaPos < len(ix.delta) && ix.delta[deltaPos] == q
+}
+
+// FindBatch answers Find for every query in qs, writing result i into
+// out[i] and returning the result slice (out when it has capacity). The
+// base-table probes run through the staged core.Table.FindBatch pipeline;
+// the Fenwick corrections and delta-buffer probes are then applied per
+// lane. Results are bit-identical to calling Find per query.
+func (ix *Index[K]) FindBatch(qs []K, out []int) []int {
+	out = ix.table.FindBatch(qs, out)
+	for i, q := range qs {
+		out[i] = ix.rankAt(out[i], kv.LowerBound(ix.delta, q))
 	}
-	return rank, false
+	return out
+}
+
+// LookupBatch answers Lookup for every query in qs: ranks[i] is the
+// logical rank of qs[i] and found[i] reports whether it is live. Like
+// FindBatch it reuses the supplied slices when they have capacity.
+func (ix *Index[K]) LookupBatch(qs []K, ranks []int, found []bool) ([]int, []bool) {
+	ranks = ix.table.FindBatch(qs, ranks)
+	if cap(found) >= len(qs) {
+		found = found[:len(qs)]
+	} else {
+		found = make([]bool, len(qs))
+	}
+	for i, q := range qs {
+		basePos := ranks[i]
+		deltaPos := kv.LowerBound(ix.delta, q)
+		ranks[i] = ix.rankAt(basePos, deltaPos)
+		found[i] = ix.liveAt(q, basePos, deltaPos)
+	}
+	return ranks, found
 }
 
 // Insert adds k (duplicates allowed). Amortised O(MaxDelta) for the buffer
