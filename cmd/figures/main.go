@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	figures -fig 2a|2b|3|6|7|8|9|L|batch [-n N] [-q Q] [-seed S] [-dataset face64]
+//	figures -fig 2a|2b|3|6|7|8|9|L|batch|concurrent [-n N] [-q Q] [-seed S] [-dataset face64]
 //
 // The "L" pseudo-figure prints the §2.3 error-to-latency micro-benchmark
 // (the L(s) curve parameterising the §3.7 cost model). The "batch"
 // pseudo-figure prints the batched-query throughput sweep (scalar Find vs
 // FindBatch vs FindBatchParallel across batch sizes, R and S modes) as CSV.
+// The "concurrent" pseudo-figure prints the mixed read/write throughput
+// sweep over internal/concurrent (reader counts × compaction policies,
+// including reads completed during in-flight compactions) as CSV.
 package main
 
 import (
@@ -49,8 +52,10 @@ func main() {
 		err = latencyCurve(*n, *seed)
 	case "batch":
 		err = batchSweep(*n, *q, *seed)
+	case "concurrent":
+		err = concurrentSweep(*n, *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch")
+		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch, concurrent")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -169,6 +174,20 @@ func batchSweep(n, q int, seed int64) error {
 		fmt.Printf("%s,%s,%d,%.1f,%.1f,%.1f,%.2f,%.2f\n",
 			p.Dataset, p.Mode, p.BatchSize, p.ScalarNs, p.BatchNs, p.ParallelNs,
 			p.SpeedupBatch, p.SpeedupParallel)
+	}
+	return nil
+}
+
+func concurrentSweep(n int, seed int64) error {
+	pts, err := bench.RunConcurrent(bench.ConcurrentConfig{N: n, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("dataset,policy,readers,reads_per_sec,writes_per_sec,rebuilds,reads_during_compaction")
+	for _, p := range pts {
+		fmt.Printf("%s,%s,%d,%.0f,%.0f,%d,%d\n",
+			p.Dataset, p.Policy, p.Readers, p.ReadsPerSec, p.WritesPerSec,
+			p.Rebuilds, p.ReadsDuringCompaction)
 	}
 	return nil
 }

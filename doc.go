@@ -21,6 +21,15 @@
 // tested); see examples/batch for usage and `figures -fig batch` for the
 // throughput sweep.
 //
+// The updatable index additionally has a concurrent serving wrapper
+// (internal/concurrent, DESIGN.md §6): reads — scalar, batched, and scans —
+// load an immutable snapshot through an atomic pointer and never block,
+// writes serialise onto bounded immutable write generations, and a
+// background compactor rebuilds the base Shift-Table off to the side,
+// publishing it with a single pointer swap that replays mid-rebuild
+// writes. See examples/concurrent for usage and `figures -fig concurrent`
+// for the mixed read/write throughput sweep.
+//
 // See DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. Root-level benchmarks in
 // bench_test.go regenerate each table and figure; the cmd/ binaries produce

@@ -1,0 +1,211 @@
+package concurrent
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/kv"
+	"repro/internal/updatable"
+)
+
+// PolicyKind selects how the background compactor decides a rebuild is
+// due.
+type PolicyKind int
+
+const (
+	// DeltaFraction compacts when pending writes exceed Fraction of the
+	// live key count (with a floor so tiny indexes don't thrash). This is
+	// the default: rebuild cost stays proportional to the work absorbed.
+	DeltaFraction PolicyKind = iota
+	// DeltaCount compacts when pending writes reach Count, independent of
+	// index size: a bound on worst-case write amplification per op.
+	DeltaCount
+	// Manual never compacts in the background; only explicit Compact
+	// calls rebuild the base.
+	Manual
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case DeltaFraction:
+		return "delta-fraction"
+	case DeltaCount:
+		return "delta-count"
+	case Manual:
+		return "manual"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// CompactionPolicy decides when the background compactor runs. The zero
+// value is DeltaFraction with defaults (1/64 of the live count, floor
+// 1024 — matching the single-threaded updatable.Config.MaxDelta default).
+type CompactionPolicy struct {
+	Kind PolicyKind
+	// Fraction applies to DeltaFraction: compact when pending >=
+	// Fraction * live. 0 defaults to 1/64.
+	Fraction float64
+	// Count applies to DeltaCount: compact when pending >= Count. 0
+	// defaults to 4096.
+	Count int
+}
+
+func (p CompactionPolicy) validate() error {
+	switch p.Kind {
+	case DeltaFraction, DeltaCount, Manual:
+	default:
+		return fmt.Errorf("concurrent: unknown policy kind %v", p.Kind)
+	}
+	if p.Fraction < 0 {
+		return fmt.Errorf("concurrent: negative policy fraction %v", p.Fraction)
+	}
+	if p.Count < 0 {
+		return fmt.Errorf("concurrent: negative policy count %d", p.Count)
+	}
+	return nil
+}
+
+// due reports whether a snapshot with the given pending-write and live
+// counts should be compacted.
+func (p CompactionPolicy) due(pending, live int) bool {
+	switch p.Kind {
+	case Manual:
+		return false
+	case DeltaCount:
+		count := p.Count
+		if count == 0 {
+			count = 4096
+		}
+		return pending >= count
+	default: // DeltaFraction
+		frac := p.Fraction
+		if frac == 0 {
+			frac = 1.0 / 64
+		}
+		threshold := int(frac * float64(live))
+		if threshold < 1024 {
+			threshold = 1024
+		}
+		return pending >= threshold
+	}
+}
+
+// compactor is the background goroutine: it sleeps until a writer nudges
+// it, then compacts as long as the policy says the current snapshot is
+// due. A compaction error (out-of-memory-grade; the merge itself cannot
+// produce invalid input) is recorded for Err and ends the current burst;
+// the goroutine stays alive, so the next due write retries.
+func (ix *Index[K]) compactor() {
+	defer ix.wg.Done()
+	for {
+		select {
+		case <-ix.done:
+			return
+		case <-ix.wake:
+		}
+		for {
+			select {
+			case <-ix.done:
+				return
+			default:
+			}
+			s := ix.snap.Load()
+			if !ix.cfg.Policy.due(s.pending(), s.length()) {
+				break
+			}
+			if err := ix.Compact(); err != nil {
+				ix.errMu.Lock()
+				if ix.err == nil {
+					ix.err = err
+				}
+				ix.errMu.Unlock()
+				break
+			}
+		}
+	}
+}
+
+// Compact rebuilds the base Shift-Table from the current snapshot while
+// reads and writes keep flowing, then publishes the result with a single
+// pointer swap. Safe to call manually under any policy; concurrent calls
+// serialise. The three phases:
+//
+//  1. Seal (brief writer lock): the current write head is frozen and a
+//     fresh empty head is pushed, so writes landing mid-rebuild stay
+//     separate from the state being merged.
+//  2. Rebuild (no locks): the sealed snapshot — view plus sealed
+//     generations — is scanned into a fresh sorted key slice, and a new
+//     updatable index (CDF model + Shift-Table + empty Fenwick) is built
+//     over it. Readers meanwhile serve the published snapshot untouched.
+//  3. Publish (brief writer lock): the rebuilt view replaces the sealed
+//     state; the fresh head — every write that landed during the rebuild —
+//     carries over verbatim onto the new base. That is the whole replay:
+//     tombstones cancel by key value, so they mean the same thing over
+//     the merged base as they did over the old one.
+func (ix *Index[K]) Compact() error {
+	ix.compactMu.Lock()
+	defer ix.compactMu.Unlock()
+
+	// Phase 1: seal.
+	ix.mu.Lock()
+	s0 := ix.snap.Load()
+	sealed := &snapshot[K]{view: s0.view, gens: s0.gens}
+	opened := &snapshot[K]{
+		view: s0.view,
+		gens: append(append([]*generation[K]{}, s0.gens...), &generation[K]{}),
+	}
+	ix.snap.Store(opened)
+	ix.mu.Unlock()
+
+	ix.compacting.Store(true)
+	defer ix.compacting.Store(false)
+
+	// Phase 2: rebuild off to the side.
+	merged := make([]K, 0, sealed.length())
+	sealed.scan(0, maxOf[K](), func(k K) bool {
+		merged = append(merged, k)
+		return true
+	})
+	rebuilt, err := updatable.New(merged, updatable.Config{Layer: ix.cfg.Layer})
+	if err != nil {
+		// Flatten the generation stack so reads don't degrade while the
+		// failure persists; the compactor goroutine survives errors, so
+		// the next due write retries (and a manual Compact can too).
+		ix.mu.Lock()
+		cur := ix.snap.Load()
+		ix.snap.Store(&snapshot[K]{view: cur.view, gens: mergeGens(cur.gens)})
+		ix.mu.Unlock()
+		return err
+	}
+	view := rebuilt.Freeze()
+	view.Table().AdoptScratch(sealed.view.Table())
+
+	// Phase 3: publish.
+	ix.mu.Lock()
+	cur := ix.snap.Load()
+	// Writers only ever replace the top generation or append a new head,
+	// so cur.gens is the sealed prefix (untouched) plus everything that
+	// landed mid-rebuild; the suffix survives onto the rebuilt base.
+	live := cur.gens[len(sealed.gens):]
+	ix.snap.Store(&snapshot[K]{view: view, gens: append([]*generation[K]{}, live...)})
+	ix.mu.Unlock()
+	ix.rebuilds.Add(1)
+	return nil
+}
+
+// mergeGens flattens a generation stack into a single generation
+// (error-path recovery only; the hot paths never call it).
+func mergeGens[K kv.Key](gens []*generation[K]) []*generation[K] {
+	if len(gens) == 1 {
+		return []*generation[K]{gens[0]}
+	}
+	var ins, dels []K
+	for _, g := range gens {
+		ins = append(ins, g.ins...)
+		dels = append(dels, g.dels...)
+	}
+	slices.Sort(ins)
+	slices.Sort(dels)
+	return []*generation[K]{{ins: ins, dels: dels}}
+}

@@ -1,0 +1,282 @@
+// Package concurrent wraps the updatable Shift-Table index for goroutine-
+// safe serving: lock-free snapshot reads, mutex-serialised writes, and
+// asynchronous background compaction.
+//
+// The ROADMAP's north star is a system sitting behind a server, where the
+// paper's central claim — model-corrected lookups stay fast under drift —
+// only matters if reads keep flowing while corrections accumulate and the
+// base table is rebuilt. The design here is the classic read/write
+// decoupling (stable state vs pending updates):
+//
+//   - Reads (Find, Lookup, Scan, FindBatch, LookupBatch) load an immutable
+//     snapshot through an atomic.Pointer and never block, never take a
+//     lock, and never observe a torn state. A snapshot is a frozen
+//     updatable.View plus immutable write generations (snapshot.go).
+//   - Writes (Insert, Delete) serialise through a mutex, build a successor
+//     snapshot with a fresh copy of the small write head, and publish it
+//     with a single pointer store. Cost is O(pending) per write, bounded
+//     by the compaction policy.
+//   - A background compactor watches delta pressure (CompactionPolicy) and
+//     rebuilds the base Shift-Table + CDF model off to the side: it seals
+//     the write head, opens a fresh one for writes that land mid-rebuild,
+//     merges the sealed state into a new base, and publishes the result
+//     with one pointer swap — the fresh head survives the swap, which is
+//     exactly the write replay.
+//
+// Old snapshots are reclaimed by the garbage collector once the last
+// reader drops its reference; there is no epoch machinery to get wrong.
+// See DESIGN.md §6 for the full lifecycle.
+package concurrent
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/updatable"
+)
+
+// Config parameterises New.
+type Config struct {
+	// Layer configures the base Shift-Table rebuilt at each compaction
+	// (§3 defaults apply).
+	Layer core.Config
+	// Policy decides when the background compactor rebuilds the base.
+	// The zero value is a delta-fraction policy with defaults.
+	Policy CompactionPolicy
+}
+
+// Index is a goroutine-safe updatable Shift-Table index. Any number of
+// readers may call the read methods concurrently with each other, with
+// writers, and with an in-flight compaction.
+type Index[K kv.Key] struct {
+	cfg  Config
+	snap atomic.Pointer[snapshot[K]]
+
+	mu sync.Mutex // serialises writers and snapshot publication
+
+	compactMu  sync.Mutex // at most one compaction at a time
+	compacting atomic.Bool
+	rebuilds   atomic.Int64
+
+	wake chan struct{}
+	done chan struct{}
+	stop sync.Once
+	wg   sync.WaitGroup
+
+	errMu sync.Mutex
+	err   error // first background compaction failure, if any
+}
+
+// New builds a concurrent index over sorted initial keys (which may be
+// empty) and starts its background compactor. Call Close to stop it.
+func New[K kv.Key](keys []K, cfg Config) (*Index[K], error) {
+	base, err := updatable.New(keys, updatable.Config{Layer: cfg.Layer})
+	if err != nil {
+		return nil, err
+	}
+	return wrap(base, cfg)
+}
+
+// Wrap takes ownership of an existing single-threaded updatable.Index and
+// serves it concurrently. The first snapshot shares the index's base
+// table, Fenwick prefix sums and delta buffer without copying (Freeze);
+// the caller must not write to ix afterwards through its own reference.
+func Wrap[K kv.Key](ix *updatable.Index[K], policy CompactionPolicy) (*Index[K], error) {
+	cfg := Config{Layer: ix.Config().Layer, Policy: policy}
+	return wrap(ix, cfg)
+}
+
+func wrap[K kv.Key](base *updatable.Index[K], cfg Config) (*Index[K], error) {
+	if err := cfg.Policy.validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index[K]{
+		cfg:  cfg,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	ix.snap.Store(&snapshot[K]{
+		view: base.Freeze(),
+		gens: []*generation[K]{{}},
+	})
+	ix.wg.Add(1)
+	go ix.compactor()
+	return ix, nil
+}
+
+// Close stops the background compactor. Reads and writes remain valid
+// after Close (writes simply stop triggering automatic compaction).
+// Close is idempotent.
+func (ix *Index[K]) Close() {
+	ix.stop.Do(func() { close(ix.done) })
+	ix.wg.Wait()
+}
+
+// Len returns the number of live keys.
+func (ix *Index[K]) Len() int { return ix.snap.Load().length() }
+
+// Pending returns the number of write operations not yet compacted into
+// the base (observability; the compaction policies act on it).
+func (ix *Index[K]) Pending() int { return ix.snap.Load().pending() }
+
+// Rebuilds returns how many compactions have completed.
+func (ix *Index[K]) Rebuilds() int { return int(ix.rebuilds.Load()) }
+
+// Compacting reports whether a base rebuild is currently in flight.
+func (ix *Index[K]) Compacting() bool { return ix.compacting.Load() }
+
+// Err returns the first background compaction error, if any.
+func (ix *Index[K]) Err() error {
+	ix.errMu.Lock()
+	defer ix.errMu.Unlock()
+	return ix.err
+}
+
+// Find returns the logical lower-bound rank of q among live keys: the
+// number of live keys < q. Lock-free; the whole query answers against one
+// snapshot.
+func (ix *Index[K]) Find(q K) int {
+	return ix.snap.Load().rank(q)
+}
+
+// Lookup reports whether q is a live key and its logical rank, both
+// against one snapshot and with a single base-table probe.
+func (ix *Index[K]) Lookup(q K) (rank int, found bool) {
+	rank, count := ix.snap.Load().lookup(q)
+	return rank, count > 0
+}
+
+// FindBatch answers Find for every query in qs against one snapshot,
+// writing result i into out[i] and returning the result slice (out when it
+// has capacity). The base probes run through the staged
+// core.Table.FindBatch pipeline of the frozen view; the generation
+// corrections are applied per lane.
+func (ix *Index[K]) FindBatch(qs []K, out []int) []int {
+	s := ix.snap.Load()
+	out = s.view.FindBatch(qs, out)
+	for i, q := range qs {
+		out[i] += s.genRank(q)
+	}
+	return out
+}
+
+// LookupBatch answers Lookup for every query in qs against one snapshot:
+// one staged base-table batch probe per lane (View.LookupCountBatch), then
+// the generation corrections. Like FindBatch it reuses the supplied slices
+// when they have capacity.
+func (ix *Index[K]) LookupBatch(qs []K, ranks []int, found []bool) ([]int, []bool) {
+	s := ix.snap.Load()
+	var counts []int
+	ranks, counts = s.view.LookupCountBatch(qs, ranks, nil)
+	if cap(found) >= len(qs) {
+		found = found[:len(qs)]
+	} else {
+		found = make([]bool, len(qs))
+	}
+	for i, q := range qs {
+		c := counts[i]
+		for _, g := range s.gens {
+			ranks[i] += kv.LowerBound(g.ins, q) - kv.LowerBound(g.dels, q)
+			c += countEq(g.ins, q) - countEq(g.dels, q)
+		}
+		found[i] = c > 0
+	}
+	return ranks, found
+}
+
+// Scan calls fn for every live key in [a, b] in sorted order, all from one
+// snapshot; fn returning false stops the scan.
+func (ix *Index[K]) Scan(a, b K, fn func(k K) bool) {
+	ix.snap.Load().scan(a, b, fn)
+}
+
+// Insert adds k (duplicates allowed) and publishes the successor
+// snapshot. O(maxHeadLen) for the write-head copy.
+func (ix *Index[K]) Insert(k K) {
+	ix.mu.Lock()
+	s := ix.snap.Load()
+	top := s.gens[len(s.gens)-1]
+	var next *snapshot[K]
+	if top.size() >= maxHeadLen {
+		next = s.pushHead((&generation[K]{}).withInsert(k))
+	} else {
+		next = s.replaceTop(top.withInsert(k))
+	}
+	ix.snap.Store(next)
+	ix.mu.Unlock()
+	ix.maybeWake(next)
+}
+
+// Delete removes one live occurrence of k, reporting whether one existed.
+// A pending insert in the write head is removed directly; anything older
+// (sealed generation, view delta, base) gets a tombstone in the write
+// head, cancelled by value at the next compaction.
+func (ix *Index[K]) Delete(k K) bool {
+	ix.mu.Lock()
+	s := ix.snap.Load()
+	top := s.gens[len(s.gens)-1]
+	var next *snapshot[K]
+	if i := kv.LowerBound(top.ins, k); i < len(top.ins) && top.ins[i] == k {
+		next = s.replaceTop(top.withoutIns(i))
+	} else if s.count(k) > 0 {
+		if top.size() >= maxHeadLen {
+			next = s.pushHead((&generation[K]{}).withDelete(k))
+		} else {
+			next = s.replaceTop(top.withDelete(k))
+		}
+	} else {
+		ix.mu.Unlock()
+		return false
+	}
+	ix.snap.Store(next)
+	ix.mu.Unlock()
+	ix.maybeWake(next)
+	return true
+}
+
+// maybeWake nudges the compactor when the policy says the published
+// snapshot is due. Non-blocking: a pending nudge is enough.
+func (ix *Index[K]) maybeWake(s *snapshot[K]) {
+	if !ix.cfg.Policy.due(s.pending(), s.length()) {
+		return
+	}
+	select {
+	case ix.wake <- struct{}{}:
+	default:
+	}
+}
+
+// maxOf returns the largest value of the key type.
+func maxOf[K kv.Key]() K {
+	var zero K
+	return ^zero
+}
+
+// Stats summarises the index composition.
+type Stats struct {
+	Live       int
+	Pending    int
+	Rebuilds   int
+	Compacting bool
+}
+
+// Stats returns the current composition (one snapshot load plus counters).
+func (ix *Index[K]) Stats() Stats {
+	s := ix.snap.Load()
+	return Stats{
+		Live:       s.length(),
+		Pending:    s.pending(),
+		Rebuilds:   int(ix.rebuilds.Load()),
+		Compacting: ix.compacting.Load(),
+	}
+}
+
+// String implements fmt.Stringer for log lines in the example and bench.
+func (ix *Index[K]) String() string {
+	st := ix.Stats()
+	return fmt.Sprintf("concurrent.Index{live=%d pending=%d rebuilds=%d compacting=%v}",
+		st.Live, st.Pending, st.Rebuilds, st.Compacting)
+}

@@ -1,0 +1,391 @@
+package concurrent
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kv"
+	"repro/internal/updatable"
+)
+
+// reference is a naive sorted multiset used as the test oracle.
+type reference struct{ keys []uint64 }
+
+func (r *reference) insert(k uint64) {
+	i := kv.UpperBound(r.keys, k)
+	r.keys = append(r.keys, k)
+	copy(r.keys[i+1:], r.keys[i:])
+	r.keys[i] = k
+}
+
+func (r *reference) delete(k uint64) bool {
+	i := kv.LowerBound(r.keys, k)
+	if i >= len(r.keys) || r.keys[i] != k {
+		return false
+	}
+	r.keys = append(r.keys[:i], r.keys[i+1:]...)
+	return true
+}
+
+// TestSequentialMatchesReference drives a single-goroutine workload against
+// the reference multiset while the background compactor races it for real:
+// compaction must be semantically invisible, so every read matches the
+// oracle no matter when the snapshot swap lands.
+func TestSequentialMatchesReference(t *testing.T) {
+	initial := dataset.MustGenerate(dataset.Face, 64, 3_000, 3)
+	ix, err := New(initial, Config{Policy: CompactionPolicy{Kind: DeltaCount, Count: 128}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ref := &reference{keys: append([]uint64(nil), initial...)}
+	domain := initial[len(initial)-1] + 1000
+	rng := rand.New(rand.NewSource(11))
+
+	for op := 0; op < 8_000; op++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // insert (possibly duplicate)
+			var k uint64
+			if rng.Intn(3) == 0 && len(ref.keys) > 0 {
+				k = ref.keys[rng.Intn(len(ref.keys))]
+			} else {
+				k = rng.Uint64() % domain
+			}
+			ix.Insert(k)
+			ref.insert(k)
+		case 4, 5, 6: // delete
+			var k uint64
+			if rng.Intn(2) == 0 && len(ref.keys) > 0 {
+				k = ref.keys[rng.Intn(len(ref.keys))]
+			} else {
+				k = rng.Uint64() % domain
+			}
+			if got, want := ix.Delete(k), ref.delete(k); got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, want)
+			}
+		default: // query
+			q := rng.Uint64() % domain
+			want := kv.LowerBound(ref.keys, q)
+			if got := ix.Find(q); got != want {
+				t.Fatalf("op %d: Find(%d) = %d, want %d", op, q, got, want)
+			}
+			wantFound := want < len(ref.keys) && ref.keys[want] == q
+			if rank, found := ix.Lookup(q); found != wantFound || rank != want {
+				t.Fatalf("op %d: Lookup(%d) = (%d,%v), want (%d,%v)", op, q, rank, found, want, wantFound)
+			}
+		}
+		if ix.Len() != len(ref.keys) {
+			t.Fatalf("op %d: Len = %d, want %d", op, ix.Len(), len(ref.keys))
+		}
+	}
+	if err := ix.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// On a single CPU the compactor may only get scheduled once the write
+	// loop yields; give it a moment before asserting it ran.
+	deadline := time.Now().Add(5 * time.Second)
+	for ix.Rebuilds() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if ix.Rebuilds() == 0 {
+		t.Error("expected at least one background compaction during the workload")
+	}
+
+	// Quiesce and verify the full live multiset survives one more rebuild.
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	ix.Scan(0, ^uint64(0), func(k uint64) bool { got = append(got, k); return true })
+	if len(got) != len(ref.keys) {
+		t.Fatalf("full scan returned %d keys, want %d", len(got), len(ref.keys))
+	}
+	for i := range got {
+		if got[i] != ref.keys[i] {
+			t.Fatalf("scan mismatch at %d: %d want %d", i, got[i], ref.keys[i])
+		}
+	}
+	if p := ix.Pending(); p != 0 {
+		t.Errorf("pending after quiescent compaction = %d, want 0", p)
+	}
+}
+
+// TestBatchMatchesScalar checks FindBatch/LookupBatch against the scalar
+// paths on a quiescent index (a storm-time batch uses one snapshot, so
+// batch-vs-scalar equivalence is only defined when no writes interleave).
+func TestBatchMatchesScalar(t *testing.T) {
+	initial := dataset.MustGenerate(dataset.Osmc, 64, 4_000, 5)
+	ix, err := New(initial, Config{Policy: CompactionPolicy{Kind: Manual}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	rng := rand.New(rand.NewSource(9))
+	domain := initial[len(initial)-1] + 500
+	for i := 0; i < 2_000; i++ {
+		if rng.Intn(3) == 0 {
+			ix.Delete(rng.Uint64() % domain)
+		} else {
+			ix.Insert(rng.Uint64() % domain)
+		}
+	}
+	qs := make([]uint64, 1500)
+	for i := range qs {
+		qs[i] = rng.Uint64() % (domain + 10)
+	}
+	ranks, found := ix.LookupBatch(qs, nil, nil)
+	out := ix.FindBatch(qs, nil)
+	for i, q := range qs {
+		if want := ix.Find(q); out[i] != want || ranks[i] != want {
+			t.Fatalf("batch rank for %d = (%d,%d), scalar %d", q, out[i], ranks[i], want)
+		}
+		if _, wantFound := ix.Lookup(q); found[i] != wantFound {
+			t.Fatalf("batch found for %d = %v, scalar %v", q, found[i], wantFound)
+		}
+	}
+}
+
+// TestWrapSharesFrozenState wraps a single-threaded index that already has
+// tombstones and a delta buffer; the first snapshot must serve that state
+// without copying, and concurrent writes must layer on top of it.
+func TestWrapSharesFrozenState(t *testing.T) {
+	initial := dataset.MustGenerate(dataset.Wiki, 64, 2_000, 7)
+	base, err := updatable.New(initial, updatable.Config{MaxDelta: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &reference{keys: append([]uint64(nil), initial...)}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		k := initial[rng.Intn(len(initial))]
+		if rng.Intn(2) == 0 {
+			if err := base.Insert(k + 1); err != nil {
+				t.Fatal(err)
+			}
+			ref.insert(k + 1)
+		} else {
+			if got, want := base.Delete(k), ref.delete(k); got != want {
+				t.Fatalf("seed Delete(%d) = %v, want %v", k, got, want)
+			}
+		}
+	}
+	if base.Stats().Tombstones == 0 || base.DeltaLen() == 0 {
+		t.Fatal("wrap precondition: want both tombstones and delta entries")
+	}
+
+	ix, err := Wrap(base, CompactionPolicy{Kind: Manual})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	for q := uint64(0); q < 200; q++ {
+		k := ref.keys[rng.Intn(len(ref.keys))] + q%3
+		if got, want := ix.Find(k), kv.LowerBound(ref.keys, k); got != want {
+			t.Fatalf("wrapped Find(%d) = %d, want %d", k, got, want)
+		}
+	}
+	// Concurrent writes layer on the frozen state.
+	ix.Insert(42)
+	ref.insert(42)
+	if got, want := ix.Len(), len(ref.keys); got != want {
+		t.Fatalf("Len after wrap+insert = %d, want %d", got, want)
+	}
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ix.Find(43), kv.LowerBound(ref.keys, 43); got != want {
+		t.Fatalf("post-compaction Find(43) = %d, want %d", got, want)
+	}
+}
+
+func TestManualPolicyNeverAutoCompacts(t *testing.T) {
+	ix, err := New([]uint64{1, 2, 3}, Config{Policy: CompactionPolicy{Kind: Manual}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	for i := 0; i < 3_000; i++ {
+		ix.Insert(uint64(i))
+	}
+	time.Sleep(10 * time.Millisecond)
+	if ix.Rebuilds() != 0 {
+		t.Fatalf("manual policy auto-compacted %d times", ix.Rebuilds())
+	}
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Rebuilds() != 1 || ix.Pending() != 0 {
+		t.Fatalf("manual Compact: rebuilds=%d pending=%d", ix.Rebuilds(), ix.Pending())
+	}
+}
+
+func TestBackgroundCompactionFires(t *testing.T) {
+	ix, err := New([]uint64{10, 20, 30}, Config{Policy: CompactionPolicy{Kind: DeltaCount, Count: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	for i := 0; i < 256; i++ {
+		ix.Insert(uint64(i * 7))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ix.Rebuilds() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if ix.Rebuilds() == 0 {
+		t.Fatal("background compactor never fired")
+	}
+	if err := ix.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Len(); got != 259 {
+		t.Fatalf("Len = %d, want 259", got)
+	}
+}
+
+func TestPolicyDue(t *testing.T) {
+	cases := []struct {
+		p             CompactionPolicy
+		pending, live int
+		want          bool
+	}{
+		{CompactionPolicy{}, 1023, 100, false},                                  // default fraction, floor 1024
+		{CompactionPolicy{}, 1024, 100, true},                                   // floor reached
+		{CompactionPolicy{Fraction: 0.5}, 1024, 100_000, false},                 // below 50% of live... floor is 1024 but 0.5*100000=50000>1024
+		{CompactionPolicy{Fraction: 0.5}, 50_000, 100_000, true},                // at 50%
+		{CompactionPolicy{Kind: DeltaCount, Count: 10}, 9, 0, false},            // below count
+		{CompactionPolicy{Kind: DeltaCount, Count: 10}, 10, 0, true},            // at count
+		{CompactionPolicy{Kind: DeltaCount}, 4095, 0, false},                    // default count
+		{CompactionPolicy{Kind: DeltaCount}, 4096, 0, true},                     // default count
+		{CompactionPolicy{Kind: Manual}, 1 << 30, 1, false},                     // manual never
+		{CompactionPolicy{Fraction: 1.0 / 64}, 2_000_000 / 64, 2_000_000, true}, // explicit default
+		{CompactionPolicy{Fraction: 1.0 / 64}, 2_000_000/64 - 1, 2_000_000, false},
+	}
+	for i, c := range cases {
+		if got := c.p.due(c.pending, c.live); got != c.want {
+			t.Errorf("case %d: due(%d, %d) with %+v = %v, want %v", i, c.pending, c.live, c.p, got, c.want)
+		}
+	}
+	if err := (CompactionPolicy{Kind: PolicyKind(9)}).validate(); err == nil {
+		t.Error("want error for unknown policy kind")
+	}
+	if err := (CompactionPolicy{Fraction: -1}).validate(); err == nil {
+		t.Error("want error for negative fraction")
+	}
+	if err := (CompactionPolicy{Count: -1}).validate(); err == nil {
+		t.Error("want error for negative count")
+	}
+	if _, err := New[uint64](nil, Config{Policy: CompactionPolicy{Count: -1}}); err == nil {
+		t.Error("New must reject an invalid policy")
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix, err := New[uint64](nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if got := ix.Find(5); got != 0 {
+		t.Errorf("empty Find = %d, want 0", got)
+	}
+	if _, found := ix.Lookup(5); found {
+		t.Error("empty Lookup must not find")
+	}
+	if ix.Delete(5) {
+		t.Error("Delete on empty must fail")
+	}
+	ix.Scan(0, ^uint64(0), func(uint64) bool { t.Fatal("empty scan must not visit"); return false })
+	for i := 0; i < 20; i++ {
+		ix.Insert(uint64(i * 3))
+	}
+	for q := uint64(0); q < 60; q++ {
+		want := int((q + 2) / 3)
+		if got := ix.Find(q); got != want {
+			t.Fatalf("Find(%d) = %d, want %d", q, got, want)
+		}
+	}
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 20 {
+		t.Errorf("Len after compaction = %d, want 20", ix.Len())
+	}
+}
+
+func TestScanContract(t *testing.T) {
+	ix, err := New([]uint64{10, 20, 30, 40, 50}, Config{Policy: CompactionPolicy{Kind: Manual}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ix.Insert(25)
+	ix.Insert(25)
+	ix.Delete(30)
+	ix.Delete(25)
+
+	var got []uint64
+	ix.Scan(10, 50, func(k uint64) bool { got = append(got, k); return true })
+	want := []uint64{10, 20, 25, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("Scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scan = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	ix.Scan(0, ^uint64(0), func(uint64) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("early-stop scan visited %d, want 2", count)
+	}
+	// Inverted range.
+	ix.Scan(50, 10, func(uint64) bool { t.Fatal("inverted range must not visit"); return false })
+}
+
+// TestModeMidpointLayer runs the concurrent wrapper over an S-mode base.
+func TestModeMidpointLayer(t *testing.T) {
+	initial := dataset.MustGenerate(dataset.LogN, 64, 3_000, 5)
+	ix, err := New(initial, Config{
+		Layer:  core.Config{Mode: core.ModeMidpoint},
+		Policy: CompactionPolicy{Kind: DeltaCount, Count: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ref := &reference{keys: append([]uint64(nil), initial...)}
+	rng := rand.New(rand.NewSource(21))
+	domain := initial[len(initial)-1] + 2
+	for i := 0; i < 2_000; i++ {
+		k := rng.Uint64() % domain
+		ix.Insert(k)
+		ref.insert(k)
+		q := rng.Uint64() % domain
+		if got, want := ix.Find(q), kv.LowerBound(ref.keys, q); got != want {
+			t.Fatalf("midpoint Find(%d) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	ix, err := New([]uint64{1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Close()
+	ix.Close()
+	// Reads and writes stay valid after Close.
+	ix.Insert(2)
+	if got := ix.Len(); got != 2 {
+		t.Fatalf("Len after Close = %d, want 2", got)
+	}
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+package concurrent
+
+import (
+	"iter"
+
+	"repro/internal/kv"
+	"repro/internal/updatable"
+)
+
+// A snapshot is one immutable, fully-consistent state of the index: a
+// frozen updatable.View (base Shift-Table + tombstone Fenwick + sealed
+// delta buffer, shared without copying via updatable.Index.Freeze) plus a
+// stack of write generations layered on top. Readers load the current
+// snapshot with a single atomic pointer load and never see it change
+// underneath them; writers and the compactor publish successors.
+//
+// The last generation is the write head; every write publishes a successor
+// snapshot with a fresh copy of it. To keep that copy small the head is
+// sealed once it reaches maxHeadLen and a new empty head is pushed, so a
+// snapshot carries a short stack of sealed mini-generations that readers
+// binary-search in turn. Compaction seals the whole stack, merges it into
+// a rebuilt base, and publishes the result; the generations pushed while
+// the rebuild ran carry over verbatim (that is the write replay).
+
+// maxHeadLen bounds the write head: a write that finds the head at this
+// size seals it and opens a fresh one. It caps the per-write copy at a few
+// KiB; the read-side cost is one extra pair of binary searches per sealed
+// mini-generation, which the compaction policy keeps bounded.
+const maxHeadLen = 1024
+
+// generation is an immutable batch of writes on top of a view: ins holds
+// inserted keys, dels holds tombstones. Both are sorted multisets. A
+// tombstone of value k cancels exactly one occurrence of k anywhere below
+// it (base, view delta, or an earlier generation's ins) — deletion
+// accounting is by key value, not position, so it survives the base
+// rebuild unchanged.
+type generation[K kv.Key] struct {
+	ins  []K
+	dels []K
+}
+
+// size is the number of pending write operations the generation carries.
+func (g *generation[K]) size() int { return len(g.ins) + len(g.dels) }
+
+// withInsert returns a copy with one occurrence of k added.
+func (g *generation[K]) withInsert(k K) *generation[K] {
+	i := kv.UpperBound(g.ins, k)
+	ins := make([]K, len(g.ins)+1)
+	copy(ins, g.ins[:i])
+	ins[i] = k
+	copy(ins[i+1:], g.ins[i:])
+	return &generation[K]{ins: ins, dels: g.dels}
+}
+
+// withoutIns returns a copy with the pending insert at index i removed.
+func (g *generation[K]) withoutIns(i int) *generation[K] {
+	ins := make([]K, 0, len(g.ins)-1)
+	ins = append(append(ins, g.ins[:i]...), g.ins[i+1:]...)
+	return &generation[K]{ins: ins, dels: g.dels}
+}
+
+// withDelete returns a copy with a tombstone for one occurrence of k.
+func (g *generation[K]) withDelete(k K) *generation[K] {
+	i := kv.UpperBound(g.dels, k)
+	dels := make([]K, len(g.dels)+1)
+	copy(dels, g.dels[:i])
+	dels[i] = k
+	copy(dels[i+1:], g.dels[i:])
+	return &generation[K]{ins: g.ins, dels: dels}
+}
+
+// countEq returns the number of occurrences of q in the sorted slice xs.
+func countEq[K kv.Key](xs []K, q K) int {
+	return kv.UpperBound(xs, q) - kv.LowerBound(xs, q)
+}
+
+type snapshot[K kv.Key] struct {
+	view *updatable.View[K]
+	gens []*generation[K] // oldest first; the last is the write head
+}
+
+// replaceTop returns a successor snapshot with the write head swapped. The
+// gens slice is copied — snapshots never share backing arrays whose
+// elements differ.
+func (s *snapshot[K]) replaceTop(g *generation[K]) *snapshot[K] {
+	gens := append([]*generation[K]{}, s.gens...)
+	gens[len(gens)-1] = g
+	return &snapshot[K]{view: s.view, gens: gens}
+}
+
+// pushHead returns a successor snapshot with g appended as the new write
+// head, sealing the previous one.
+func (s *snapshot[K]) pushHead(g *generation[K]) *snapshot[K] {
+	gens := append(append([]*generation[K]{}, s.gens...), g)
+	return &snapshot[K]{view: s.view, gens: gens}
+}
+
+// pending is the number of write operations not yet merged into the base.
+func (s *snapshot[K]) pending() int {
+	n := 0
+	for _, g := range s.gens {
+		n += g.size()
+	}
+	return n
+}
+
+// length is the number of live keys.
+func (s *snapshot[K]) length() int {
+	n := s.view.Len()
+	for _, g := range s.gens {
+		n += len(g.ins) - len(g.dels)
+	}
+	return n
+}
+
+// genRank is the generations' correction to a view rank: inserted keys
+// below q add one each, tombstoned occurrences below q remove one each.
+func (s *snapshot[K]) genRank(q K) int {
+	r := 0
+	for _, g := range s.gens {
+		r += kv.LowerBound(g.ins, q) - kv.LowerBound(g.dels, q)
+	}
+	return r
+}
+
+// rank is the logical lower-bound rank of q: the number of live keys < q.
+func (s *snapshot[K]) rank(q K) int {
+	return s.view.Find(q) + s.genRank(q)
+}
+
+// count is the number of live occurrences of q.
+func (s *snapshot[K]) count(q K) int {
+	n := s.view.Count(q)
+	for _, g := range s.gens {
+		n += countEq(g.ins, q) - countEq(g.dels, q)
+	}
+	return n
+}
+
+// lookup returns rank and live multiplicity with a single base-table
+// probe (View.LookupCount) plus the generation corrections.
+func (s *snapshot[K]) lookup(q K) (rank, count int) {
+	rank, count = s.view.LookupCount(q)
+	for _, g := range s.gens {
+		rank += kv.LowerBound(g.ins, q) - kv.LowerBound(g.dels, q)
+		count += countEq(g.ins, q) - countEq(g.dels, q)
+	}
+	return rank, count
+}
+
+// scan yields every live key in [a, b] in sorted order: the view's live
+// run merged with the generations' inserts, with tombstones cancelling
+// occurrences by value. fn returning false stops the scan.
+func (s *snapshot[K]) scan(a, b K, fn func(k K) bool) {
+	if b < a {
+		return
+	}
+	// Pull-iterate the view's own merged scan so it can be interleaved
+	// with the generation runs.
+	next, stop := iter.Pull(func(yield func(K) bool) {
+		s.view.Scan(a, b, yield)
+	})
+	defer stop()
+	vk, vok := next()
+
+	ip := make([]int, len(s.gens))
+	dp := make([]int, len(s.gens))
+	for g, gen := range s.gens {
+		ip[g] = kv.LowerBound(gen.ins, a)
+		dp[g] = kv.LowerBound(gen.dels, a)
+	}
+	for {
+		// The next distinct value is the smallest head among the view run
+		// and the insert runs. Every in-range tombstone matches one of
+		// those heads (it cancels an occurrence that exists below it), so
+		// tombstone runs only ever advance on an exact value match.
+		var cur K
+		have := false
+		if vok {
+			cur, have = vk, true
+		}
+		for g, gen := range s.gens {
+			if ip[g] < len(gen.ins) && gen.ins[ip[g]] <= b {
+				if !have || gen.ins[ip[g]] < cur {
+					cur, have = gen.ins[ip[g]], true
+				}
+			}
+		}
+		if !have {
+			return
+		}
+		n := 0
+		for vok && vk == cur {
+			n++
+			vk, vok = next()
+		}
+		for g, gen := range s.gens {
+			for ip[g] < len(gen.ins) && gen.ins[ip[g]] == cur {
+				n++
+				ip[g]++
+			}
+			for dp[g] < len(gen.dels) && gen.dels[dp[g]] == cur {
+				n--
+				dp[g]++
+			}
+		}
+		for ; n > 0; n-- {
+			if !fn(cur) {
+				return
+			}
+		}
+	}
+}

@@ -92,8 +92,12 @@ type Table[K kv.Key] struct {
 	count []int32
 
 	// scratch pools *batchScratch[K] instances for the batched query
-	// engine (batch.go); concurrent batches each draw their own.
-	scratch sync.Pool
+	// engine (batch.go); concurrent batches each draw their own. It is a
+	// pointer so a rebuilt table can adopt its predecessor's warmed pool
+	// (AdoptScratch): snapshot generations under internal/concurrent then
+	// share one pool instead of re-allocating scratches after every
+	// compaction.
+	scratch *sync.Pool
 }
 
 // Build constructs a Shift-Table over sorted keys corrected against the
@@ -114,7 +118,7 @@ func Build[K kv.Key](keys []K, model cdfmodel.Model[K], cfg Config) (*Table[K], 
 	}
 	if m < 1 || n == 0 {
 		if n == 0 {
-			return &Table[K]{keys: keys, model: model, mode: cfg.Mode, monotone: model.Monotone()}, nil
+			return &Table[K]{keys: keys, model: model, mode: cfg.Mode, monotone: model.Monotone(), scratch: new(sync.Pool)}, nil
 		}
 		return nil, fmt.Errorf("core: invalid layer size M=%d", cfg.M)
 	}
@@ -132,6 +136,7 @@ func Build[K kv.Key](keys []K, model cdfmodel.Model[K], cfg Config) (*Table[K], 
 		monotone: model.Monotone(),
 		n:        n,
 		m:        m,
+		scratch:  new(sync.Pool),
 	}
 
 	stride := 1
@@ -275,6 +280,17 @@ func (t *Table[K]) Model() cdfmodel.Model[K] { return t.model }
 
 // Keys returns the indexed keys (shared, not copied).
 func (t *Table[K]) Keys() []K { return t.keys }
+
+// AdoptScratch makes t draw its batch scratches from prev's pool instead of
+// its own, so a table rebuilt after a compaction keeps the warmed-up
+// instances of its predecessor (scratches carry no table-specific state:
+// every slot is written before it is read within a chunk). Call before t is
+// visible to concurrent readers; a nil or zero-value prev is a no-op.
+func (t *Table[K]) AdoptScratch(prev *Table[K]) {
+	if prev != nil && prev.scratch != nil {
+		t.scratch = prev.scratch
+	}
+}
 
 // SizeBytes reports the footprint of the correction layer itself (the
 // paper's Fig. 8 index-size axis counts the mapping array; the model size is

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/kv"
+)
+
+// fuzzKeys deterministically expands the fuzz parameters into a sorted key
+// slice. dup controls duplicate-run length (the paper's §3.2 duplicate
+// handling), drift controls gap burstiness — high drift produces the
+// clustered, heavy-tailed spacing that makes the IM model's error (and
+// hence the Shift-Table's correction) adversarial.
+func fuzzKeys(seed uint64, n int, dup, drift uint8) []uint64 {
+	keys := make([]uint64, n)
+	x := seed
+	cur := seed % (1 << 20)
+	run := 0
+	for i := range keys {
+		if run > 0 {
+			run--
+		} else {
+			x = x*0x9E3779B97F4A7C15 + 1
+			gap := (x >> 33) & (uint64(drift)<<8 | 0xF)
+			if drift > 128 && x%97 == 0 {
+				gap <<= 20 // rare huge jump: adversarial cluster boundary
+			}
+			cur += gap
+			run = int(x>>56) % (int(dup)/8 + 1)
+		}
+		keys[i] = cur
+	}
+	return keys
+}
+
+// FuzzFindLookup drives core.Find, Lookup and the batch engine over fuzzed
+// datasets and configurations, with kv.LowerBound as the rank oracle and
+// batch ≡ scalar as the pipeline oracle.
+func FuzzFindLookup(f *testing.F) {
+	f.Add(uint64(7), uint16(500), uint8(0), uint8(3), uint8(0), uint64(12345))
+	f.Add(uint64(3), uint16(800), uint8(255), uint8(1), uint8(1), uint64(99))      // duplicate-heavy
+	f.Add(uint64(11), uint16(1000), uint8(8), uint8(255), uint8(2), uint64(1<<40)) // adversarially drifted
+	f.Add(uint64(1), uint16(0), uint8(0), uint8(0), uint8(0), uint64(0))           // empty keys
+	f.Add(uint64(5), uint16(64), uint8(32), uint8(200), uint8(7), uint64(1))       // sampled midpoint, reduced M
+
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, dup, drift, modeBits uint8, q uint64) {
+		keys := fuzzKeys(seed, int(n)%2048, dup, drift)
+		cfg := Config{}
+		if modeBits&1 != 0 {
+			cfg.Mode = ModeMidpoint
+		}
+		if modeBits&2 != 0 && len(keys) > 8 {
+			cfg.M = len(keys) / 8
+		}
+		if modeBits&4 != 0 {
+			cfg.SampleStride = 3 // ignored in range mode, lossy in midpoint
+		}
+		table, err := Build(keys, cdfmodel.NewInterpolation(keys), cfg)
+		if err != nil {
+			t.Fatalf("Build(%d keys, %+v): %v", len(keys), cfg, err)
+		}
+
+		// Probe q itself plus the structurally interesting neighbours.
+		qs := []uint64{q, 0, ^uint64(0)}
+		if len(keys) > 0 {
+			mid := keys[len(keys)/2]
+			qs = append(qs, keys[0], keys[len(keys)-1], mid, mid+1, mid-1,
+				keys[len(keys)-1]+1, keys[0]-1)
+		}
+		x := seed
+		for i := 0; i < 64; i++ {
+			x = x*0xD1342543DE82EF95 + 29
+			qs = append(qs, q+x%(1<<(x%40+1)))
+		}
+		for _, qq := range qs {
+			want := kv.LowerBound(keys, qq)
+			if got := table.Find(qq); got != want {
+				t.Fatalf("Find(%d) = %d, want %d (n=%d cfg=%+v)", qq, got, want, len(keys), cfg)
+			}
+			pos, found := table.Lookup(qq)
+			if pos != want || found != (want < len(keys) && keys[want] == qq) {
+				t.Fatalf("Lookup(%d) = (%d,%v), want (%d,%v)", qq, pos, found,
+					want, want < len(keys) && keys[want] == qq)
+			}
+		}
+		// Batch ≡ scalar, through the staged pipeline.
+		out := table.FindBatch(qs, nil)
+		ranks, found := table.LookupBatch(qs, nil, nil)
+		for i, qq := range qs {
+			want := kv.LowerBound(keys, qq)
+			if out[i] != want || ranks[i] != want {
+				t.Fatalf("FindBatch[%d]=%d LookupBatch[%d]=%d for q=%d, want %d",
+					i, out[i], i, ranks[i], qq, want)
+			}
+			if found[i] != (want < len(keys) && keys[want] == qq) {
+				t.Fatalf("LookupBatch found[%d]=%v for q=%d, want %v",
+					i, found[i], qq, !found[i])
+			}
+		}
+	})
+}

@@ -42,6 +42,7 @@ func BuildParallel[K kv.Key](keys []K, model cdfmodel.Model[K], cfg Config, work
 		monotone: model.Monotone(),
 		n:        n,
 		m:        m,
+		scratch:  new(sync.Pool),
 	}
 
 	// Shard boundaries aligned to duplicate-run starts.

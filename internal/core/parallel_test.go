@@ -108,3 +108,26 @@ func TestParallelBuildSmallInput(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelBuildServesBatch pins the scratch-pool initialisation of the
+// BuildParallel path: a parallel-built table must run the batched query
+// engine (which draws from Table.scratch) without a nil pool.
+func TestParallelBuildServesBatch(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Face, 64, 10_000, 3)
+	model := cdfmodel.NewInterpolation(keys)
+	table, err := BuildParallel(keys, model, Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	qs := make([]uint64, 600)
+	for i := range qs {
+		qs[i] = keys[rng.Intn(len(keys))] + uint64(rng.Intn(3))
+	}
+	out := table.FindBatch(qs, nil)
+	for i, q := range qs {
+		if want := table.Find(q); out[i] != want {
+			t.Fatalf("FindBatch[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}

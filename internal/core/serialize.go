@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/cdfmodel"
 	"repro/internal/kv"
@@ -86,6 +87,7 @@ func Load[K kv.Key](r io.Reader, keys []K, model cdfmodel.Model[K]) (*Table[K], 
 		n:        int(head[3]),
 		m:        int(head[4]),
 		monotone: head[5] != 0,
+		scratch:  new(sync.Pool),
 	}
 	if t.n != len(keys) {
 		return nil, fmt.Errorf("core: layer built over %d keys, got %d", t.n, len(keys))

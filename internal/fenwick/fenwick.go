@@ -24,6 +24,12 @@ func New(n int) (*Tree, error) {
 // Len returns the number of slots.
 func (t *Tree) Len() int { return len(t.bit) - 1 }
 
+// Clone returns an independent copy of the tree. internal/updatable uses it
+// to detach a frozen read-only view from an index that keeps mutating.
+func (t *Tree) Clone() *Tree {
+	return &Tree{bit: append([]int64(nil), t.bit...)}
+}
+
 // Add adds delta to slot i (0-based).
 func (t *Tree) Add(i int, delta int64) {
 	if i < 0 || i >= t.Len() {

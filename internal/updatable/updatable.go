@@ -15,6 +15,11 @@
 // Lookups stay lower-bound exact at all times: the logical rank of a query
 // is its base rank, minus the deleted-before count from the Fenwick tree,
 // plus its delta-buffer rank.
+//
+// The read state lives in View (view.go); Index adds the write side.
+// Freeze hands out the current View as an immutable snapshot — the index
+// copy-on-writes before its next mutation — which is what
+// internal/concurrent publishes behind its atomic snapshot pointer.
 package updatable
 
 import (
@@ -35,18 +40,14 @@ type Config struct {
 	Layer core.Config
 }
 
-// Index is an updatable Shift-Table index over integer keys.
+// Index is an updatable Shift-Table index over integer keys. It is not
+// goroutine-safe; internal/concurrent wraps it for concurrent serving.
 type Index[K kv.Key] struct {
 	cfg      Config
 	maxDelta int
 
-	base      []K // sorted, may contain tombstoned slots
-	table     *core.Table[K]
-	dead      []bool        // tombstones, parallel to base
-	delTree   *fenwick.Tree // prefix counts of tombstones
-	deadCount int
-
-	delta []K // sorted insert buffer
+	v      *View[K]
+	frozen bool // v escaped via Freeze: copy-on-write before mutating
 
 	rebuilds int
 }
@@ -67,6 +68,8 @@ func New[K kv.Key](keys []K, cfg Config) (*Index[K], error) {
 }
 
 // setBase installs a new base array and rebuilds model, layer and trees.
+// The previous base table's batch scratch pool is carried over so rebuilds
+// don't discard the warmed-up scratches.
 func (ix *Index[K]) setBase(keys []K) error {
 	model := cdfmodel.NewInterpolation(keys)
 	table, err := core.Build(keys, model, ix.cfg.Layer)
@@ -77,11 +80,16 @@ func (ix *Index[K]) setBase(keys []K) error {
 	if err != nil {
 		return err
 	}
-	ix.base = keys
-	ix.table = table
-	ix.dead = make([]bool, len(keys))
-	ix.delTree = tree
-	ix.deadCount = 0
+	if ix.v != nil {
+		table.AdoptScratch(ix.v.table)
+	}
+	ix.v = &View[K]{
+		base:    keys,
+		table:   table,
+		dead:    make([]bool, len(keys)),
+		delTree: tree,
+	}
+	ix.frozen = false
 	ix.maxDelta = ix.cfg.MaxDelta
 	if ix.maxDelta == 0 {
 		ix.maxDelta = len(keys) / 64
@@ -92,96 +100,72 @@ func (ix *Index[K]) setBase(keys []K) error {
 	return nil
 }
 
-// Len returns the number of live keys.
-func (ix *Index[K]) Len() int {
-	return len(ix.base) - ix.deadCount + len(ix.delta)
+// Config returns the configuration the index was built with.
+func (ix *Index[K]) Config() Config { return ix.cfg }
+
+// View returns the current read-only view. It stays coherent only until
+// the next Insert/Delete/Compact; use Freeze for a snapshot that survives
+// later writes.
+func (ix *Index[K]) View() *View[K] { return ix.v }
+
+// Freeze returns the current view as an immutable snapshot: the snapshot
+// shares the base table, Fenwick tree and delta buffer with the index
+// without copying, and the index clones those mutable parts before its
+// next write (an O(N) copy, paid once per freeze, not per write). The
+// returned view is safe for concurrent readers for as long as they hold it.
+func (ix *Index[K]) Freeze() *View[K] {
+	ix.frozen = true
+	return ix.v
 }
+
+// mutable returns the view with ix allowed to mutate it, detaching from a
+// frozen snapshot first if one escaped.
+func (ix *Index[K]) mutable() *View[K] {
+	if ix.frozen {
+		ix.v = ix.v.clone()
+		ix.frozen = false
+	}
+	return ix.v
+}
+
+// Len returns the number of live keys.
+func (ix *Index[K]) Len() int { return ix.v.Len() }
 
 // Rebuilds returns how many compactions have run.
 func (ix *Index[K]) Rebuilds() int { return ix.rebuilds }
 
 // DeltaLen returns the current insert-buffer size (observability).
-func (ix *Index[K]) DeltaLen() int { return len(ix.delta) }
+func (ix *Index[K]) DeltaLen() int { return ix.v.DeltaLen() }
 
-// Find returns the logical lower-bound rank of q among live keys: the
-// number of live keys < q, which is the index the first key >= q would
-// have in the live sorted multiset.
-func (ix *Index[K]) Find(q K) int {
-	basePos := ix.table.Find(q)
-	deltaPos := kv.LowerBound(ix.delta, q)
-	return ix.rankAt(basePos, deltaPos)
-}
+// Find returns the logical lower-bound rank of q among live keys. See
+// View.Find.
+func (ix *Index[K]) Find(q K) int { return ix.v.Find(q) }
 
-// rankAt combines a base-table position and a delta-buffer position into
-// the logical rank: the base rank minus the deleted-before count from the
-// Fenwick tree, plus the delta rank.
-func (ix *Index[K]) rankAt(basePos, deltaPos int) int {
-	return basePos - int(ix.delTree.PrefixSum(basePos)) + deltaPos
-}
+// Lookup reports whether q is a live key and its logical rank. See
+// View.Lookup.
+func (ix *Index[K]) Lookup(q K) (rank int, found bool) { return ix.v.Lookup(q) }
 
-// Lookup reports whether q is a live key and its logical rank. The base
-// table and delta buffer are each probed once; rank and existence both
-// derive from those two positions.
-func (ix *Index[K]) Lookup(q K) (rank int, found bool) {
-	basePos := ix.table.Find(q)
-	deltaPos := kv.LowerBound(ix.delta, q)
-	rank = ix.rankAt(basePos, deltaPos)
-	return rank, ix.liveAt(q, basePos, deltaPos)
-}
+// FindBatch answers Find for every query in qs. See View.FindBatch.
+func (ix *Index[K]) FindBatch(qs []K, out []int) []int { return ix.v.FindBatch(qs, out) }
 
-// liveAt reports whether q has a live occurrence, given its base and delta
-// lower-bound positions.
-func (ix *Index[K]) liveAt(q K, basePos, deltaPos int) bool {
-	// Any live duplicate of q in the base?
-	for p := basePos; p < len(ix.base) && ix.base[p] == q; p++ {
-		if !ix.dead[p] {
-			return true
-		}
-	}
-	// Or in the delta buffer?
-	return deltaPos < len(ix.delta) && ix.delta[deltaPos] == q
-}
-
-// FindBatch answers Find for every query in qs, writing result i into
-// out[i] and returning the result slice (out when it has capacity). The
-// base-table probes run through the staged core.Table.FindBatch pipeline;
-// the Fenwick corrections and delta-buffer probes are then applied per
-// lane. Results are bit-identical to calling Find per query.
-func (ix *Index[K]) FindBatch(qs []K, out []int) []int {
-	out = ix.table.FindBatch(qs, out)
-	for i, q := range qs {
-		out[i] = ix.rankAt(out[i], kv.LowerBound(ix.delta, q))
-	}
-	return out
-}
-
-// LookupBatch answers Lookup for every query in qs: ranks[i] is the
-// logical rank of qs[i] and found[i] reports whether it is live. Like
-// FindBatch it reuses the supplied slices when they have capacity.
+// LookupBatch answers Lookup for every query in qs. See View.LookupBatch.
 func (ix *Index[K]) LookupBatch(qs []K, ranks []int, found []bool) ([]int, []bool) {
-	ranks = ix.table.FindBatch(qs, ranks)
-	if cap(found) >= len(qs) {
-		found = found[:len(qs)]
-	} else {
-		found = make([]bool, len(qs))
-	}
-	for i, q := range qs {
-		basePos := ranks[i]
-		deltaPos := kv.LowerBound(ix.delta, q)
-		ranks[i] = ix.rankAt(basePos, deltaPos)
-		found[i] = ix.liveAt(q, basePos, deltaPos)
-	}
-	return ranks, found
+	return ix.v.LookupBatch(qs, ranks, found)
 }
+
+// Scan calls fn for every live key in [a, b] in sorted order. See
+// View.Scan.
+func (ix *Index[K]) Scan(a, b K, fn func(k K) bool) { ix.v.Scan(a, b, fn) }
 
 // Insert adds k (duplicates allowed). Amortised O(MaxDelta) for the buffer
 // insertion plus a periodic O(N) compaction.
 func (ix *Index[K]) Insert(k K) error {
-	i := kv.UpperBound(ix.delta, k)
-	ix.delta = append(ix.delta, k)
-	copy(ix.delta[i+1:], ix.delta[i:])
-	ix.delta[i] = k
-	if len(ix.delta) >= ix.maxDelta {
+	v := ix.mutable()
+	i := kv.UpperBound(v.delta, k)
+	v.delta = append(v.delta, k)
+	copy(v.delta[i+1:], v.delta[i:])
+	v.delta[i] = k
+	if len(v.delta) >= ix.maxDelta {
 		return ix.Compact()
 	}
 	return nil
@@ -189,80 +173,54 @@ func (ix *Index[K]) Insert(k K) error {
 
 // Delete removes one live occurrence of k, reporting whether one existed.
 // Delta occurrences are removed first (cheap); base occurrences become
-// tombstones tracked by the Fenwick tree.
+// tombstones tracked by the Fenwick tree. The hit is located on the
+// current view before detaching from a frozen snapshot, so a miss never
+// pays the copy-on-write clone; positions carry over because the clone is
+// content-identical.
 func (ix *Index[K]) Delete(k K) bool {
-	if d := kv.LowerBound(ix.delta, k); d < len(ix.delta) && ix.delta[d] == k {
-		ix.delta = append(ix.delta[:d], ix.delta[d+1:]...)
+	v := ix.v
+	if d := kv.LowerBound(v.delta, k); d < len(v.delta) && v.delta[d] == k {
+		v = ix.mutable()
+		v.delta = append(v.delta[:d], v.delta[d+1:]...)
 		return true
 	}
-	for p := ix.table.Find(k); p < len(ix.base) && ix.base[p] == k; p++ {
-		if !ix.dead[p] {
-			ix.dead[p] = true
-			ix.delTree.Add(p, 1)
-			ix.deadCount++
+	for p := v.table.Find(k); p < len(v.base) && v.base[p] == k; p++ {
+		if !v.dead[p] {
+			v = ix.mutable()
+			v.dead[p] = true
+			v.delTree.Add(p, 1)
+			v.deadCount++
 			return true
 		}
 	}
 	return false
 }
 
-// Scan calls fn for every live key in [a, b] in sorted order; fn returning
-// false stops the scan. It merges the live base run with the delta run.
-func (ix *Index[K]) Scan(a, b K, fn func(k K) bool) {
-	if b < a {
-		return
-	}
-	bp := ix.table.Find(a)
-	dp := kv.LowerBound(ix.delta, a)
-	for {
-		// Skip tombstones.
-		for bp < len(ix.base) && ix.dead[bp] {
-			bp++
-		}
-		baseOK := bp < len(ix.base) && ix.base[bp] <= b
-		deltaOK := dp < len(ix.delta) && ix.delta[dp] <= b
-		switch {
-		case !baseOK && !deltaOK:
-			return
-		case baseOK && (!deltaOK || ix.base[bp] <= ix.delta[dp]):
-			if !fn(ix.base[bp]) {
-				return
-			}
-			bp++
-		default:
-			if !fn(ix.delta[dp]) {
-				return
-			}
-			dp++
-		}
-	}
-}
-
 // Compact merges the delta buffer and drops tombstones, rebuilding the
 // model, Shift-Table and Fenwick tree over the merged base.
 func (ix *Index[K]) Compact() error {
-	merged := make([]K, 0, ix.Len())
+	v := ix.v // read-only pass; setBase installs a fresh view
+	merged := make([]K, 0, v.Len())
 	bp, dp := 0, 0
-	for bp < len(ix.base) || dp < len(ix.delta) {
-		for bp < len(ix.base) && ix.dead[bp] {
+	for bp < len(v.base) || dp < len(v.delta) {
+		for bp < len(v.base) && v.dead[bp] {
 			bp++
 		}
 		switch {
-		case bp >= len(ix.base):
-			merged = append(merged, ix.delta[dp:]...)
-			dp = len(ix.delta)
-		case dp >= len(ix.delta):
-			merged = append(merged, ix.base[bp])
+		case bp >= len(v.base):
+			merged = append(merged, v.delta[dp:]...)
+			dp = len(v.delta)
+		case dp >= len(v.delta):
+			merged = append(merged, v.base[bp])
 			bp++
-		case ix.base[bp] <= ix.delta[dp]:
-			merged = append(merged, ix.base[bp])
+		case v.base[bp] <= v.delta[dp]:
+			merged = append(merged, v.base[bp])
 			bp++
 		default:
-			merged = append(merged, ix.delta[dp])
+			merged = append(merged, v.delta[dp])
 			dp++
 		}
 	}
-	ix.delta = nil
 	ix.rebuilds++
 	return ix.setBase(merged)
 }
@@ -281,11 +239,11 @@ type Stats struct {
 // Stats returns the current composition.
 func (ix *Index[K]) Stats() Stats {
 	return Stats{
-		Live:       ix.Len(),
-		BaseLen:    len(ix.base),
-		Tombstones: ix.deadCount,
-		DeltaLen:   len(ix.delta),
+		Live:       ix.v.Len(),
+		BaseLen:    len(ix.v.base),
+		Tombstones: ix.v.deadCount,
+		DeltaLen:   ix.v.DeltaLen(),
 		Rebuilds:   ix.rebuilds,
-		LayerBytes: ix.table.SizeBytes(),
+		LayerBytes: ix.v.table.SizeBytes(),
 	}
 }

@@ -189,6 +189,157 @@ func TestEmptyStart(t *testing.T) {
 	}
 }
 
+func TestCompactZeroDeltas(t *testing.T) {
+	initial := []uint64{10, 20, 20, 30}
+	ix, err := New(initial, Config{MaxDelta: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s := ix.Stats()
+	if s.Live != 4 || s.BaseLen != 4 || s.Tombstones != 0 || s.DeltaLen != 0 || s.Rebuilds != 1 {
+		t.Fatalf("no-op compaction stats wrong: %+v", s)
+	}
+	for q, want := range map[uint64]int{5: 0, 10: 0, 15: 1, 20: 1, 21: 3, 30: 3, 31: 4} {
+		if got := ix.Find(q); got != want {
+			t.Errorf("Find(%d) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestCompactDeleteOnlyDeltas(t *testing.T) {
+	initial := []uint64{10, 20, 20, 30, 40}
+	ix, err := New(initial, Config{MaxDelta: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tombstone one duplicate and one singleton; no inserts at all.
+	if !ix.Delete(20) || !ix.Delete(40) {
+		t.Fatal("deletes of live base keys must succeed")
+	}
+	if s := ix.Stats(); s.Tombstones != 2 || s.DeltaLen != 0 {
+		t.Fatalf("pre-compaction stats wrong: %+v", s)
+	}
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s := ix.Stats()
+	if s.Live != 3 || s.BaseLen != 3 || s.Tombstones != 0 {
+		t.Fatalf("delete-only compaction stats wrong: %+v", s)
+	}
+	var got []uint64
+	ix.Scan(0, ^uint64(0), func(k uint64) bool { got = append(got, k); return true })
+	want := []uint64{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("post-compaction scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-compaction scan = %v, want %v", got, want)
+		}
+	}
+	if _, found := ix.Lookup(40); found {
+		t.Error("deleted key 40 still found after compaction")
+	}
+}
+
+func TestCompactTombstoneEveryBaseKey(t *testing.T) {
+	initial := []uint64{5, 10, 10, 15}
+	ix, err := New(initial, Config{MaxDelta: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range initial {
+		if !ix.Delete(k) {
+			t.Fatalf("Delete(%d) of live key failed", k)
+		}
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("Len with all keys tombstoned = %d, want 0", ix.Len())
+	}
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s := ix.Stats()
+	if s.Live != 0 || s.BaseLen != 0 || s.Tombstones != 0 {
+		t.Fatalf("all-tombstone compaction stats wrong: %+v", s)
+	}
+	if got := ix.Find(10); got != 0 {
+		t.Errorf("Find on emptied index = %d, want 0", got)
+	}
+	// The emptied index must come back to life.
+	if err := ix.Insert(7); err != nil {
+		t.Fatal(err)
+	}
+	if rank, found := ix.Lookup(7); rank != 0 || !found {
+		t.Errorf("Lookup(7) after revival = (%d,%v), want (0,true)", rank, found)
+	}
+}
+
+// TestFreezeCopyOnWrite pins the snapshot contract internal/concurrent is
+// built on: a frozen view shares state with the index without copying, and
+// later index writes — including tombstones, which mutate the Fenwick tree
+// in place on the unfrozen path — never reach it.
+func TestFreezeCopyOnWrite(t *testing.T) {
+	initial := []uint64{10, 20, 30, 40}
+	ix, err := New(initial, Config{MaxDelta: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(25); err != nil {
+		t.Fatal(err)
+	}
+	v := ix.Freeze()
+	if got := v.Len(); got != 5 {
+		t.Fatalf("frozen Len = %d, want 5", got)
+	}
+
+	// Mutate the index in every way: insert, delete (delta and base),
+	// compact.
+	if err := ix.Insert(35); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Delete(25) || !ix.Delete(10) {
+		t.Fatal("deletes after freeze must succeed")
+	}
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The index moved on...
+	if got := ix.Len(); got != 4 {
+		t.Fatalf("index Len after writes = %d, want 4", got)
+	}
+	if _, found := ix.Lookup(10); found {
+		t.Error("index still finds deleted key 10")
+	}
+	// ...the frozen view did not.
+	if got := v.Len(); got != 5 {
+		t.Fatalf("frozen Len after index writes = %d, want 5", got)
+	}
+	for q, want := range map[uint64]int{10: 0, 25: 2, 30: 3, 41: 5} {
+		if got := v.Find(q); got != want {
+			t.Errorf("frozen Find(%d) = %d, want %d", q, got, want)
+		}
+	}
+	if _, found := v.Lookup(25); !found {
+		t.Error("frozen view lost key 25")
+	}
+	var got []uint64
+	v.Scan(0, ^uint64(0), func(k uint64) bool { got = append(got, k); return true })
+	want := []uint64{10, 20, 25, 30, 40}
+	if len(got) != len(want) {
+		t.Fatalf("frozen Scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frozen Scan = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	if _, err := New([]uint64{2, 1}, Config{}); err == nil {
 		t.Error("want error for unsorted keys")

@@ -1,0 +1,8 @@
+//go:build !race
+
+package repro_test
+
+const (
+	raceEnabled = false
+	stormWrites = 40_000
+)

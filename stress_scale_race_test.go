@@ -1,0 +1,13 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports that the race detector is active. Timing-shape tests
+// skip themselves because instrumentation distorts relative latencies; the
+// concurrency storm (concurrent_stress_test.go) instead shrinks its op
+// count — under the detector the point is interleaving coverage, not
+// volume.
+const (
+	raceEnabled = true
+	stormWrites = 6_000
+)
