@@ -20,6 +20,7 @@ import (
 	"repro/internal/cdfmodel"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/index"
 	"repro/internal/kv"
 	"repro/internal/memsim"
 	"repro/internal/search"
@@ -78,41 +79,41 @@ var (
 // builtFor caches constructed indexes: the testing framework re-runs each
 // sub-benchmark body while calibrating b.N, and rebuilding a 500k-key index
 // on every calibration round would dominate the run.
-func builtFor[K kv.Key](b *testing.B, id string, m bench.Method[K], keys []K) *bench.Built[K] {
+func builtFor[K kv.Key](b *testing.B, id string, be index.Backend[K], keys []K) index.Index[K] {
 	b.Helper()
 	builtMu.Lock()
 	defer builtMu.Unlock()
 	if v, ok := builtCache[id]; ok {
-		return v.(*bench.Built[K])
+		return v.(index.Index[K])
 	}
-	built, err := m.Build(keys)
+	ix, err := be.Build(keys)
 	if err != nil {
 		b.Fatal(err)
 	}
-	builtCache[id] = built
-	return built
+	builtCache[id] = ix
+	return ix
 }
 
 func table2Row[K kv.Key](b *testing.B, spec dataset.Spec, keys []K) {
 	w := bench.NewWorkload(keys, 1<<16, benchSeed+1)
-	for _, m := range bench.Methods[K]() {
-		m := m
-		b.Run(spec.String()+"/"+m.Name, func(b *testing.B) {
-			if reason := m.NA(keys); reason != "" {
+	for _, be := range index.Registry[K]() {
+		be := be
+		b.Run(spec.String()+"/"+be.Name, func(b *testing.B) {
+			if reason := be.Applicable(keys); reason != "" {
 				b.Skipf("N/A as in the paper's Table 2: %s", reason)
 			}
-			built := builtFor(b, spec.String()+"/"+m.Name, m, keys)
+			ix := builtFor(b, spec.String()+"/"+be.Name, be, keys)
 			// Validate before timing: a benchmark must never measure a
 			// broken index.
-			if _, err := w.Measure(built.Find, 1); err != nil {
+			if _, err := w.Measure(ix.Find, 1); err != nil {
 				b.Fatal(err)
 			}
-			b.ReportMetric(float64(built.SizeBytes), "indexbytes")
+			b.ReportMetric(float64(ix.SizeBytes()), "indexbytes")
 			mask := len(w.Queries) - 1
 			b.ResetTimer()
 			sink := 0
 			for i := 0; i < b.N; i++ {
-				sink += built.Find(w.Queries[i&mask])
+				sink += ix.Find(w.Queries[i&mask])
 			}
 			if sink == -1 {
 				b.Fatal("impossible")
@@ -208,14 +209,14 @@ func BenchmarkFig6ErrorCorrection(b *testing.B) {
 // cmd/figures -fig 7).
 func BenchmarkFig7Build(b *testing.B) {
 	keys := keysFor(b, dataset.Spec{Name: dataset.Face, Bits: 64})
-	for _, m := range bench.Methods[uint64]() {
-		m := m
-		if m.NA(keys) != "" {
+	for _, be := range index.Registry[uint64]() {
+		be := be
+		if be.Applicable(keys) != "" {
 			continue
 		}
-		b.Run(m.Name, func(b *testing.B) {
+		b.Run(be.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := m.Build(keys); err != nil {
+				if _, err := be.Build(keys); err != nil {
 					b.Fatal(err)
 				}
 			}

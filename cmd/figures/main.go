@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	figures -fig 2a|2b|3|6|7|8|9|L|batch|concurrent [-n N] [-q Q] [-seed S] [-dataset face64]
+//	figures -fig 2a|2b|3|6|7|8|9|L|batch|concurrent|router [-n N] [-q Q]
+//	        [-seed S] [-dataset face64]
 //
 // The "L" pseudo-figure prints the §2.3 error-to-latency micro-benchmark
 // (the L(s) curve parameterising the §3.7 cost model). The "batch"
@@ -12,24 +13,33 @@
 // FindBatch vs FindBatchParallel across batch sizes, R and S modes) as CSV.
 // The "concurrent" pseudo-figure prints the mixed read/write throughput
 // sweep over internal/concurrent (reader counts × compaction policies,
-// including reads completed during in-flight compactions) as CSV.
+// including reads completed during in-flight compactions) as CSV. The
+// "router" pseudo-figure builds the cost-model-routed hybrid index
+// (internal/router) over a piecewise dataset and prints its latency
+// against every homogeneous candidate backend, with the per-shard routing
+// decisions as comment lines.
+//
+// All CSV output flows through the shared bench.Grid emitter, the same
+// layout cmd/report renders as markdown.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/dataset"
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure id: 2a, 2b, 3, 6, 7, 8, 9, or L")
+	fig := flag.String("fig", "", "figure id: 2a, 2b, 3, 6, 7, 8, 9, L, batch, concurrent, router")
 	n := flag.Int("n", 0, "dataset size (0 = per-figure default)")
 	q := flag.Int("q", 0, "query count (0 = per-figure default)")
 	seed := flag.Int64("seed", 7, "dataset seed")
 	ds := flag.String("dataset", "face64", "dataset for fig 8 (face64 or osmc64)")
+	shards := flag.Int("shards", 0, "router shard count (0 = auto)")
 	flag.Parse()
 
 	var err error
@@ -54,8 +64,10 @@ func main() {
 		err = batchSweep(*n, *q, *seed)
 	case "concurrent":
 		err = concurrentSweep(*n, *seed)
+	case "router":
+		err = routerSweep(*n, *q, *shards, *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch, concurrent")
+		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch, concurrent, router")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -64,15 +76,20 @@ func main() {
 	}
 }
 
+// emit renders a grid as CSV on stdout.
+func emit(g *bench.Grid) { g.WriteCSV(os.Stdout) }
+
 func fig2a(n, q int, seed int64) error {
 	pts, err := bench.RunFig2a(bench.Fig2Config{N: n, Queries: q, Seed: seed})
 	if err != nil {
 		return err
 	}
-	fmt.Println("error,linear_ns,binary_ns,exponential_ns,binary_wo_model_ns,fast_ns")
+	g := bench.NewGrid("error", "linear_ns", "binary_ns", "exponential_ns", "binary_wo_model_ns", "fast_ns")
+	verbs := []string{"%d", "%.1f", "%.1f", "%.1f", "%.1f", "%.1f"}
 	for _, p := range pts {
-		fmt.Printf("%d,%.1f,%.1f,%.1f,%.1f,%.1f\n", p.Err, p.LinearNs, p.BinaryNs, p.ExpNs, p.BSNs, p.FASTNs)
+		g.Rowf(verbs, p.Err, p.LinearNs, p.BinaryNs, p.ExpNs, p.BSNs, p.FASTNs)
 	}
+	emit(g)
 	return nil
 }
 
@@ -81,10 +98,12 @@ func fig2b(n, q int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("error,linear_misses,binary_misses,exponential_misses,binary_wo_model_misses,fast_misses")
+	g := bench.NewGrid("error", "linear_misses", "binary_misses", "exponential_misses", "binary_wo_model_misses", "fast_misses")
+	verbs := []string{"%d", "%.2f", "%.2f", "%.2f", "%.2f", "%.2f"}
 	for _, p := range pts {
-		fmt.Printf("%d,%.2f,%.2f,%.2f,%.2f,%.2f\n", p.Err, p.LinearMisses, p.BinaryMisses, p.ExpMisses, p.BSMisses, p.FASTMisses)
+		g.Rowf(verbs, p.Err, p.LinearMisses, p.BinaryMisses, p.ExpMisses, p.BSMisses, p.FASTMisses)
 	}
+	emit(g)
 	return nil
 }
 
@@ -96,15 +115,17 @@ func fig3(n int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("dataset,scale,key,position")
+	g := bench.NewGrid("dataset", "scale", "key", "position")
+	verbs := []string{"%s", "%s", "%d", "%d"}
 	for _, s := range series {
 		for i := range s.MacroKeys {
-			fmt.Printf("%s,macro,%d,%d\n", s.Spec, s.MacroKeys[i], s.MacroPos[i])
+			g.Rowf(verbs, s.Spec, "macro", s.MacroKeys[i], s.MacroPos[i])
 		}
 		for i := range s.ZoomKeys {
-			fmt.Printf("%s,zoom,%d,%d\n", s.Spec, s.ZoomKeys[i], s.ZoomPos[i])
+			g.Rowf(verbs, s.Spec, "zoom", s.ZoomKeys[i], s.ZoomPos[i])
 		}
 	}
+	emit(g)
 	return nil
 }
 
@@ -117,10 +138,12 @@ func fig6(n int, seed int64) error {
 		return err
 	}
 	fmt.Printf("# avg model error = %.1f records, avg corrected error = %.1f records\n", res.AvgModel, res.AvgCorrected)
-	fmt.Println("position,model_err,corrected_err")
+	g := bench.NewGrid("position", "model_err", "corrected_err")
+	verbs := []string{"%d", "%d", "%d"}
 	for i := range res.Positions {
-		fmt.Printf("%d,%d,%d\n", res.Positions[i], res.ModelErr[i], res.CorrectedErr[i])
+		g.Rowf(verbs, res.Positions[i], res.ModelErr[i], res.CorrectedErr[i])
 	}
+	emit(g)
 	return nil
 }
 
@@ -147,11 +170,12 @@ func fig8(n, q int, seed int64, ds string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("method,size_bytes,lookup_ns,log2_err,accesses,l1_misses,llc_misses")
+	g := bench.NewGrid("method", "size_bytes", "lookup_ns", "log2_err", "accesses", "l1_misses", "llc_misses")
+	verbs := []string{"%s", "%d", "%.1f", "%.2f", "%.2f", "%.2f", "%.2f"}
 	for _, p := range pts {
-		fmt.Printf("%s,%d,%.1f,%.2f,%.2f,%.2f,%.2f\n",
-			p.Method, p.SizeBytes, p.LookupNs, p.Log2Err, p.Accesses, p.L1Misses, p.LLCMisses)
+		g.Rowf(verbs, p.Method, p.SizeBytes, p.LookupNs, p.Log2Err, p.Accesses, p.L1Misses, p.LLCMisses)
 	}
+	emit(g)
 	return nil
 }
 
@@ -169,12 +193,12 @@ func batchSweep(n, q int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("dataset,mode,batch_size,scalar_ns,batch_ns,parallel_ns,speedup_batch,speedup_parallel")
+	g := bench.NewGrid("dataset", "mode", "batch_size", "scalar_ns", "batch_ns", "parallel_ns", "speedup_batch", "speedup_parallel")
+	verbs := []string{"%s", "%s", "%d", "%.1f", "%.1f", "%.1f", "%.2f", "%.2f"}
 	for _, p := range pts {
-		fmt.Printf("%s,%s,%d,%.1f,%.1f,%.1f,%.2f,%.2f\n",
-			p.Dataset, p.Mode, p.BatchSize, p.ScalarNs, p.BatchNs, p.ParallelNs,
-			p.SpeedupBatch, p.SpeedupParallel)
+		g.Rowf(verbs, p.Dataset, p.Mode, p.BatchSize, p.ScalarNs, p.BatchNs, p.ParallelNs, p.SpeedupBatch, p.SpeedupParallel)
 	}
+	emit(g)
 	return nil
 }
 
@@ -183,11 +207,30 @@ func concurrentSweep(n int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("dataset,policy,readers,reads_per_sec,writes_per_sec,rebuilds,reads_during_compaction")
+	g := bench.NewGrid("dataset", "policy", "readers", "reads_per_sec", "writes_per_sec", "rebuilds", "reads_during_compaction")
+	verbs := []string{"%s", "%s", "%d", "%.0f", "%.0f", "%d", "%d"}
 	for _, p := range pts {
-		fmt.Printf("%s,%s,%d,%.0f,%.0f,%d,%d\n",
-			p.Dataset, p.Policy, p.Readers, p.ReadsPerSec, p.WritesPerSec,
-			p.Rebuilds, p.ReadsDuringCompaction)
+		g.Rowf(verbs, p.Dataset, p.Policy, p.Readers, p.ReadsPerSec, p.WritesPerSec, p.Rebuilds, p.ReadsDuringCompaction)
+	}
+	emit(g)
+	return nil
+}
+
+func routerSweep(n, q, shards int, seed int64) error {
+	res, err := bench.RunRouter(bench.RouterConfig{N: n, Queries: q, Shards: shards, Seed: seed})
+	if err != nil {
+		return err
+	}
+	// Routing decisions ride along as comment lines, rendered by the same
+	// grid emitter as the main series.
+	for _, line := range strings.Split(strings.TrimRight(res.ChoicesGrid().CSV(), "\n"), "\n") {
+		fmt.Println("#", line)
+	}
+	fmt.Printf("# distinct backends selected: %d\n", res.Distinct)
+	emit(res.Grid())
+	if name, best := res.BestHomogeneousNs(); best > 0 {
+		fmt.Printf("# router %.1f ns vs best homogeneous %s %.1f ns (ratio %.2f)\n",
+			res.RouterNs(), name, best, res.RouterNs()/best)
 	}
 	return nil
 }
@@ -201,9 +244,11 @@ func latencyCurve(n int, seed int64) error {
 		return err
 	}
 	pts := bench.MeasureLatencyCurve(keys, 1<<20, 5_000, seed)
-	fmt.Println("window,linear_ns,binary_ns,exponential_ns")
+	g := bench.NewGrid("window", "linear_ns", "binary_ns", "exponential_ns")
+	verbs := []string{"%d", "%.1f", "%.1f", "%.1f"}
 	for _, p := range pts {
-		fmt.Printf("%d,%.1f,%.1f,%.1f\n", p.WindowSize, p.LinearNs, p.BinaryNs, p.ExpNs)
+		g.Rowf(verbs, p.WindowSize, p.LinearNs, p.BinaryNs, p.ExpNs)
 	}
+	emit(g)
 	return nil
 }

@@ -32,43 +32,28 @@ func main() {
 	fmt.Printf("## Table 2: paper (200M keys, i7-6700) vs this reproduction (%dM keys, this machine)\n\n", *n/1_000_000)
 	fmt.Println("Numbers are ns/lookup, `paper -> ours`. `NA` matches the paper's N/A policy.")
 	fmt.Println()
-	fmt.Print("| dataset |")
-	for _, m := range res.Methods {
-		fmt.Printf(" %s |", m)
-	}
-	fmt.Println()
-	fmt.Print("|---|")
-	for range res.Methods {
-		fmt.Print("---|")
-	}
-	fmt.Println()
-	for _, row := range res.Rows {
-		ds := row.Spec.String()
-		fmt.Printf("| %s |", ds)
-		for _, m := range res.Methods {
-			c := row.Cells[m]
-			paper, hasPaper := bench.PaperTable2[ds][m]
-			switch {
-			case c.NA() && hasPaper && paper == bench.PaperNA:
-				fmt.Print(" NA -> NA |")
-			case c.NA():
-				fmt.Print(" ? -> NA |")
-			case !hasPaper:
-				fmt.Printf(" - -> %.0f |", c.Ns)
-			case paper == bench.PaperNA:
-				fmt.Printf(" NA -> %.0f |", c.Ns)
-			default:
-				fmt.Printf(" %.0f -> %.0f |", paper, c.Ns)
-			}
+	// The same grid cmd/figures renders as CSV, with a paper-comparison
+	// cell format, rendered as markdown.
+	res.Grid(func(ds, m string, c bench.Cell) string {
+		paper, hasPaper := bench.PaperTable2[ds][m]
+		switch {
+		case c.NA() && hasPaper && paper == bench.PaperNA:
+			return "NA -> NA"
+		case c.NA():
+			return "? -> NA"
+		case !hasPaper:
+			return fmt.Sprintf("- -> %.0f", c.Ns)
+		case paper == bench.PaperNA:
+			return fmt.Sprintf("NA -> %.0f", c.Ns)
+		default:
+			return fmt.Sprintf("%.0f -> %.0f", paper, c.Ns)
 		}
-		fmt.Println()
-	}
+	}).WriteMarkdown(os.Stdout)
 
 	fmt.Println()
 	fmt.Println("## Shape checks")
 	fmt.Println()
-	fmt.Println("| check | claim | paper | ours | holds |")
-	fmt.Println("|---|---|---|---|---|")
+	checks := bench.NewGrid("check", "claim", "paper", "ours", "holds")
 	pass, total := 0, 0
 	for _, c := range bench.CheckTable2Shape(res) {
 		total++
@@ -77,7 +62,8 @@ func main() {
 			pass++
 			mark = "yes"
 		}
-		fmt.Printf("| %s | %s | %s | %s | %s |\n", c.ID, c.Claim, c.Paper, c.Ours, mark)
+		checks.Row(c.ID, c.Claim, c.Paper, c.Ours, mark)
 	}
+	checks.WriteMarkdown(os.Stdout)
 	fmt.Printf("\n%d/%d shape checks hold.\n", pass, total)
 }

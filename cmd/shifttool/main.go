@@ -5,11 +5,17 @@
 // Usage:
 //
 //	shifttool -dataset face64 [-n 2000000] [-model im|linear|rs]
-//	          [-mode r|s] [-m 0] [-file keys.bin] [-advise]
+//	          [-mode r|s] [-m 0] [-file keys.bin] [-advise] [-rank]
 //
 // With -file, keys are loaded from a SOSD-format binary file instead of
 // being generated ( -dataset then only selects the key width, e.g. any
 // name ending in 32 or 64).
+//
+// With -rank, the tool generalises the advisor across the whole backend
+// registry (internal/index): it measures this machine's L(s) curve, asks
+// every backend's CostEstimator capability for its §3.7 estimate over the
+// dataset, measures actual lookup latency, and prints both side by side —
+// the same ranking internal/router applies per shard.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"repro/internal/cdfmodel"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/index"
 	"repro/internal/radixspline"
 )
 
@@ -34,15 +41,16 @@ func main() {
 	file := flag.String("file", "", "load keys from a SOSD binary file instead of generating")
 	seed := flag.Int64("seed", 42, "generation seed")
 	advise := flag.Bool("advise", false, "run the cost-model advisor (measures an L(s) curve first)")
+	rank := flag.Bool("rank", false, "rank every registry backend on the dataset: §3.7 estimate vs measured ns")
 	flag.Parse()
 
-	if err := run(*ds, *n, *modelName, *mode, *m, *file, *seed, *advise); err != nil {
+	if err := run(*ds, *n, *modelName, *mode, *m, *file, *seed, *advise, *rank); err != nil {
 		fmt.Fprintln(os.Stderr, "shifttool:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ds string, n int, modelName, mode string, m int, file string, seed int64, advise bool) error {
+func run(ds string, n int, modelName, mode string, m int, file string, seed int64, advise, rank bool) error {
 	bits := 64
 	if strings.HasSuffix(ds, "32") {
 		bits = 32
@@ -57,6 +65,9 @@ func run(ds string, n int, modelName, mode string, m int, file string, seed int6
 	}
 	if err != nil {
 		return err
+	}
+	if rank {
+		return rankBackends(keys, seed)
 	}
 	fmt.Printf("dataset %s: %d keys", ds, len(keys))
 	distinct, maxRun := dataset.DupStats(keys)
@@ -121,6 +132,41 @@ func run(ds string, n int, modelName, mode string, m int, file string, seed int6
 		} else {
 			fmt.Printf("=> disable the layer (predicted %.1fx slowdown)\n", with.TotalNs/without.TotalNs)
 		}
+	}
+	return nil
+}
+
+// rankBackends generalises the §3.7 advisor across the registry: every
+// applicable backend is built, its CostEstimator estimate (where it has
+// one) is evaluated under this machine's measured L(s) curve, and actual
+// lookup latency is measured over a validated workload.
+func rankBackends(keys []uint64, seed int64) error {
+	fmt.Println("measuring L(s) micro-benchmark (§2.3)...")
+	maxWin := len(keys) / 4
+	if maxWin < 2 {
+		maxWin = 2
+	}
+	l := bench.FitLatencyFn(bench.MeasureLatencyCurve(keys, maxWin, 3_000, seed))
+	w := bench.NewWorkload(keys, 50_000, seed+1)
+	fmt.Printf("\n%-8s %14s %14s %12s\n", "backend", "est ns (§3.7)", "measured ns", "size")
+	for _, be := range index.Registry[uint64]() {
+		if reason := be.Applicable(keys); reason != "" {
+			fmt.Printf("%-8s N/A: %s\n", be.Name, reason)
+			continue
+		}
+		ix, err := be.Build(keys)
+		if err != nil {
+			return fmt.Errorf("building %s: %w", be.Name, err)
+		}
+		est := "-"
+		if ce, ok := ix.(index.CostEstimator); ok {
+			est = fmt.Sprintf("%.0f", ce.EstimateNs(l))
+		}
+		ns, err := w.Measure(ix.Find, 2)
+		if err != nil {
+			return fmt.Errorf("measuring %s: %w", be.Name, err)
+		}
+		fmt.Printf("%-8s %14s %14.1f %12s\n", be.Name, est, ns, human(ix.SizeBytes()))
 	}
 	return nil
 }

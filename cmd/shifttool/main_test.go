@@ -8,13 +8,19 @@ import (
 )
 
 func TestRunGenerated(t *testing.T) {
-	if err := run("face64", 20_000, "im", "r", 0, "", 3, false); err != nil {
+	if err := run("face64", 20_000, "im", "r", 0, "", 3, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("wiki64", 20_000, "linear", "s", 500, "", 3, false); err != nil {
+	if err := run("wiki64", 20_000, "linear", "s", 500, "", 3, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("uspr32", 20_000, "rs", "r", 0, "", 3, false); err != nil {
+	if err := run("uspr32", 20_000, "rs", "r", 0, "", 3, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRank(t *testing.T) {
+	if err := run("uden64", 10_000, "im", "r", 0, "", 3, false, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -26,22 +32,22 @@ func TestRunFromFile(t *testing.T) {
 	if err := dataset.Save(path, keys, 64); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("face64", 0, "im", "r", 0, path, 3, false); err != nil {
+	if err := run("face64", 0, "im", "r", 0, path, 3, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("face64", 1000, "nope", "r", 0, "", 3, false); err == nil {
+	if err := run("face64", 1000, "nope", "r", 0, "", 3, false, false); err == nil {
 		t.Error("want error for unknown model")
 	}
-	if err := run("face64", 1000, "im", "x", 0, "", 3, false); err == nil {
+	if err := run("face64", 1000, "im", "x", 0, "", 3, false, false); err == nil {
 		t.Error("want error for unknown mode")
 	}
-	if err := run("nope64", 1000, "im", "r", 0, "", 3, false); err == nil {
+	if err := run("nope64", 1000, "im", "r", 0, "", 3, false, false); err == nil {
 		t.Error("want error for unknown dataset")
 	}
-	if err := run("face64", 0, "im", "r", 0, "/does/not/exist.bin", 3, false); err == nil {
+	if err := run("face64", 0, "im", "r", 0, "/does/not/exist.bin", 3, false, false); err == nil {
 		t.Error("want error for missing file")
 	}
 }

@@ -21,6 +21,20 @@
 // tested); see examples/batch for usage and `figures -fig batch` for the
 // throughput sweep.
 //
+// Every backend — the Shift-Table and the whole competitor set —
+// implements the unified index abstraction of internal/index (DESIGN.md
+// §7): one core Index contract (Find/Len/Name/SizeBytes) plus optional
+// capability interfaces (Ranger, BatchFinder, Tracer, CostEstimator,
+// Log2Errer), registered in a declarative registry the bench harness,
+// the cmd front-ends and one cross-backend conformance suite enumerate.
+// On top of it, internal/router is a range-partitioned hybrid index: the
+// paper's §3.7 cost model, generalised to the CostEstimator capability,
+// picks the cheapest backend per key-space shard (a bare interpolation
+// over smooth regions, model+Shift-Table over drift-heavy ones, a
+// B+tree or radix spline where even corrected windows stay wide). See
+// examples/multibackend for usage and `figures -fig router` for the
+// hybrid-vs-homogeneous sweep.
+//
 // The updatable index additionally has a concurrent serving wrapper
 // (internal/concurrent, DESIGN.md §6): reads — scalar, batched, and scans —
 // load an immutable snapshot through an atomic pointer and never block,

@@ -13,7 +13,9 @@ import (
 	"repro/internal/cdfmodel"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/index"
 	"repro/internal/kv"
+	"repro/internal/router"
 	"repro/internal/updatable"
 )
 
@@ -58,18 +60,28 @@ func agreeOn[K kv.Key](t *testing.T, keys []K, rng *rand.Rand) {
 		queries[i] = q
 		expect[i] = kv.LowerBound(keys, q)
 	}
-	for _, m := range bench.Methods[K]() {
-		if m.NA(keys) != "" {
+	for _, be := range index.Registry[K]() {
+		if be.Applicable(keys) != "" {
 			continue
 		}
-		built, err := m.Build(keys)
+		ix, err := be.Build(keys)
 		if err != nil {
-			t.Fatalf("%s: %v", m.Name, err)
+			t.Fatalf("%s: %v", be.Name, err)
 		}
 		for i, q := range queries {
-			if got := built.Find(q); got != expect[i] {
-				t.Fatalf("%s: Find(%v) = %d, want %d", m.Name, q, got, expect[i])
+			if got := ix.Find(q); got != expect[i] {
+				t.Fatalf("%s: Find(%v) = %d, want %d", be.Name, q, got, expect[i])
 			}
+		}
+	}
+	// The hybrid router composes registry backends; it must agree too.
+	r, err := router.New(keys, router.Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		if got := r.Find(q); got != expect[i] {
+			t.Fatalf("router: Find(%v) = %d, want %d", q, got, expect[i])
 		}
 	}
 }

@@ -63,6 +63,42 @@ func (t *Tree[K]) Len() int { return t.size }
 // Name identifies the index in benchmark output.
 func (t *Tree[K]) Name() string { return "ART" }
 
+// Find returns the lower-bound rank of q, assuming the tree was bulk-loaded
+// with positions as values (NewBulk with nil vals): the rank adapter that
+// serves the repository-wide index contract (internal/index) natively.
+func (t *Tree[K]) Find(q K) int {
+	_, v, ok := t.LowerBound(q)
+	if !ok {
+		return t.size
+	}
+	return int(v)
+}
+
+// FindRange returns the half-open rank range of keys in the inclusive key
+// range [a, b], under the same bulk-loaded-positions assumption as Find.
+func (t *Tree[K]) FindRange(a, b K) (first, last int) {
+	if b < a {
+		return 0, 0
+	}
+	first = t.Find(a)
+	if b == kv.MaxKey[K]() {
+		return first, t.size
+	}
+	return first, t.Find(b + 1)
+}
+
+// EstimateNs implements the index CostEstimator capability (§3.7
+// generalised): a descent touches roughly one node per key byte (path
+// compression shortens this; radix-width pruning shortens it further on
+// dense domains), each a non-cached probe priced at L(1).
+func (t *Tree[K]) EstimateNs(l func(s int) float64) float64 {
+	if t.size == 0 {
+		return 0
+	}
+	depth := float64(t.width) / 2 // empirical: compression halves the byte path
+	return depth * l(1)
+}
+
 // bytesOf encodes k as a big-endian byte string of the tree's key width.
 func (t *Tree[K]) bytesOf(k K) [8]byte {
 	var b [8]byte

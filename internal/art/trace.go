@@ -21,6 +21,16 @@ func nodeBytes(n node) int {
 	}
 }
 
+// TraceFind is the instrumented twin of Find: the rank adapter over
+// TraceLowerBound, for the cache simulator.
+func (t *Tree[K]) TraceFind(q K, touch search.Touch) int {
+	_, v, ok := t.TraceLowerBound(q, touch)
+	if !ok {
+		return t.size
+	}
+	return int(v)
+}
+
 // TraceLowerBound is the instrumented twin of LowerBound: every visited
 // node contributes one access of its layout's size.
 func (t *Tree[K]) TraceLowerBound(q K, touch search.Touch) (key K, val uint64, ok bool) {

@@ -11,56 +11,6 @@ import (
 // The harness tests run at reduced scale: they validate plumbing and the
 // qualitative shape, not absolute numbers (those are the benchmarks' job).
 
-func TestMethodsBuildAndAgree(t *testing.T) {
-	keys := dataset.MustGenerate(dataset.Face, 64, 50_000, 3)
-	w := NewWorkload(keys, 2_000, 5)
-	for _, m := range Methods[uint64]() {
-		if m.NA(keys) != "" {
-			continue
-		}
-		built, err := m.Build(keys)
-		if err != nil {
-			t.Fatalf("%s: %v", m.Name, err)
-		}
-		if _, err := w.Measure(built.Find, 1); err != nil {
-			t.Errorf("%s: %v", m.Name, err)
-		}
-		if built.TraceFind != nil {
-			nop := func(uint64, int) {}
-			for i := 0; i < 200; i++ {
-				q := w.Queries[i]
-				if got, want := built.TraceFind(q, nop), built.Find(q); got != want {
-					t.Fatalf("%s: TraceFind(%d)=%d, Find=%d", m.Name, q, got, want)
-				}
-			}
-		}
-	}
-}
-
-func TestNAPolicies(t *testing.T) {
-	wiki := dataset.MustGenerate(dataset.Wiki, 64, 30_000, 3)
-	logn := dataset.MustGenerate(dataset.LogN, 64, 30_000, 3)
-	uden := dataset.MustGenerate(dataset.UDen, 64, 30_000, 3)
-	for _, m := range Methods[uint64]() {
-		switch m.Name {
-		case "ART":
-			if m.NA(wiki) == "" {
-				t.Error("ART must be N/A on wiki (duplicates), as in Table 2")
-			}
-			if m.NA(uden) != "" {
-				t.Error("ART must run on uden")
-			}
-		case "IS":
-			if m.NA(logn) == "" {
-				t.Error("IS must be N/A on logn (too slow), as in Table 2")
-			}
-			if m.NA(uden) != "" {
-				t.Error("IS must run on uden")
-			}
-		}
-	}
-}
-
 func TestWorkloadValidatesResults(t *testing.T) {
 	keys := []uint64{1, 2, 3, 4, 5}
 	w := NewWorkload(keys, 10, 1)

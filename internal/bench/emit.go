@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Grid is a labelled results table: one header and uniform string rows.
+// It is the single emission path behind the cmd front-ends — cmd/figures
+// renders grids as CSV and cmd/report as markdown — replacing the
+// per-figure fmt loops both commands used to duplicate.
+type Grid struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewGrid starts a grid with the given column header.
+func NewGrid(header ...string) *Grid {
+	return &Grid{Header: header}
+}
+
+// Row appends one row; short rows are padded with empty cells so every
+// renderer sees a rectangle.
+func (g *Grid) Row(cells ...string) {
+	for len(cells) < len(g.Header) {
+		cells = append(cells, "")
+	}
+	g.Rows = append(g.Rows, cells)
+}
+
+// Rowf appends one row of formatted cells: each argument is rendered with
+// its paired verb ("%d", "%.1f", …). Saves the call sites from sprintf
+// boilerplate when a figure's columns have uniform formats.
+func (g *Grid) Rowf(verbs []string, args ...any) {
+	cells := make([]string, len(args))
+	for i, a := range args {
+		verb := "%v"
+		if i < len(verbs) && verbs[i] != "" {
+			verb = verbs[i]
+		}
+		cells[i] = fmt.Sprintf(verb, a)
+	}
+	g.Row(cells...)
+}
+
+// WriteCSV renders the grid as comma-separated values, one header line
+// then one line per row.
+func (g *Grid) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(g.Header, ","))
+	for _, row := range g.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// CSV renders the grid as a CSV string.
+func (g *Grid) CSV() string {
+	var b strings.Builder
+	g.WriteCSV(&b)
+	return b.String()
+}
+
+// WriteMarkdown renders the grid as a GitHub-flavoured markdown table.
+func (g *Grid) WriteMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "| %s |\n", strings.Join(g.Header, " | "))
+	fmt.Fprint(w, "|")
+	for range g.Header {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, row := range g.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+}

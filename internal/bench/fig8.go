@@ -110,21 +110,7 @@ func RunFig8(cfg Fig8Config) ([]Fig8Point, error) {
 		if err != nil {
 			return nil, err
 		}
-		find := func(q uint64) int {
-			it := tr.LowerBound(q)
-			if !it.Valid() {
-				return n
-			}
-			return int(it.Value())
-		}
-		trace := func(q uint64, touch search.Touch) int {
-			v, ok := tr.TraceLowerBound(q, touch)
-			if !ok {
-				return n
-			}
-			return int(v)
-		}
-		if err := add("B+tree", tr.SizeBytes(), -1, find, trace); err != nil {
+		if err := add("B+tree", tr.SizeBytes(), -1, tr.Find, tr.TraceFind); err != nil {
 			return nil, err
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cdfmodel"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/index"
 )
 
 // ---- Figure 3: CDF micro-structure ----
@@ -170,21 +171,21 @@ func RunFig7(n int, seed int64, specs []dataset.Spec) ([]Fig7Row, error) {
 }
 
 func buildRow[K interface{ ~uint32 | ~uint64 }](keys []K, names []string, samples map[string][]float64) error {
-	for _, m := range Methods[K]() {
-		if !contains(names, m.Name) {
+	for _, be := range index.Registry[K]() {
+		if !contains(names, be.Name) {
 			continue
 		}
-		if m.NA(keys) != "" {
+		if be.Applicable(keys) != "" {
 			continue
 		}
 		ms, err := MeasureBuild(func() error {
-			_, err := m.Build(keys)
+			_, err := be.Build(keys)
 			return err
 		})
 		if err != nil {
-			return fmt.Errorf("building %s: %w", m.Name, err)
+			return fmt.Errorf("building %s: %w", be.Name, err)
 		}
-		samples[m.Name] = append(samples[m.Name], ms)
+		samples[be.Name] = append(samples[be.Name], ms)
 	}
 	return nil
 }

@@ -92,21 +92,3 @@ func TestCheckTable2Shape(t *testing.T) {
 		}
 	}
 }
-
-func TestBuildMethodByName(t *testing.T) {
-	keys := dataset.MustGenerate(dataset.Face, 64, 5000, 3)
-	built, err := BuildMethod("IM+ST", keys)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if built.Find(keys[10]) != 10 {
-		t.Error("BuildMethod returned a broken index")
-	}
-	if _, err := BuildMethod("nope", keys); err == nil {
-		t.Error("unknown method must error")
-	}
-	wiki := dataset.MustGenerate(dataset.Wiki, 64, 5000, 3)
-	if _, err := BuildMethod("ART", wiki); err == nil {
-		t.Error("N/A method must error with the reason")
-	}
-}

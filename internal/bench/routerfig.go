@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/index"
+	"repro/internal/router"
+)
+
+// RouterConfig controls the hybrid-router evaluation (`figures -fig
+// router`): the cost-model-routed index over a piecewise dataset versus
+// every homogeneous candidate backend over the same keys.
+type RouterConfig struct {
+	N       int
+	Queries int
+	Reps    int
+	Shards  int
+	Seed    int64
+	// Backends is the candidate slate, nil meaning the router default.
+	Backends []string
+}
+
+func (c *RouterConfig) defaults() {
+	if c.N == 0 {
+		c.N = 2_000_000
+	}
+	if c.Queries == 0 {
+		c.Queries = 100_000
+	}
+	if c.Reps == 0 {
+		c.Reps = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// RouterPoint is one measured configuration: the router itself or one
+// homogeneous backend.
+type RouterPoint struct {
+	Backend   string
+	LookupNs  float64
+	BatchNs   float64 // FindBatch over the whole workload; 0 when scalar-only
+	SizeBytes int
+	BuildMs   float64
+	NAReason  string
+}
+
+// RouterResult is the full sweep plus the router's shard decisions.
+type RouterResult struct {
+	N       int
+	Points  []RouterPoint
+	Choices []router.Choice
+	// Distinct is how many different backends the router selected.
+	Distinct int
+}
+
+// RunRouter builds the hybrid router over a piecewise dataset (smooth +
+// drifted + duplicate segments), measures it against each homogeneous
+// candidate, and reports the per-shard routing decisions. The router's
+// L(s) curve is measured on this machine first (§2.3), so the routing
+// argmin uses real constants rather than the analytic stand-in.
+func RunRouter(cfg RouterConfig) (*RouterResult, error) {
+	cfg.defaults()
+	keys := dataset.Piecewise(cfg.N, cfg.Seed)
+	w := NewWorkload(keys, cfg.Queries, cfg.Seed+1)
+
+	maxWin := len(keys) / 4
+	if maxWin < 2 {
+		maxWin = 2
+	}
+	l := FitLatencyFn(MeasureLatencyCurve(keys, maxWin, 2_000, cfg.Seed))
+
+	res := &RouterResult{N: len(keys)}
+	rcfg := router.Config{Shards: cfg.Shards, Backends: cfg.Backends, Latency: l, Seed: cfg.Seed}
+	var r *router.Router[uint64]
+	buildMs, err := MeasureBuild(func() error {
+		var err error
+		r, err = router.New(keys, rcfg)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Choices = r.Choices()
+	res.Distinct = r.DistinctBackends()
+	pt, err := measureRouterPoint("router", w, r, buildMs, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = append(res.Points, pt)
+
+	candidates := rcfg.Backends
+	if candidates == nil {
+		candidates = router.DefaultBackends()
+	}
+	for _, name := range candidates {
+		be, err := index.Get[uint64](name)
+		if err != nil {
+			return nil, err
+		}
+		if reason := be.Applicable(keys); reason != "" {
+			res.Points = append(res.Points, RouterPoint{Backend: name, NAReason: reason})
+			continue
+		}
+		var ix index.Index[uint64]
+		buildMs, err := MeasureBuild(func() error {
+			var err error
+			ix, err = be.Build(keys)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("building %s: %w", name, err)
+		}
+		pt, err := measureRouterPoint(name, w, ix, buildMs, cfg.Reps)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// measureRouterPoint times scalar and batched lookups of one index over
+// the validated workload.
+func measureRouterPoint(name string, w *Workload[uint64], ix index.Index[uint64], buildMs float64, reps int) (RouterPoint, error) {
+	ns, err := w.Measure(ix.Find, reps)
+	if err != nil {
+		return RouterPoint{}, fmt.Errorf("measuring %s: %w", name, err)
+	}
+	pt := RouterPoint{Backend: name, LookupNs: ns, SizeBytes: ix.SizeBytes(), BuildMs: buildMs}
+	if bf, ok := ix.(index.BatchFinder[uint64]); ok {
+		batchNs, err := w.MeasureBatch(bf.FindBatch, 4096, reps)
+		if err != nil {
+			return RouterPoint{}, fmt.Errorf("batch-measuring %s: %w", name, err)
+		}
+		pt.BatchNs = batchNs
+	}
+	return pt, nil
+}
+
+// BestHomogeneousNs returns the fastest non-router scalar latency.
+func (r *RouterResult) BestHomogeneousNs() (string, float64) {
+	bestName, best := "", 0.0
+	for _, p := range r.Points {
+		if p.Backend == "router" || p.NAReason != "" {
+			continue
+		}
+		if best == 0 || p.LookupNs < best {
+			bestName, best = p.Backend, p.LookupNs
+		}
+	}
+	return bestName, best
+}
+
+// RouterNs returns the router's scalar latency.
+func (r *RouterResult) RouterNs() float64 {
+	for _, p := range r.Points {
+		if p.Backend == "router" {
+			return p.LookupNs
+		}
+	}
+	return 0
+}
+
+// Grid lays the sweep out for the shared emitters.
+func (r *RouterResult) Grid() *Grid {
+	g := NewGrid("backend", "lookup_ns", "batch_ns", "size_bytes", "build_ms")
+	for _, p := range r.Points {
+		if p.NAReason != "" {
+			g.Row(p.Backend, "NA", "NA", "NA", "NA")
+			continue
+		}
+		g.Rowf([]string{"%s", "%.1f", "%.1f", "%d", "%.1f"},
+			p.Backend, p.LookupNs, p.BatchNs, p.SizeBytes, p.BuildMs)
+	}
+	return g
+}
+
+// ChoicesGrid lays the routing table out for the shared emitters.
+func (r *RouterResult) ChoicesGrid() *Grid {
+	g := NewGrid("shard", "first_key", "len", "backend", "est_ns")
+	for i, c := range r.Choices {
+		g.Rowf([]string{"%d", "%d", "%d", "%s", "%.0f"},
+			i, c.FirstKey, c.Len, c.Backend, c.EstNs)
+	}
+	return g
+}

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunRouterSmoke runs the hybrid-router sweep at reduced scale: every
+// measured point is validated against reference ranks by Workload.Measure,
+// so a passing run certifies router correctness end to end; the routing
+// shape (≥ 2 distinct backends on a piecewise dataset) is the tentpole
+// acceptance criterion.
+func TestRunRouterSmoke(t *testing.T) {
+	res, err := RunRouter(RouterConfig{N: 120_000, Queries: 6_000, Reps: 1, Shards: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distinct < 2 {
+		t.Errorf("router picked %d distinct backends on the piecewise dataset, want >= 2", res.Distinct)
+	}
+	if len(res.Choices) != 12 {
+		t.Errorf("choices = %d, want 12", len(res.Choices))
+	}
+	rns := res.RouterNs()
+	name, best := res.BestHomogeneousNs()
+	if rns <= 0 || best <= 0 {
+		t.Fatalf("degenerate latencies: router %.1f, best %s %.1f", rns, name, best)
+	}
+	t.Logf("router %.1f ns vs best homogeneous %s %.1f ns (ratio %.2f)", rns, name, best, rns/best)
+	csv := res.Grid().CSV()
+	if !strings.HasPrefix(csv, "backend,lookup_ns,") || !strings.Contains(csv, "router,") {
+		t.Errorf("grid malformed:\n%s", csv)
+	}
+	if ccsv := res.ChoicesGrid().CSV(); !strings.HasPrefix(ccsv, "shard,first_key,") {
+		t.Errorf("choices grid malformed:\n%s", ccsv)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/index"
 	"repro/internal/kv"
 )
 
@@ -67,11 +68,11 @@ func (c *Table2Config) defaults() {
 func RunTable2(cfg Table2Config) (*Table2Result, error) {
 	cfg.defaults()
 	res := &Table2Result{N: cfg.N, Queries: cfg.Queries}
-	for _, m := range Methods[uint64]() {
-		if cfg.Methods != nil && !contains(cfg.Methods, m.Name) {
+	for _, name := range index.Names[uint64]() {
+		if cfg.Methods != nil && !contains(cfg.Methods, name) {
 			continue
 		}
-		res.Methods = append(res.Methods, m.Name)
+		res.Methods = append(res.Methods, name)
 	}
 	for _, spec := range cfg.Datasets {
 		keys64, err := dataset.Generate(spec.Name, spec.Bits, cfg.N, cfg.Seed)
@@ -93,32 +94,32 @@ func RunTable2(cfg Table2Config) (*Table2Result, error) {
 	return res, nil
 }
 
-// runRow measures every selected method over one dataset.
+// runRow measures every selected registry backend over one dataset.
 func runRow[K kv.Key](keys []K, cfg Table2Config) (map[string]Cell, error) {
 	w := NewWorkload(keys, cfg.Queries, cfg.Seed+1)
 	cells := make(map[string]Cell)
-	for _, m := range Methods[K]() {
-		if cfg.Methods != nil && !contains(cfg.Methods, m.Name) {
+	for _, be := range index.Registry[K]() {
+		if cfg.Methods != nil && !contains(cfg.Methods, be.Name) {
 			continue
 		}
-		if reason := m.NA(keys); reason != "" {
-			cells[m.Name] = Cell{NAReason: reason}
+		if reason := be.Applicable(keys); reason != "" {
+			cells[be.Name] = Cell{NAReason: reason}
 			continue
 		}
-		var built *Built[K]
+		var ix index.Index[K]
 		buildMs, err := MeasureBuild(func() error {
 			var err error
-			built, err = m.Build(keys)
+			ix, err = be.Build(keys)
 			return err
 		})
 		if err != nil {
-			return nil, fmt.Errorf("building %s: %w", m.Name, err)
+			return nil, fmt.Errorf("building %s: %w", be.Name, err)
 		}
-		ns, err := w.Measure(built.Find, cfg.Reps)
+		ns, err := w.Measure(ix.Find, cfg.Reps)
 		if err != nil {
-			return nil, fmt.Errorf("measuring %s: %w", m.Name, err)
+			return nil, fmt.Errorf("measuring %s: %w", be.Name, err)
 		}
-		cells[m.Name] = Cell{Ns: ns, Size: built.SizeBytes, BuildMs: buildMs}
+		cells[be.Name] = Cell{Ns: ns, Size: ix.SizeBytes(), BuildMs: buildMs}
 	}
 	return cells, nil
 }
@@ -148,27 +149,31 @@ func (r *Table2Result) Format() string {
 	return b.String()
 }
 
-// CSV renders the result as comma-separated values.
+// CSV renders the result as comma-separated values (via the shared Grid
+// emitter; the byte format is unchanged).
 func (r *Table2Result) CSV() string {
-	var b strings.Builder
-	b.WriteString("dataset")
-	for _, m := range r.Methods {
-		b.WriteString("," + m)
-	}
-	b.WriteByte('\n')
-	for _, row := range r.Rows {
-		b.WriteString(row.Spec.String())
-		for _, m := range r.Methods {
-			c := row.Cells[m]
-			if c.NA() {
-				b.WriteString(",NA")
-			} else {
-				fmt.Fprintf(&b, ",%.1f", c.Ns)
-			}
+	return r.Grid(func(_, _ string, c Cell) string {
+		if c.NA() {
+			return "NA"
 		}
-		b.WriteByte('\n')
+		return fmt.Sprintf("%.1f", c.Ns)
+	}).CSV()
+}
+
+// Grid lays the result out over the registry column order with a per-cell
+// formatter, for the shared CSV/markdown emitters (cmd/figures and
+// cmd/report render the same grid differently).
+func (r *Table2Result) Grid(cell func(ds, method string, c Cell) string) *Grid {
+	g := NewGrid(append([]string{"dataset"}, r.Methods...)...)
+	for _, row := range r.Rows {
+		ds := row.Spec.String()
+		cells := []string{ds}
+		for _, m := range r.Methods {
+			cells = append(cells, cell(ds, m, row.Cells[m]))
+		}
+		g.Row(cells...)
 	}
-	return b.String()
+	return g
 }
 
 // Winner returns the fastest method for a row and its margin over the

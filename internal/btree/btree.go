@@ -134,6 +134,49 @@ func (t *Tree[K]) Len() int { return t.size }
 // Height returns the number of levels (leaves count as 1; 0 when empty).
 func (t *Tree[K]) Height() int { return t.height }
 
+// Name identifies the backend in benchmark output, matching the paper's
+// Table 2 column label.
+func (t *Tree[K]) Name() string { return "B+tree" }
+
+// Find returns the lower-bound rank of q, assuming the tree was bulk-loaded
+// with positions as values (NewBulk with nil vals). It is the rank adapter
+// that lets the tree serve the repository-wide index contract
+// (internal/index) natively.
+func (t *Tree[K]) Find(q K) int {
+	it := t.LowerBound(q)
+	if !it.Valid() {
+		return t.size
+	}
+	return int(it.Value())
+}
+
+// FindRange returns the half-open rank range of keys in the inclusive key
+// range [a, b], under the same bulk-loaded-positions assumption as Find.
+func (t *Tree[K]) FindRange(a, b K) (first, last int) {
+	if b < a {
+		return 0, 0
+	}
+	first = t.Find(a)
+	if b == kv.MaxKey[K]() {
+		return first, t.size
+	}
+	return first, t.Find(b + 1)
+}
+
+// EstimateNs implements the index CostEstimator capability (§3.7
+// generalised): every level of the descent is one dependent non-cached
+// node fetch plus a lower-bound search over up to fanout in-node keys,
+// priced at L(fanout) under the machine's latency curve. (Pricing a level
+// at bare L(1) systematically underestimates pointer-chasing descents and
+// made the router prefer B+trees it then measured 2-4x slower than the
+// learned alternatives.)
+func (t *Tree[K]) EstimateNs(l func(s int) float64) float64 {
+	if t.height == 0 {
+		return 0
+	}
+	return float64(t.height) * l(t.fanout)
+}
+
 // Fanout returns the maximum keys per node.
 func (t *Tree[K]) Fanout() int { return t.fanout }
 

@@ -5,6 +5,16 @@ import (
 	"repro/internal/search"
 )
 
+// TraceFind is the instrumented twin of Find: the rank adapter over
+// TraceLowerBound, for the cache simulator.
+func (t *Tree[K]) TraceFind(q K, touch search.Touch) int {
+	v, ok := t.TraceLowerBound(q, touch)
+	if !ok {
+		return t.size
+	}
+	return int(v)
+}
+
 // TraceLowerBound is the instrumented twin of LowerBound, reporting the
 // node-key accesses of the descent and the leaf positioning. It returns the
 // value at the lower bound (the key's rank when bulk-loaded with positions)

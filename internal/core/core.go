@@ -269,6 +269,14 @@ func (t *Table[K]) predRange(k int) (pmin, pmax int64) {
 // N returns the number of indexed keys.
 func (t *Table[K]) N() int { return t.n }
 
+// Len returns the number of indexed keys (the index-contract spelling of N,
+// see internal/index).
+func (t *Table[K]) Len() int { return t.n }
+
+// Name identifies the backend in benchmark output: the host model's name
+// with the correction layer appended, e.g. "IM+ST".
+func (t *Table[K]) Name() string { return t.model.Name() + "+ST" }
+
 // M returns the number of layer partitions.
 func (t *Table[K]) M() int { return t.m }
 

@@ -8,8 +8,10 @@ package core
 
 // LatencyFn maps a local-search range of s records to its expected latency
 // in nanoseconds over non-cached memory — the paper's L(s), measured by the
-// §2.3 micro-benchmark (Fig. 2a).
-type LatencyFn func(s int) float64
+// §2.3 micro-benchmark (Fig. 2a). It is an alias, not a defined type, so
+// backend packages can implement the index CostEstimator capability
+// (internal/index) without importing core.
+type LatencyFn = func(s int) float64
 
 // CostEstimate is the output of the §3.7 cost model for one configuration.
 type CostEstimate struct {
@@ -74,6 +76,21 @@ func (t *Table[K]) EstimateWithout(modelNs float64, l LatencyFn) CostEstimate {
 	}
 	est.TotalNs = est.ModelNs + est.SearchNs
 	return est
+}
+
+// The default constants behind the capability-level EstimateNs: the §4.1
+// setup charges ~40 ns for the one extra non-cached layer lookup and a few
+// nanoseconds for executing a register-resident model. EstimateNs uses
+// L(1) — one non-cached probe on this machine — for the layer lookup and
+// this constant for the model.
+const estimateModelNs = 5.0
+
+// EstimateNs implements the index CostEstimator capability (§3.7
+// generalised across backends): the Eq. 9 expectation with the layer
+// lookup priced at L(1), one non-cached probe under the supplied latency
+// curve.
+func (t *Table[K]) EstimateNs(l LatencyFn) float64 {
+	return t.EstimateWith(estimateModelNs, l(1), l).TotalNs
 }
 
 // Advice is the outcome of the paper's tuning procedure (§3.9, §4.1).

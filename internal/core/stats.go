@@ -85,6 +85,14 @@ func (t *Table[K]) ComputeStats() Stats {
 	return s
 }
 
+// Log2Error implements the index Log2Errer capability: the mean log2 of
+// the last-mile search window, i.e. the expected binary-search iteration
+// count after correction (§4.2). It scans the layer; callers that need
+// more than this one figure should use ComputeStats directly.
+func (t *Table[K]) Log2Error() float64 {
+	return t.ComputeStats().MeanLog2Bounds
+}
+
 // ModelError measures a model's accuracy over its training keys without any
 // correction layer: the mean and maximum absolute drift |N·F(x) − N·Fθ(x)|,
 // with F using the paper's duplicate semantics (§3.2). This is the paper's

@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Piecewise composes a key space out of qualitatively different segments —
+// a smooth dense run (a linear CDF any interpolation model nails), a
+// drift-heavy lognormal run (the §2.4 unpredictability a Shift-Table
+// repays), and long duplicate runs (the congestion case of §3.6 where
+// even a corrected window stays wide) — laid out in disjoint increasing
+// key ranges. No homogeneous backend serves the whole array well; the
+// range-partitioned hybrid router (internal/router) is built for exactly
+// this shape and should pick a different backend per region.
+//
+// Generation is deterministic in seed; keys are sorted and 64-bit.
+func Piecewise(n int, seed int64) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	third := n / 3
+	keys := make([]uint64, 0, n)
+
+	// Segment 1 — smooth: dense near-arithmetic keys with tiny jitter.
+	// CDF is a clean line; a bare interpolation model has ~zero error.
+	const smoothBase = uint64(1) << 20
+	for i := 0; i < third; i++ {
+		keys = append(keys, smoothBase+uint64(i)*64+uint64(rng.Intn(8)))
+	}
+
+	// Segment 2 — drifted: lognormal offsets produce a smooth macro CDF
+	// with heavy local variance (cluster gaps), the regime where a model
+	// alone drifts by thousands of records.
+	driftBase := smoothBase + uint64(third)*64 + (uint64(1) << 30)
+	seg := make([]uint64, third)
+	for i := range seg {
+		v := math.Exp(rng.NormFloat64()*2.0) * float64(uint64(1)<<28)
+		if v < 0 {
+			v = 0
+		}
+		if v > float64(uint64(1)<<40) {
+			v = float64(uint64(1) << 40)
+		}
+		seg[i] = driftBase + uint64(v)
+	}
+	sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+	keys = append(keys, seg...)
+
+	// Segment 3 — duplicates: few distinct values in long runs (think
+	// categorical columns or timestamp buckets).
+	dupBase := driftBase + (uint64(1) << 41)
+	v := dupBase
+	for len(keys) < n {
+		run := 64 + rng.Intn(192)
+		if run > n-len(keys) {
+			run = n - len(keys)
+		}
+		for j := 0; j < run; j++ {
+			keys = append(keys, v)
+		}
+		v += 1 + uint64(rng.Intn(1<<16))
+	}
+	return keys
+}

@@ -1,0 +1,122 @@
+// Package index defines the repository-wide index abstraction: the one
+// contract every backend — the Shift-Table itself (internal/core) and the
+// paper's Table 2 competitor set — implements natively, plus the optional
+// capability interfaces the harness and the hybrid router probe for.
+//
+// The paper's central claim is that the Shift-Table is a *layer* that
+// composes with any CDF model, and that its §3.7 cost model predicts when
+// the layer pays off. This package is where that claim becomes an
+// architecture: backends register declaratively (registry.go), the bench
+// harness enumerates the registry instead of hand-wiring adapters, and
+// internal/router uses the CostEstimator capability to pick the cheapest
+// backend per key-space shard.
+package index
+
+import (
+	"repro/internal/kv"
+	"repro/internal/search"
+)
+
+// Index is the core contract: lower-bound lookups over a sorted key slice,
+// with lengths, names, and footprints for the harness. Every backend in
+// the repository implements it with methods on its own type — no adapter
+// closures.
+type Index[K kv.Key] interface {
+	// Find returns the smallest rank i with keys[i] >= q, or Len() when
+	// no such key exists (lower-bound semantics, validated against
+	// kv.LowerBound by the conformance suite).
+	Find(q K) int
+	// Len is the number of indexed keys.
+	Len() int
+	// Name identifies the backend in benchmark output (the paper's
+	// Table 2 column label where one exists).
+	Name() string
+	// SizeBytes is the index footprint excluding the key data itself.
+	SizeBytes() int
+}
+
+// Ranger is the optional range-query capability: the half-open position
+// range [first, last) of keys in the inclusive key range [a, b].
+type Ranger[K kv.Key] interface {
+	FindRange(a, b K) (first, last int)
+}
+
+// BatchFinder is the optional batched-lookup capability (DESIGN.md §5):
+// results are bit-identical to per-query Find, only the schedule differs.
+type BatchFinder[K kv.Key] interface {
+	FindBatch(qs []K, out []int) []int
+}
+
+// Tracer is the optional instrumented twin: Find replayed through a touch
+// callback for the cache simulator (internal/memsim).
+type Tracer[K kv.Key] interface {
+	TraceFind(q K, touch search.Touch) int
+}
+
+// CostEstimator is the optional §3.7 cost-model capability, generalised
+// across backends: the expected per-lookup latency in nanoseconds under
+// the machine's L(s) local-search latency curve (the §2.3
+// micro-benchmark). Estimates are comparable across backends, which is
+// all the router's argmin needs; absolute accuracy tracks the curve.
+type CostEstimator interface {
+	EstimateNs(l func(s int) float64) float64
+}
+
+// Log2Errer is the optional learned-index error metric: the mean log2 of
+// the last-mile search window (the paper's Fig. 8 "average Log2 error").
+type Log2Errer interface {
+	Log2Error() float64
+}
+
+// FindRange answers a range query through ix, using its native Ranger
+// capability when present and two lower-bound Finds otherwise.
+func FindRange[K kv.Key](ix Index[K], a, b K) (first, last int) {
+	if r, ok := ix.(Ranger[K]); ok {
+		return r.FindRange(a, b)
+	}
+	if b < a {
+		return 0, 0
+	}
+	first = ix.Find(a)
+	if b == kv.MaxKey[K]() {
+		return first, ix.Len()
+	}
+	return first, ix.Find(b + 1)
+}
+
+// FindBatch answers a batch of lower-bound queries through ix, using its
+// native BatchFinder pipeline when present and a scalar loop otherwise.
+// Result i for qs[i] lands in out[i]; the returned slice is out when it
+// has capacity, a fresh slice otherwise.
+func FindBatch[K kv.Key](ix Index[K], qs []K, out []int) []int {
+	if bf, ok := ix.(BatchFinder[K]); ok {
+		return bf.FindBatch(qs, out)
+	}
+	if cap(out) >= len(qs) {
+		out = out[:len(qs)]
+	} else {
+		out = make([]int, len(qs))
+	}
+	for i, q := range qs {
+		out[i] = ix.Find(q)
+	}
+	return out
+}
+
+// Log2Err returns the backend's mean log2 last-mile window when it reports
+// one, -1 otherwise (the harness's "not meaningful" sentinel).
+func Log2Err[K kv.Key](ix Index[K]) float64 {
+	if e, ok := ix.(Log2Errer); ok {
+		return e.Log2Error()
+	}
+	return -1
+}
+
+// TraceFindFn returns the backend's instrumented lookup when it has one,
+// nil otherwise; the miss-count harness skips backends without a twin.
+func TraceFindFn[K kv.Key](ix Index[K]) func(q K, touch search.Touch) int {
+	if tr, ok := ix.(Tracer[K]); ok {
+		return tr.TraceFind
+	}
+	return nil
+}

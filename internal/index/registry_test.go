@@ -1,0 +1,110 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kv"
+)
+
+// TestRegistryOrder pins the Table 2 column order: the harness emits CSVs
+// in registry order, and existing downstream consumers depend on it.
+func TestRegistryOrder(t *testing.T) {
+	want := []string{
+		"ART", "FAST", "RBS", "B+tree",
+		"BS", "TIP", "IS",
+		"IM", "IM+ST", "RMI", "RS", "RS+ST", "RMI+ST", "PGM",
+	}
+	got := Names[uint64]()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d backends, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBackendNamesSelfConsistent checks every built backend reports the
+// name it was registered under (the +ST composites derive theirs from the
+// host model).
+func TestBackendNamesSelfConsistent(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Face, 64, 2000, 1)
+	for _, be := range Registry[uint64]() {
+		if be.Applicable(keys) != "" {
+			continue
+		}
+		ix, err := be.Build(keys)
+		if err != nil {
+			t.Fatalf("%s: %v", be.Name, err)
+		}
+		if ix.Name() != be.Name {
+			t.Errorf("backend registered as %q names itself %q", be.Name, ix.Name())
+		}
+	}
+}
+
+// TestBuildByName covers the N/A path and the unknown-name path.
+func TestBuildByName(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.UDen, 64, 1000, 2)
+	ix, err := Build("IM+ST", keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ix.Find(keys[10]), kv.LowerBound(keys, keys[10]); got != want {
+		t.Errorf("Build returned a broken index: Find = %d, want %d", got, want)
+	}
+	if _, err := Build[uint64]("nope", keys); err == nil {
+		t.Error("expected error for unknown backend")
+	}
+	wiki := dataset.MustGenerate(dataset.Wiki, 64, 5000, 3)
+	if _, err := Build("ART", wiki); err == nil {
+		t.Error("expected N/A error for ART on duplicate keys")
+	}
+}
+
+// TestNAPolicies pins the paper's Table 2 N/A entries: ART rejects
+// duplicate keys, IS rejects distributions where it "takes too much
+// time", and both run where the paper runs them.
+func TestNAPolicies(t *testing.T) {
+	wiki := dataset.MustGenerate(dataset.Wiki, 64, 30_000, 3)
+	logn := dataset.MustGenerate(dataset.LogN, 64, 30_000, 3)
+	uden := dataset.MustGenerate(dataset.UDen, 64, 30_000, 3)
+	for _, be := range Registry[uint64]() {
+		switch be.Name {
+		case "ART":
+			if be.Applicable(wiki) == "" {
+				t.Error("ART must be N/A on wiki (duplicates), as in Table 2")
+			}
+			if be.Applicable(uden) != "" {
+				t.Error("ART must run on uden")
+			}
+		case "IS":
+			if be.Applicable(logn) == "" {
+				t.Error("IS must be N/A on logn (too slow), as in Table 2")
+			}
+			if be.Applicable(uden) != "" {
+				t.Error("IS must run on uden")
+			}
+		}
+	}
+}
+
+// TestTunedRMIMemoised checks the grid search runs once per (dataset,
+// size) fingerprint within a run.
+func TestTunedRMIMemoised(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.LogN, 64, 20_000, 4)
+	first := TunedRMI(keys)
+	if first.Leaves < 1 {
+		t.Fatalf("tuned config %+v", first)
+	}
+	again := TunedRMI(keys)
+	if again != first {
+		t.Errorf("memoised tuning returned %+v then %+v", first, again)
+	}
+	key := rmiTuneKey{first: keys[0], mid: keys[len(keys)/2], last: keys[len(keys)-1], n: len(keys), width: 8}
+	if _, ok := rmiTuneCache.Load(key); !ok {
+		t.Error("tuning result not cached")
+	}
+}

@@ -95,6 +95,26 @@ func Dedup[K Key](keys []K) []K {
 	return out
 }
 
+// HasDuplicates reports whether the sorted key slice contains duplicates.
+// Backends that cannot represent duplicates (ART, per the paper's Table 2
+// N/A policy) consult it when deciding applicability.
+func HasDuplicates[K Key](keys []K) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxKey returns the largest value of the key type. FindRange
+// implementations use it to detect the b == max sentinel where b+1 would
+// wrap.
+func MaxKey[K Key]() K {
+	var zero K
+	return ^zero
+}
+
 // Clamp restricts v to the inclusive range [lo, hi].
 func Clamp(v, lo, hi int) int {
 	if v < lo {

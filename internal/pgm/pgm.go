@@ -243,6 +243,37 @@ func (idx *Index[K]) Name() string { return "PGM" }
 // Epsilon returns the per-segment error bound.
 func (idx *Index[K]) Epsilon() int { return idx.eps }
 
+// Len returns the number of indexed keys.
+func (idx *Index[K]) Len() int { return idx.n }
+
+// FindRange returns the half-open rank range of keys in the inclusive key
+// range [a, b].
+func (idx *Index[K]) FindRange(a, b K) (first, last int) {
+	if b < a {
+		return 0, 0
+	}
+	first = idx.Find(a)
+	if b == kv.MaxKey[K]() {
+		return first, idx.n
+	}
+	return first, idx.Find(b + 1)
+}
+
+// EstimateNs implements the index CostEstimator capability (§3.7
+// generalised): one ±ε binary search per recursive level to locate the
+// segment, then the ±ε last-mile search — each level one non-cached probe
+// plus an in-corridor search.
+func (idx *Index[K]) EstimateNs(l func(s int) float64) float64 {
+	if idx.n == 0 {
+		return 0
+	}
+	levels := float64(len(idx.levels))
+	if levels < 1 {
+		levels = 1
+	}
+	return levels*l(1) + l(2*idx.eps+1)
+}
+
 // Segments returns the level-0 segment count.
 func (idx *Index[K]) Segments() int {
 	if len(idx.levels) == 0 {

@@ -234,6 +234,33 @@ func (idx *Index[K]) Name() string { return "RS" }
 // MaxError returns the spline corridor half-width ε.
 func (idx *Index[K]) MaxError() int { return idx.maxErr }
 
+// Len returns the number of indexed keys.
+func (idx *Index[K]) Len() int { return idx.n }
+
+// FindRange returns the half-open rank range of keys in the inclusive key
+// range [a, b].
+func (idx *Index[K]) FindRange(a, b K) (first, last int) {
+	if b < a {
+		return 0, 0
+	}
+	first = idx.Find(a)
+	if b == kv.MaxKey[K]() {
+		return first, idx.n
+	}
+	return first, idx.Find(b + 1)
+}
+
+// EstimateNs implements the index CostEstimator capability (§3.7
+// generalised): one non-cached radix-table probe, the spline segment scan
+// (in-cache, folded into the probe), and a binary search over the ±ε
+// corridor.
+func (idx *Index[K]) EstimateNs(l func(s int) float64) float64 {
+	if idx.n == 0 {
+		return 0
+	}
+	return l(1) + l(2*idx.maxErr+1)
+}
+
 // SplinePoints returns the number of fitted spline points.
 func (idx *Index[K]) SplinePoints() int { return len(idx.splineX) }
 

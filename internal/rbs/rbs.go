@@ -70,14 +70,14 @@ func (idx *Index[K]) Find(q K) int {
 	if idx.n == 0 {
 		return 0
 	}
-	p := int(uint64(q) >> idx.shift)
-	if p >= len(idx.table)-1 {
+	// Compare the prefix in uint64 before narrowing: with a zero shift
+	// (narrow key domains) a huge query prefix overflows int.
+	p64 := uint64(q) >> idx.shift
+	if p64 >= uint64(len(idx.table)-1) {
 		// Prefix beyond the table: q exceeds every indexed prefix.
-		p = len(idx.table) - 2
-		if uint64(q)>>idx.shift > uint64(p) {
-			return idx.n
-		}
+		return idx.n
 	}
+	p := int(p64)
 	lo, hi := int(idx.table[p]), int(idx.table[p+1])
 	return search.BinaryRange(idx.keys, lo, hi, q)
 }
@@ -90,3 +90,43 @@ func (idx *Index[K]) SizeBytes() int { return len(idx.table) * 4 }
 
 // Name identifies the index in benchmark output.
 func (idx *Index[K]) Name() string { return "RBS" }
+
+// Len returns the number of indexed keys.
+func (idx *Index[K]) Len() int { return idx.n }
+
+// FindRange returns the half-open rank range of keys in the inclusive key
+// range [a, b].
+func (idx *Index[K]) FindRange(a, b K) (first, last int) {
+	if b < a {
+		return 0, 0
+	}
+	first = idx.Find(a)
+	if b == kv.MaxKey[K]() {
+		return first, idx.n
+	}
+	return first, idx.Find(b + 1)
+}
+
+// EstimateNs implements the index CostEstimator capability (§3.7
+// generalised): one non-cached radix-table probe plus a binary search over
+// the expected bucket width — the mean number of keys per occupied table
+// slot, which is what a data-matching query distribution lands on.
+func (idx *Index[K]) EstimateNs(l func(s int) float64) float64 {
+	if idx.n == 0 {
+		return 0
+	}
+	occupied := 0
+	for p := 0; p < len(idx.table)-1; p++ {
+		if idx.table[p+1] > idx.table[p] {
+			occupied++
+		}
+	}
+	if occupied < 1 {
+		occupied = 1
+	}
+	bucket := idx.n / occupied
+	if bucket < 1 {
+		bucket = 1
+	}
+	return l(1) + l(bucket)
+}

@@ -11,13 +11,12 @@ func (idx *Index[K]) TraceFind(q K, touch search.Touch) int {
 	if idx.n == 0 {
 		return 0
 	}
-	p := int(uint64(q) >> idx.shift)
-	if p >= len(idx.table)-1 {
-		p = len(idx.table) - 2
-		if uint64(q)>>idx.shift > uint64(p) {
-			return idx.n
-		}
+	// Compare the prefix in uint64 before narrowing, as in Find.
+	p64 := uint64(q) >> idx.shift
+	if p64 >= uint64(len(idx.table)-1) {
+		return idx.n
 	}
+	p := int(p64)
 	touch(kv.Addr(idx.table, p), 8) // table[p] and table[p+1] are adjacent
 	lo, hi := int(idx.table[p]), int(idx.table[p+1])
 	return search.BinaryRangeTraced(idx.keys, lo, hi, q, touch)

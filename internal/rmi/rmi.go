@@ -253,6 +253,37 @@ func (idx *Index[K]) Name() string { return "RMI" }
 // Leaves returns the second-level model count.
 func (idx *Index[K]) Leaves() int { return len(idx.slope) }
 
+// Len returns the number of indexed keys.
+func (idx *Index[K]) Len() int { return idx.n }
+
+// FindRange returns the half-open rank range of keys in the inclusive key
+// range [a, b].
+func (idx *Index[K]) FindRange(a, b K) (first, last int) {
+	if b < a {
+		return 0, 0
+	}
+	first = idx.Find(a)
+	if b == kv.MaxKey[K]() {
+		return first, idx.n
+	}
+	return first, idx.Find(b + 1)
+}
+
+// EstimateNs implements the index CostEstimator capability (§3.7
+// generalised): root + leaf evaluation (register arithmetic plus one
+// non-cached parameter load once the model spills), then a bounded binary
+// search across the mean last-mile window 2^Log2Error.
+func (idx *Index[K]) EstimateNs(l func(s int) float64) float64 {
+	if idx.n == 0 {
+		return 0
+	}
+	window := int(math.Exp2(idx.Log2Error()))
+	if window < 1 {
+		window = 1
+	}
+	return l(1) + l(window)
+}
+
 // Find returns the smallest index i with keys[i] >= q (lower bound), using
 // the per-leaf error bounds for a bounded last-mile search and falling back
 // to exponential search when validation fails (non-monotone roots, or
