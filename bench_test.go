@@ -11,6 +11,7 @@ package repro_test
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/memsim"
 	"repro/internal/search"
+	"repro/internal/updatable"
 )
 
 func benchN() int {
@@ -414,6 +416,63 @@ func BenchmarkFindBatchParallel(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkBuild measures Shift-Table construction: the serial pipeline
+// and the arena-sharded parallel pipeline at 2/4/GOMAXPROCS workers, both
+// modes. b.N counts keys, so ns/op is build ns per key (the headline
+// number of `figures -fig build`); on a 1-core box the worker variants
+// measure the sharded code path itself rather than a speedup.
+func BenchmarkBuild(b *testing.B) {
+	for _, spec := range batchBenchSpecs {
+		keys := keysFor(b, spec)
+		model := cdfmodel.NewInterpolation(keys)
+		for _, mode := range []core.Mode{core.ModeRange, core.ModeMidpoint} {
+			for _, workers := range []int{1, 2, 4, 0} {
+				name := fmt.Sprintf("%s/%s/workers=%d", spec, mode, workers)
+				if workers == 0 {
+					name = fmt.Sprintf("%s/%s/workers=gomaxprocs", spec, mode)
+				}
+				b.Run(name, func(b *testing.B) {
+					for i := 0; i < b.N; i += len(keys) {
+						tab, err := core.BuildParallel(keys, model, core.Config{Mode: mode}, workers)
+						if err != nil || tab.N() != len(keys) {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkCompaction measures one full updatable-index compaction —
+// merge the delta, drop tombstones, rebuild model + layer + Fenwick tree
+// through the pooled BuildNext pipeline — after a fixed write burst. b.N
+// counts compactions.
+func BenchmarkCompaction(b *testing.B) {
+	keys := keysFor(b, dataset.Spec{Name: dataset.Face, Bits: 64})
+	const burst = 4096
+	b.Run(fmt.Sprintf("face64/burst=%d", burst), func(b *testing.B) {
+		ix, err := updatable.New(keys, updatable.Config{MaxDelta: len(keys)}) // manual compactions only
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			for j := 0; j < burst; j++ {
+				if err := ix.Insert(rng.Uint64()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			if err := ix.Compact(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkMemsim measures the simulator itself (it is the substrate of

@@ -34,12 +34,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure id: 2a, 2b, 3, 6, 7, 8, 9, L, batch, concurrent, router")
+	fig := flag.String("fig", "", "figure id: 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router")
 	n := flag.Int("n", 0, "dataset size (0 = per-figure default)")
 	q := flag.Int("q", 0, "query count (0 = per-figure default)")
 	seed := flag.Int64("seed", 7, "dataset seed")
 	ds := flag.String("dataset", "face64", "dataset for fig 8 (face64 or osmc64)")
 	shards := flag.Int("shards", 0, "router shard count (0 = auto)")
+	jsonPath := flag.String("json", "BENCH_build.json", "fig build: JSON output path (empty = skip)")
 	flag.Parse()
 
 	var err error
@@ -62,12 +63,14 @@ func main() {
 		err = latencyCurve(*n, *seed)
 	case "batch":
 		err = batchSweep(*n, *q, *seed)
+	case "build":
+		err = buildSweep(*n, *seed, *jsonPath)
 	case "concurrent":
 		err = concurrentSweep(*n, *seed)
 	case "router":
 		err = routerSweep(*n, *q, *shards, *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch, concurrent, router")
+		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -199,6 +202,28 @@ func batchSweep(n, q int, seed int64) error {
 		g.Rowf(verbs, p.Dataset, p.Mode, p.BatchSize, p.ScalarNs, p.BatchNs, p.ParallelNs, p.SpeedupBatch, p.SpeedupParallel)
 	}
 	emit(g)
+	return nil
+}
+
+func buildSweep(n int, seed int64, jsonPath string) error {
+	res, err := bench.RunBuildSweep(bench.BuildSweepConfig{N: n, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# build sweep: n=%d gomaxprocs=%d numcpu=%d (every built table validated against reference ranks)\n",
+		res.N, res.GoMaxProcs, res.NumCPU)
+	emit(res.Grid())
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", jsonPath)
+	}
 	return nil
 }
 

@@ -22,7 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cdfmodel"
@@ -98,11 +100,15 @@ func run(ds string, n int, modelName, mode string, m int, file string, seed int6
 	default:
 		return fmt.Errorf("unknown mode %q (want r or s)", mode)
 	}
-	tab, err := core.Build(keys, model, cfg)
+	start := time.Now()
+	tab, err := core.BuildParallel(keys, model, cfg, 0) // GOMAXPROCS workers
 	if err != nil {
 		return err
 	}
+	buildMs := float64(time.Since(start).Nanoseconds()) / 1e6
 	s := tab.ComputeStats()
+	fmt.Printf("built in %.1f ms (%.1f ns/key, %d workers)\n",
+		buildMs, buildMs*1e6/float64(len(keys)), runtime.GOMAXPROCS(0))
 	fmt.Printf("\nShift-Table over %s model (monotone=%v)\n", model.Name(), model.Monotone())
 	fmt.Printf("  mode %v, M=%d, entry width %d bits, footprint %s\n", s.Mode, s.M, s.EntryBits, human(s.SizeBytes))
 	fmt.Printf("  empty partitions: %d (%.1f%%), max partition cardinality: %d\n",

@@ -21,6 +21,17 @@
 // tested); see examples/batch for usage and `figures -fig batch` for the
 // throughput sweep.
 //
+// Construction mirrors it (DESIGN.md §8): one build pipeline behind
+// core.Build, core.BuildParallel and core.Table.BuildNext shards the model
+// sweep and — for monotone models — the per-partition accumulation across
+// workers into a single pooled arena, packs range-mode drift bounds into a
+// fused interleaved <lo, hi> layout so a lookup's correction step touches
+// one cache line instead of two, and caches the layer statistics from its
+// one model sweep. Rebuild chains (compaction, the router's shard builds,
+// RMI grid tuning) reuse the predecessor's arena and scratch pools. All
+// build paths are property-tested bit-identical; `figures -fig build`
+// sweeps worker counts and emits BENCH_build.json.
+//
 // Every backend — the Shift-Table and the whole competitor set —
 // implements the unified index abstraction of internal/index (DESIGN.md
 // §7): one core Index contract (Find/Len/Name/SizeBytes) plus optional

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kv"
+)
+
+// This file is the build-throughput experiment (DESIGN.md §8): the
+// Shift-Table construction pipeline measured across worker counts — the
+// build-side twin of the batched-query sweep. The paper treats
+// construction as a one-off O(N) pass (§3.3); since the concurrent
+// compactor, the hybrid router and the RMI tuner all rebuild layers on the
+// serving path, ns-per-key-vs-cores is now a serving-side number too.
+
+// BuildSweepConfig parameterises RunBuildSweep.
+type BuildSweepConfig struct {
+	// N is keys per dataset (0 = 2M).
+	N int
+	// Reps per measurement; best-of is reported (0 = 3).
+	Reps int
+	// Seed for datasets.
+	Seed int64
+	// Workers counts to sweep (nil = 1, 2, 4, GOMAXPROCS deduplicated,
+	// ascending).
+	Workers []int
+	// Specs to run (nil = face64, logn64).
+	Specs []dataset.Spec
+}
+
+// BuildPoint is one (dataset, mode, workers) measurement.
+type BuildPoint struct {
+	Dataset  string  `json:"dataset"`
+	Mode     string  `json:"mode"`
+	Workers  int     `json:"workers"`
+	BuildMs  float64 `json:"build_ms"`
+	NsPerKey float64 `json:"ns_per_key"`
+	// Speedup is serial build time over this point's build time (workers=1
+	// of the same dataset+mode is the baseline).
+	Speedup float64 `json:"speedup"`
+}
+
+// BuildSweepResult is the full sweep plus the environment facts a reader
+// needs to interpret it — on a 1-core container every worker count
+// measures the serial fallback.
+type BuildSweepResult struct {
+	N          int          `json:"n"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Points     []BuildPoint `json:"points"`
+}
+
+// DefaultBuildWorkers is the 1/2/4/GOMAXPROCS ladder, deduplicated and
+// ascending.
+func DefaultBuildWorkers() []int {
+	ws := []int{1, 2, 4}
+	gmp := runtime.GOMAXPROCS(0)
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range append(ws, gmp) {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; list is ~4 long
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// RunBuildSweep measures build time per worker count, both modes, every
+// dataset. Every parallel-built table is validated against lower-bound
+// reference ranks before its time is reported, so the sweep can never
+// silently measure a broken build.
+func RunBuildSweep(cfg BuildSweepConfig) (*BuildSweepResult, error) {
+	if cfg.N == 0 {
+		cfg.N = 2_000_000
+	}
+	if cfg.Reps == 0 {
+		cfg.Reps = 3
+	}
+	if cfg.Workers == nil {
+		cfg.Workers = DefaultBuildWorkers()
+	}
+	if cfg.Specs == nil {
+		cfg.Specs = []dataset.Spec{
+			{Name: dataset.Face, Bits: 64},
+			{Name: dataset.LogN, Bits: 64},
+		}
+	}
+	res := &BuildSweepResult{
+		N:          cfg.N,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, spec := range cfg.Specs {
+		keys64, err := dataset.Generate(spec.Name, spec.Bits, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var pts []BuildPoint
+		if spec.Bits == 32 {
+			pts, err = buildSweepRow(dataset.U32(keys64), spec.String(), cfg)
+		} else {
+			pts, err = buildSweepRow(keys64, spec.String(), cfg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s: %w", spec, err)
+		}
+		res.Points = append(res.Points, pts...)
+	}
+	return res, nil
+}
+
+func buildSweepRow[K kv.Key](keys []K, ds string, cfg BuildSweepConfig) ([]BuildPoint, error) {
+	model := cdfmodel.NewInterpolation(keys)
+	var out []BuildPoint
+	for _, mode := range []core.Mode{core.ModeRange, core.ModeMidpoint} {
+		var serialMs float64
+		for _, workers := range cfg.Workers {
+			best := 0.0
+			var tab *core.Table[K]
+			for r := 0; r < cfg.Reps; r++ {
+				start := time.Now()
+				t, err := core.BuildParallel(keys, model, core.Config{Mode: mode}, workers)
+				ms := float64(time.Since(start).Nanoseconds()) / 1e6
+				if err != nil {
+					return nil, err
+				}
+				if best == 0 || ms < best {
+					best = ms
+					tab = t
+				}
+			}
+			if err := validateBuild(tab, keys); err != nil {
+				return nil, fmt.Errorf("%s/%v workers=%d: %w", ds, mode, workers, err)
+			}
+			if workers == cfg.Workers[0] {
+				serialMs = best
+			}
+			out = append(out, BuildPoint{
+				Dataset:  ds,
+				Mode:     mode.String(),
+				Workers:  workers,
+				BuildMs:  best,
+				NsPerKey: best * 1e6 / float64(len(keys)),
+				Speedup:  serialMs / best,
+			})
+		}
+	}
+	return out, nil
+}
+
+// validateBuild spot-checks a built table against the lower-bound oracle
+// on a strided sample of indexed keys and their neighbours.
+func validateBuild[K kv.Key](t *core.Table[K], keys []K) error {
+	stride := len(keys)/512 + 1
+	for i := 0; i < len(keys); i += stride {
+		q := keys[i]
+		if got, want := t.Find(q), kv.LowerBound(keys, q); got != want {
+			return fmt.Errorf("bench: built table Find(%v) = %d, want %d", q, got, want)
+		}
+		if got, want := t.Find(q+1), kv.LowerBound(keys, q+1); got != want {
+			return fmt.Errorf("bench: built table Find(%v) = %d, want %d", q+1, got, want)
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the sweep in the BENCH_build.json shape the CI smoke
+// and EXPERIMENTS.md reference.
+func (r *BuildSweepResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Grid renders the sweep through the shared CSV/markdown emitter.
+func (r *BuildSweepResult) Grid() *Grid {
+	g := NewGrid("dataset", "mode", "workers", "build_ms", "ns_per_key", "speedup")
+	verbs := []string{"%s", "%s", "%d", "%.1f", "%.2f", "%.2f"}
+	for _, p := range r.Points {
+		g.Rowf(verbs, p.Dataset, p.Mode, p.Workers, p.BuildMs, p.NsPerKey, p.Speedup)
+	}
+	return g
+}

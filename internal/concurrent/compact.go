@@ -161,13 +161,18 @@ func (ix *Index[K]) Compact() error {
 	ix.compacting.Store(true)
 	defer ix.compacting.Store(false)
 
-	// Phase 2: rebuild off to the side.
+	// Phase 2: rebuild off to the side. The rebuild runs the parallel
+	// build pipeline seeded with the sealed base table (DESIGN.md §8):
+	// model predictions and per-partition accumulation shard across
+	// cores, and the build arena plus the batch-scratch pool carry over
+	// from the predecessor, so steady-state compaction allocates only the
+	// merged keys and the packed layer itself.
 	merged := make([]K, 0, sealed.length())
 	sealed.scan(0, maxOf[K](), func(k K) bool {
 		merged = append(merged, k)
 		return true
 	})
-	rebuilt, err := updatable.New(merged, updatable.Config{Layer: ix.cfg.Layer})
+	rebuilt, err := updatable.NewFrom(merged, updatable.Config{Layer: ix.cfg.Layer}, sealed.view.Table())
 	if err != nil {
 		// Flatten the generation stack so reads don't degrade while the
 		// failure persists; the compactor goroutine survives errors, so
@@ -179,7 +184,6 @@ func (ix *Index[K]) Compact() error {
 		return err
 	}
 	view := rebuilt.Freeze()
-	view.Table().AdoptScratch(sealed.view.Table())
 
 	// Phase 3: publish.
 	ix.mu.Lock()

@@ -176,11 +176,11 @@ func (t *Table[K]) partitioner() func(int) int {
 
 // gatherWindows computes, per lane, the clamped local-search window
 // [wlo, wend) exactly as search.Window derives it from the raw drift
-// bounds.
+// bounds. The fused pair layout makes this one gather instead of two: each
+// lane's <lo, hi> entries are adjacent, so half the independent misses of
+// the split-layout gather fetch both bounds.
 func (t *Table[K]) gatherWindows(pred, wlo, wend []int) {
-	part := t.partitioner()
-	t.lo.gatherAdd(pred, wlo, part)
-	t.hi.gatherAdd(pred, wend, part)
+	t.pairs.gatherAdd(pred, wlo, wend, t.partitioner())
 	// Clamp to search.Window's semantics: lo into [0, n], inclusive hi cut
 	// at n-1, then one slot past the window (§3.1) capped at n.
 	n := t.n

@@ -1,0 +1,558 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/kv"
+)
+
+// This file is the build pipeline (DESIGN.md §8). Construction is the
+// paper's Alg. 2 — one pass over the keys accumulating per-partition
+// statistics, one backward pass over the layer deriving drift bounds and
+// backfilling empty partitions (§3.1) — restructured so the expensive part
+// scales with cores and the transient memory is reusable:
+//
+//  1. Model predictions are the dominant cost of pass 1 and are a pure map
+//     over the keys, so parallel builds compute them into a pre-sized
+//     prediction arena with one worker per key range.
+//  2. Once predictions are fixed, the per-partition accumulation is
+//     independent per partition. With a monotone model (§3.8) predictions
+//     are non-decreasing over the sorted keys, so each partition's keys are
+//     one contiguous range: shard the key range on partition starts and
+//     every worker owns a disjoint span of partitions, writing min/end/sum
+//     directly into the single shared accumulator arena — no per-worker
+//     copies, no merge. (Non-monotone models keep the parallel prediction
+//     stage and accumulate serially; duplicate runs never straddle shards
+//     because equal keys share a prediction and hence a partition.)
+//  3. Pass 2 derives the drift bounds in place over the same arena,
+//     tracking the value magnitudes as it goes, so the packed entry width
+//     (§3.9) needs no extra reduction pass; range mode packs straight into
+//     the fused interleaved <lo, hi> layout the query paths dispatch on.
+//
+// The one model sweep also feeds the layer statistics: mean/max model
+// drift fall out of pass 1 (as exact integer sums, so the parallel build
+// is bit-identical to the serial one), the mean log2 window falls out of
+// pass 2's per-partition widths, and the finished table carries the Stats
+// so ComputeStats and Log2Error need no second sweep.
+//
+// Every entry point produces tables bit-identical to every other — widths,
+// drifts, counts and stats — property-tested in parallel_test.go and
+// fuzzed in fuzz_test.go.
+
+// parallelBuildMin is the key count below which sharding is not worth the
+// goroutine fan-out and builds stay serial.
+const parallelBuildMin = 4096
+
+// buildArena holds the transient arrays of one build: the prediction arena
+// of stage 1 and the per-partition accumulators that pass 2 then rewrites
+// in place into drift bounds. Arenas carry no results — everything
+// retained by the finished table is freshly allocated at its packed width
+// — so BuildNext can recycle them through Table.buildPool and steady-state
+// compaction allocates only the packed product.
+type buildArena struct {
+	pred   []int32 // stage 1: per-key model predictions (parallel builds)
+	minPos []int64 // pass 1: first run position per partition; pass 2: lo drift
+	endPos []int64 // pass 1: last position per partition; pass 2: hi drift
+	sum    []int64 // pass 1: Σ drift per partition (midpoint mode only)
+}
+
+// slices grows the arena to the build's sizes and returns the views.
+func (a *buildArena) slices(n, m int, needPred, needSum bool) (pred []int32, minPos, endPos, sumW []int64) {
+	if needPred {
+		if cap(a.pred) < n {
+			a.pred = make([]int32, n)
+		}
+		pred = a.pred[:n]
+	}
+	if cap(a.minPos) < m {
+		a.minPos = make([]int64, m)
+	}
+	minPos = a.minPos[:m]
+	if cap(a.endPos) < m {
+		a.endPos = make([]int64, m)
+	}
+	endPos = a.endPos[:m]
+	if needSum {
+		if cap(a.sum) < m {
+			a.sum = make([]int64, m)
+		}
+		sumW = a.sum[:m]
+	}
+	return
+}
+
+// Build constructs a Shift-Table over sorted keys corrected against the
+// given model (Alg. 2 plus the empty-partition backfill of §3.1). Build is
+// O(N · cost(Fθ) + M), a single pass over the data and a single backward
+// pass over the layer (§3.3).
+func Build[K kv.Key](keys []K, model cdfmodel.Model[K], cfg Config) (*Table[K], error) {
+	return buildPipeline(keys, model, cfg, 1, nil)
+}
+
+// BuildParallel is Build with pass 1 sharded across workers — the §3.3
+// optimisation ("in case that running the model is expensive, model
+// executions can be parallelized for faster execution"), extended so the
+// per-partition accumulation parallelises too (see the pipeline comment at
+// the top of this file). workers <= 0 uses GOMAXPROCS. The result is
+// bit-identical to Build.
+//
+// Midpoint sampling (Config.SampleStride) depends on global key indices,
+// so sampled builds take the serial path.
+func BuildParallel[K kv.Key](keys []K, model cdfmodel.Model[K], cfg Config, workers int) (*Table[K], error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return buildPipeline(keys, model, cfg, workers, nil)
+}
+
+// BuildNext builds a successor table — same pipeline as BuildParallel
+// (workers <= 0 uses GOMAXPROCS) — drawing the build arena from prev's
+// pool and handing both of prev's pools (batch scratches and build arenas)
+// to the new table. Rebuild chains — compaction under internal/updatable
+// and internal/concurrent — therefore re-allocate neither query scratch
+// nor build scratch in steady state. A nil prev degenerates to
+// BuildParallel.
+func (prev *Table[K]) BuildNext(keys []K, model cdfmodel.Model[K], cfg Config, workers int) (*Table[K], error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var pool *sync.Pool
+	if prev != nil {
+		pool = prev.buildPool
+	}
+	t, err := buildPipeline(keys, model, cfg, workers, pool)
+	if t != nil {
+		t.AdoptScratch(prev)
+	}
+	return t, err
+}
+
+// buildPipeline is the shared implementation behind Build, BuildParallel
+// and BuildNext. pool, when non-nil, supplies (and gets back) the build
+// arena.
+func buildPipeline[K kv.Key](keys []K, model cdfmodel.Model[K], cfg Config, workers int, pool *sync.Pool) (*Table[K], error) {
+	n := len(keys)
+	if model == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if !kv.IsSorted(keys) {
+		return nil, fmt.Errorf("core: keys are not sorted")
+	}
+	m := cfg.M
+	if m == 0 {
+		m = n
+	}
+	if m < 1 || n == 0 {
+		if n == 0 {
+			return &Table[K]{keys: keys, model: model, mode: cfg.Mode, monotone: model.Monotone(),
+				scratch: new(sync.Pool), buildPool: new(sync.Pool)}, nil
+		}
+		return nil, fmt.Errorf("core: invalid layer size M=%d", cfg.M)
+	}
+	if cfg.SampleStride < 0 {
+		return nil, fmt.Errorf("core: negative sample stride %d", cfg.SampleStride)
+	}
+	if cfg.Mode != ModeRange && cfg.Mode != ModeMidpoint {
+		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
+	}
+
+	t := &Table[K]{
+		keys:      keys,
+		model:     model,
+		mode:      cfg.Mode,
+		monotone:  model.Monotone(),
+		n:         n,
+		m:         m,
+		scratch:   new(sync.Pool),
+		buildPool: new(sync.Pool),
+	}
+
+	stride := 1
+	if cfg.Mode == ModeMidpoint && cfg.SampleStride > 1 {
+		stride = cfg.SampleStride
+	}
+	// Sampled builds depend on global key indices; the int32 prediction
+	// arena bounds n (far beyond any in-memory dataset here).
+	if stride > 1 || n < parallelBuildMin || n > math.MaxInt32 {
+		workers = 1
+	}
+
+	var ar *buildArena
+	if pool != nil {
+		ar, _ = pool.Get().(*buildArena)
+	}
+	if ar == nil {
+		ar = new(buildArena)
+	}
+	needSum := cfg.Mode == ModeMidpoint
+	pred, minPos, endPos, sumW := ar.slices(n, m, workers > 1, needSum)
+	cnt := make([]int32, m) // retained by the table; not arena-backed
+
+	// Pass 1 (Alg. 2 lines 3–9): accumulate per-partition statistics. With
+	// a monotone model the keys of one partition form a contiguous run of
+	// positions [minPos, endPos]; the drift bounds derive from that run in
+	// pass 2. driftSum/maxDrift are the §4.1 "error before correction"
+	// statistics, accumulated as exact integers so every build schedule
+	// sums to the same value.
+	var driftSum, maxDrift int64
+	if workers > 1 {
+		driftSum, maxDrift = t.passOneParallel(pred, minPos, endPos, sumW, cnt, workers)
+	} else {
+		driftSum, maxDrift = t.passOneSerial(stride, minPos, endPos, sumW, cnt)
+	}
+
+	// Pass 2: derive per-partition drift bounds in place — minPos becomes
+	// the lo drift, endPos the hi drift — and backfill empty partitions
+	// with pseudo-values pointing at the first key of the next non-empty
+	// partition (§3.1 — the paper's Alg. 2 pseudo-code reads from k−1,
+	// contradicting the text; we implement the text, see DESIGN.md §4).
+	//
+	// For a query q in partition k, monotonicity gives: keys of partitions
+	// < k are < q and keys of partitions > k are > q, so the answer lies in
+	// [minPos[k], endPos[k]+1]. The query's own prediction p can be any
+	// value in the partition's feasible range [pmin, pmax] (Eq. 5–6
+	// generalised to M<N), so the stored relative bounds must cover the
+	// absolute window from every such p:
+	//
+	//	lo[k] = minPos[k] − pmax,  hi[k] = endPos[k] − pmin.
+	//
+	// With M = N, pmin = pmax = k and these reduce exactly to the paper's
+	// Δk = minPos−k and window length Ck (Alg. 2). Value magnitudes are
+	// tracked as the bounds are produced, so packing needs no extra
+	// reduction pass over the layer.
+	loW, hiW := minPos, endPos
+	var maxLo, maxHi int64
+	nextFirst := int64(n) // first position of the nearest non-empty partition to the right
+	for k := m - 1; k >= 0; k-- {
+		pmin, pmax := t.predRange(k)
+		if cnt[k] > 0 {
+			first := minPos[k]
+			loW[k] = first - pmax
+			hiW[k] = endPos[k] - pmin
+			nextFirst = first
+		} else {
+			// Empty partition: any query landing here resolves exactly to
+			// position nextFirst; encode a window whose just-after slot is
+			// nextFirst for every feasible prediction. cnt stays 0: these
+			// are pseudo-entries (§3.1), not real keys.
+			loW[k] = nextFirst - pmax
+			hiW[k] = nextFirst - 1 - pmin
+			if needSum {
+				sumW[k] = nextFirst - (pmin+pmax)/2 // midpoint aim
+			}
+		}
+		v := loW[k]
+		if v < 0 {
+			v = -v
+		}
+		if v > maxLo {
+			maxLo = v
+		}
+		if v = hiW[k]; v < 0 {
+			v = -v
+		}
+		if v > maxHi {
+			maxHi = v
+		}
+	}
+
+	t.count = cnt
+	switch cfg.Mode {
+	case ModeRange:
+		// One interleaved array at the common width (the fused query
+		// layout); the independent split widths are kept for the
+		// serialization format and the §3.9 width report.
+		wl, wh := driftWidth(maxLo), driftWidth(maxHi)
+		w := wl
+		if wh > w {
+			w = wh
+		}
+		t.pairs = packPairs(loW, hiW, w)
+		t.loBits, t.hiBits = wl, wh
+	case ModeMidpoint:
+		var maxMid int64
+		for k := 0; k < m; k++ {
+			v := sumW[k]
+			if cnt[k] > 0 {
+				// Rounded mean drift (Eq. 7). Round half away from zero:
+				// the paper's Table 1 worked example yields Δ̄=−40 from a
+				// mean of −40.2, i.e. not floor.
+				v = roundHalfAway(float64(v) / float64(cnt[k]))
+			}
+			sumW[k] = v
+			if v < 0 {
+				v = -v
+			}
+			if v > maxMid {
+				maxMid = v
+			}
+		}
+		t.shift = packDriftsWidth(sumW, driftWidth(maxMid))
+	}
+
+	if stride == 1 {
+		t.stats = t.buildStats(driftSum, maxDrift)
+	}
+	if pool != nil {
+		pool.Put(ar)
+	}
+	return t, nil
+}
+
+// passOneSerial is the single-goroutine pass 1: one model sweep over the
+// keys accumulating per-partition statistics and the drift stats.
+func (t *Table[K]) passOneSerial(stride int, minPos, endPos, sumW []int64, cnt []int32) (driftSum, maxDrift int64) {
+	for k := range minPos {
+		minPos[k] = math.MaxInt64
+		endPos[k] = math.MinInt64
+	}
+	for k := range sumW {
+		sumW[k] = 0
+	}
+	keys := t.keys
+	firstOcc := 0 // position of the first key in the current duplicate run (§3.2)
+	for i := 0; i < t.n; i++ {
+		if i > 0 && keys[i] != keys[i-1] {
+			firstOcc = i
+		}
+		if stride > 1 && i%stride != 0 {
+			continue
+		}
+		pred := t.model.Predict(keys[i])
+		k := t.partitionOf(pred)
+		d := int64(firstOcc) - int64(pred)
+		if sumW != nil {
+			sumW[k] += d
+		}
+		cnt[k]++
+		if int64(firstOcc) < minPos[k] {
+			minPos[k] = int64(firstOcc)
+		}
+		if int64(i) > endPos[k] {
+			endPos[k] = int64(i)
+		}
+		if d < 0 {
+			d = -d
+		}
+		driftSum += d
+		if d > maxDrift {
+			maxDrift = d
+		}
+	}
+	return driftSum, maxDrift
+}
+
+// shardStat is one worker's drift-stat partial, padded so adjacent workers
+// do not share a cache line while accumulating.
+type shardStat struct {
+	driftSum, maxDrift int64
+	_                  [6]int64
+}
+
+// passOneParallel is the sharded pass 1. Stage A computes every prediction
+// into the arena with one worker per key range. Stage B accumulates: with
+// a verified-monotone prediction array each worker owns a disjoint span of
+// partitions (shards cut on partition starts) and writes straight into the
+// shared accumulators; otherwise accumulation falls back to one goroutine
+// over the precomputed predictions — the model sweep, the expensive part,
+// stays parallel either way.
+func (t *Table[K]) passOneParallel(pred []int32, minPos, endPos, sumW []int64, cnt []int32, workers int) (driftSum, maxDrift int64) {
+	n, keys := t.n, t.keys
+
+	// Stage A: predict in parallel. Monotone models must produce
+	// non-decreasing predictions over sorted keys; verify while writing
+	// (cheap ALU against an in-register neighbour) so a model mis-declaring
+	// Monotone degrades to the serial accumulate instead of racing.
+	var nonMonotone atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			prev := int32(math.MinInt32)
+			for i := lo; i < hi; i++ {
+				p := int32(t.model.Predict(keys[i]))
+				pred[i] = p
+				if p < prev {
+					nonMonotone.Store(true)
+				}
+				prev = p
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	ordered := t.monotone && !nonMonotone.Load()
+	if ordered {
+		// Seam check: stage A only verified within each worker's range.
+		for w := 1; w < workers; w++ {
+			if at := n * w / workers; at > 0 && at < n && pred[at] < pred[at-1] {
+				ordered = false
+				break
+			}
+		}
+	}
+
+	if !ordered {
+		// Non-monotone model (§3.8): partitions are not contiguous key
+		// ranges; accumulate on one goroutine over the precomputed
+		// predictions (identical arithmetic to the serial pass).
+		for k := range minPos {
+			minPos[k] = math.MaxInt64
+			endPos[k] = math.MinInt64
+		}
+		for k := range sumW {
+			sumW[k] = 0
+		}
+		return t.accumulatePred(pred, 0, n, minPos, endPos, sumW, cnt)
+	}
+
+	// Stage B: shard boundaries advanced to partition starts. A partition
+	// start implies a new key value (equal keys share a prediction), so
+	// §3.2 first-occurrence tracking restarts cleanly at every boundary,
+	// and since predictions are non-decreasing each worker's partition
+	// span is disjoint from every other's — direct writes, no merge.
+	bounds := make([]int, 1, workers+1)
+	for w := 1; w < workers; w++ {
+		at := n * w / workers
+		for at > 0 && at < n && t.partitionOf(int(pred[at])) == t.partitionOf(int(pred[at-1])) {
+			at++
+		}
+		if at > bounds[len(bounds)-1] && at < n {
+			bounds = append(bounds, at)
+		}
+	}
+	bounds = append(bounds, n)
+
+	stats := make([]shardStat, len(bounds)-1)
+	for s := 0; s < len(bounds)-1; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			lo, hi := bounds[s], bounds[s+1]
+			// This worker's partition span; gaps between spans are
+			// partitions no key maps to, left untouched (pass 2 reads
+			// their accumulators only when cnt > 0).
+			pLo := t.partitionOf(int(pred[lo]))
+			pHi := t.partitionOf(int(pred[hi-1])) + 1
+			for k := pLo; k < pHi; k++ {
+				minPos[k] = math.MaxInt64
+				endPos[k] = math.MinInt64
+			}
+			if sumW != nil {
+				for k := pLo; k < pHi; k++ {
+					sumW[k] = 0
+				}
+			}
+			ds, md := t.accumulatePred(pred, lo, hi, minPos, endPos, sumW, cnt)
+			stats[s] = shardStat{driftSum: ds, maxDrift: md}
+		}(s)
+	}
+	wg.Wait()
+	for _, st := range stats { // integer merge: associative, bit-identical
+		driftSum += st.driftSum
+		if st.maxDrift > maxDrift {
+			maxDrift = st.maxDrift
+		}
+	}
+	return driftSum, maxDrift
+}
+
+// accumulatePred is the pass 1 accumulation body over keys[lo:hi) with
+// predictions read from the arena — shared by the stage B workers (each
+// over its shard) and the non-monotone fallback (one call over the whole
+// range). lo must be a §3.2 duplicate-run start; the caller has
+// initialised the accumulators for every partition the range can touch.
+// The arithmetic mirrors passOneSerial exactly (bit-identity depends on
+// it); only the prediction source differs.
+func (t *Table[K]) accumulatePred(pred []int32, lo, hi int, minPos, endPos, sumW []int64, cnt []int32) (driftSum, maxDrift int64) {
+	keys := t.keys
+	firstOcc := lo
+	for i := lo; i < hi; i++ {
+		if i > lo && keys[i] != keys[i-1] {
+			firstOcc = i
+		}
+		p := int(pred[i])
+		k := t.partitionOf(p)
+		d := int64(firstOcc) - int64(p)
+		if sumW != nil {
+			sumW[k] += d
+		}
+		cnt[k]++
+		if int64(firstOcc) < minPos[k] {
+			minPos[k] = int64(firstOcc)
+		}
+		if int64(i) > endPos[k] {
+			endPos[k] = int64(i)
+		}
+		if d < 0 {
+			d = -d
+		}
+		driftSum += d
+		if d > maxDrift {
+			maxDrift = d
+		}
+	}
+	return driftSum, maxDrift
+}
+
+// buildStats assembles the Stats summary from quantities the build already
+// produced: the pass 1 drift totals and the pass 2 window widths. The mean
+// log2 window is grouped by partition (each key of partition k searches a
+// window of hi[k]−lo[k]+1 slots regardless of its own prediction), which is
+// also how the slow path in stats.go computes it.
+func (t *Table[K]) buildStats(driftSum, maxDrift int64) *Stats {
+	s := Stats{
+		N:         t.n,
+		M:         t.m,
+		Mode:      t.mode,
+		EntryBits: t.EntryBits(),
+		SizeBytes: t.SizeBytes(),
+		AvgErrEq8: t.AvgError(),
+	}
+	for _, c := range t.count {
+		if c == 0 {
+			s.EmptyParts++
+		}
+		if int(c) > s.MaxCount {
+			s.MaxCount = int(c)
+		}
+	}
+	if t.n == 0 {
+		return &s
+	}
+	s.MeanAbsDrift = float64(driftSum) / float64(t.n)
+	s.MaxAbsDrift = int(maxDrift)
+	s.MeanLog2Bounds = t.meanLog2Bounds()
+	return &s
+}
+
+// meanLog2Bounds computes the expected binary-search iteration count after
+// correction (§4.2) from the per-partition window widths — O(M), no model
+// sweep. Midpoint windows are degenerate ([s, s], width 1), contributing 0.
+func (t *Table[K]) meanLog2Bounds() float64 {
+	if t.n == 0 || t.mode != ModeRange {
+		return 0
+	}
+	var log2Sum float64
+	for k := 0; k < t.m; k++ {
+		if t.count[k] == 0 {
+			continue
+		}
+		lo, hi := t.pairs.pair(k)
+		w := hi - lo + 1
+		if w < 1 {
+			w = 1
+		}
+		log2Sum += float64(t.count[k]) * math.Log2(float64(w))
+	}
+	return log2Sum / float64(t.n)
+}

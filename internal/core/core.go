@@ -22,7 +22,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sync"
 
 	"repro/internal/cdfmodel"
@@ -78,10 +77,18 @@ type Table[K kv.Key] struct {
 	n        int
 	m        int
 
-	// Range mode: per-partition drift bounds. The window for a query with
-	// prediction p in partition k is [p+lo[k], p+hi[k]] (Eq. 5–6: Δ=lo,
-	// C=hi−lo). With M=N this degenerates to the paper's <Δk, Ck>.
-	lo, hi driftArray
+	// Range mode: per-partition drift bounds, stored fused — the <lo, hi>
+	// pair of partition k interleaved at one packed width so a lookup's
+	// correction step touches a single cache line (DESIGN.md §8). The
+	// window for a query with prediction p in partition k is
+	// [p+lo[k], p+hi[k]] (Eq. 5–6: Δ=lo, C=hi−lo). With M=N this
+	// degenerates to the paper's <Δk, Ck>.
+	pairs driftPairs
+	// loBits/hiBits are the independent packed widths of the two halves —
+	// the serialization format (and the paper's §3.9 width discussion)
+	// stores lo and hi as separate arrays, each at its own narrowest width;
+	// WriteTo de-interleaves back to that split layout.
+	loBits, hiBits uint8
 
 	// Midpoint mode: per-partition rounded mean drift Δ̄ (Eq. 7).
 	shift driftArray
@@ -91,6 +98,13 @@ type Table[K kv.Key] struct {
 	// (Eq. 9–10). Stored at build time; not touched during lookups.
 	count []int32
 
+	// stats caches the build-time statistics summary (stats.go). The build
+	// pipeline derives every Stats field from the one model sweep it
+	// already does (DESIGN.md §8), so ComputeStats and Log2Error on a
+	// freshly built table cost O(1) instead of a second sweep. nil on
+	// tables whose build skipped it (sampled midpoint builds, Load).
+	stats *Stats
+
 	// scratch pools *batchScratch[K] instances for the batched query
 	// engine (batch.go); concurrent batches each draw their own. It is a
 	// pointer so a rebuilt table can adopt its predecessor's warmed pool
@@ -98,141 +112,13 @@ type Table[K kv.Key] struct {
 	// share one pool instead of re-allocating scratches after every
 	// compaction.
 	scratch *sync.Pool
-}
 
-// Build constructs a Shift-Table over sorted keys corrected against the
-// given model (Alg. 2 plus the empty-partition backfill of §3.1). Build is
-// O(N · cost(Fθ) + M), a single pass over the data and a single backward
-// pass over the layer (§3.3).
-func Build[K kv.Key](keys []K, model cdfmodel.Model[K], cfg Config) (*Table[K], error) {
-	n := len(keys)
-	if model == nil {
-		return nil, fmt.Errorf("core: nil model")
-	}
-	if !kv.IsSorted(keys) {
-		return nil, fmt.Errorf("core: keys are not sorted")
-	}
-	m := cfg.M
-	if m == 0 {
-		m = n
-	}
-	if m < 1 || n == 0 {
-		if n == 0 {
-			return &Table[K]{keys: keys, model: model, mode: cfg.Mode, monotone: model.Monotone(), scratch: new(sync.Pool)}, nil
-		}
-		return nil, fmt.Errorf("core: invalid layer size M=%d", cfg.M)
-	}
-	if cfg.SampleStride < 0 {
-		return nil, fmt.Errorf("core: negative sample stride %d", cfg.SampleStride)
-	}
-	if cfg.Mode != ModeRange && cfg.Mode != ModeMidpoint {
-		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
-	}
-
-	t := &Table[K]{
-		keys:     keys,
-		model:    model,
-		mode:     cfg.Mode,
-		monotone: model.Monotone(),
-		n:        n,
-		m:        m,
-		scratch:  new(sync.Pool),
-	}
-
-	stride := 1
-	if cfg.Mode == ModeMidpoint && cfg.SampleStride > 1 {
-		stride = cfg.SampleStride
-	}
-
-	// Pass 1 (Alg. 2 lines 3–9): accumulate per-partition statistics. With
-	// a monotone model the keys of one partition form a contiguous run of
-	// positions [minPos, endPos]; the drift bounds derive from that run in
-	// pass 2.
-	minPos := make([]int64, m) // first position (of a duplicate run, §3.2) per partition
-	endPos := make([]int64, m) // last position per partition
-	sumW := make([]int64, m)   // Σ drift, for midpoint mode
-	cnt := make([]int32, m)
-	for k := range minPos {
-		minPos[k] = math.MaxInt64
-		endPos[k] = math.MinInt64
-	}
-	firstOcc := 0 // position of the first key in the current duplicate run (§3.2)
-	for i := 0; i < n; i++ {
-		if i > 0 && keys[i] != keys[i-1] {
-			firstOcc = i
-		}
-		if stride > 1 && i%stride != 0 {
-			continue
-		}
-		pred := t.model.Predict(keys[i])
-		k := t.partitionOf(pred)
-		sumW[k] += int64(firstOcc) - int64(pred)
-		cnt[k]++
-		if int64(firstOcc) < minPos[k] {
-			minPos[k] = int64(firstOcc)
-		}
-		if int64(i) > endPos[k] {
-			endPos[k] = int64(i)
-		}
-	}
-
-	// Pass 2: derive per-partition drift bounds, and backfill empty
-	// partitions with pseudo-values pointing at the first key of the next
-	// non-empty partition (§3.1 — the paper's Alg. 2 pseudo-code reads
-	// from k−1, contradicting the text; we implement the text, see
-	// DESIGN.md §4).
-	//
-	// For a query q in partition k, monotonicity gives: keys of partitions
-	// < k are < q and keys of partitions > k are > q, so the answer lies in
-	// [minPos[k], endPos[k]+1]. The query's own prediction p can be any
-	// value in the partition's feasible range [pmin, pmax] (Eq. 5–6
-	// generalised to M<N), so the stored relative bounds must cover the
-	// absolute window from every such p:
-	//
-	//	lo[k] = minPos[k] − pmax,  hi[k] = endPos[k] − pmin.
-	//
-	// With M = N, pmin = pmax = k and these reduce exactly to the paper's
-	// Δk = minPos−k and window length Ck (Alg. 2).
-	loW := make([]int64, m)
-	hiW := make([]int64, m)
-	nextFirst := int64(n) // first position of the nearest non-empty partition to the right
-	for k := m - 1; k >= 0; k-- {
-		pmin, pmax := t.predRange(k)
-		if cnt[k] > 0 {
-			loW[k] = minPos[k] - pmax
-			hiW[k] = endPos[k] - pmin
-			nextFirst = minPos[k]
-			continue
-		}
-		// Empty partition: any query landing here resolves exactly to
-		// position nextFirst; encode a window whose just-after slot is
-		// nextFirst for every feasible prediction.
-		loW[k] = nextFirst - pmax
-		hiW[k] = nextFirst - 1 - pmin
-		sumW[k] = nextFirst - (pmin+pmax)/2 // midpoint aim
-		// cnt stays 0: these are pseudo-entries (§3.1), not real keys.
-	}
-
-	t.count = cnt
-	switch cfg.Mode {
-	case ModeRange:
-		t.lo = packDrifts(loW)
-		t.hi = packDrifts(hiW)
-	case ModeMidpoint:
-		mid := make([]int64, m)
-		for k := range mid {
-			if cnt[k] > 0 {
-				// Rounded mean drift (Eq. 7). Round half away from zero:
-				// the paper's Table 1 worked example yields Δ̄=−40 from a
-				// mean of −40.2, i.e. not floor.
-				mid[k] = roundHalfAway(float64(sumW[k]) / float64(cnt[k]))
-			} else {
-				mid[k] = sumW[k]
-			}
-		}
-		t.shift = packDrifts(mid)
-	}
-	return t, nil
+	// buildPool pools *buildArena instances (build.go) the same way:
+	// BuildNext draws the rebuild's transient arrays (prediction arena and
+	// per-partition accumulators) from the predecessor's pool, so
+	// steady-state compaction reallocates neither query scratches nor
+	// build scratch.
+	buildPool *sync.Pool
 }
 
 // partitionOf maps a model prediction p ∈ [0, N) to its partition
@@ -289,24 +175,35 @@ func (t *Table[K]) Model() cdfmodel.Model[K] { return t.model }
 // Keys returns the indexed keys (shared, not copied).
 func (t *Table[K]) Keys() []K { return t.keys }
 
-// AdoptScratch makes t draw its batch scratches from prev's pool instead of
-// its own, so a table rebuilt after a compaction keeps the warmed-up
-// instances of its predecessor (scratches carry no table-specific state:
-// every slot is written before it is read within a chunk). Call before t is
-// visible to concurrent readers; a nil or zero-value prev is a no-op.
+// AdoptScratch makes t draw its batch scratches and build arenas from
+// prev's pools instead of its own, so a table rebuilt after a compaction
+// keeps the warmed-up instances of its predecessor (neither carries
+// table-specific state: every batch-scratch slot is written before it is
+// read within a chunk, and build arenas are fully re-initialised per
+// build). Call before t is visible to concurrent readers; a nil or
+// zero-value prev is a no-op. BuildNext calls this itself.
 func (t *Table[K]) AdoptScratch(prev *Table[K]) {
-	if prev != nil && prev.scratch != nil {
+	if prev == nil {
+		return
+	}
+	if prev.scratch != nil {
 		t.scratch = prev.scratch
+	}
+	if prev.buildPool != nil {
+		t.buildPool = prev.buildPool
 	}
 }
 
 // SizeBytes reports the footprint of the correction layer itself (the
 // paper's Fig. 8 index-size axis counts the mapping array; the model size is
-// reported separately by the model).
+// reported separately by the model). Range mode reports the fused
+// interleaved array — the layout lookups actually touch — which equals the
+// split footprint whenever lo and hi pack to the same width (the common
+// case) and rounds the narrower half up to the common width otherwise.
 func (t *Table[K]) SizeBytes() int {
 	switch t.mode {
 	case ModeRange:
-		return t.lo.sizeBytes() + t.hi.sizeBytes()
+		return t.pairs.sizeBytes()
 	default:
 		return t.shift.sizeBytes()
 	}
@@ -314,15 +211,12 @@ func (t *Table[K]) SizeBytes() int {
 
 // EntryBits reports the per-entry width selected for the drift arrays
 // (§3.9: "if the error is smaller than 2^16/2, then a 16-bit integer can be
-// used").
+// used"). Range mode reports the fused pair width, max(lo, hi).
 func (t *Table[K]) EntryBits() int {
-	var d driftArray
 	if t.mode == ModeRange {
-		d = t.lo
-	} else {
-		d = t.shift
+		return t.pairs.entryBits()
 	}
-	return d.entryBits()
+	return t.shift.entryBits()
 }
 
 func ceilDiv(a, b int64) int64 {

@@ -60,7 +60,8 @@ func (t *Table[K]) EstimateWithout(modelNs float64, l LatencyFn) CostEstimate {
 			}
 			var drift int
 			if t.mode == ModeRange {
-				drift = t.lo.get(k) + int(c)/2
+				dlo, _ := t.pairs.pair(k)
+				drift = dlo + int(c)/2
 			} else {
 				drift = t.shift.get(k)
 			}

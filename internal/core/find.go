@@ -19,8 +19,11 @@ func (t *Table[K]) Find(q K) int {
 	k := t.partitionOf(pred)
 	switch t.mode {
 	case ModeRange:
-		lo := pred + t.lo.get(k)
-		hi := pred + t.hi.get(k)
+		// Fused layout: the <lo, hi> pair is adjacent in memory, so the
+		// correction step costs one cache line, not two (DESIGN.md §8).
+		dlo, dhi := t.pairs.pair(k)
+		lo := pred + dlo
+		hi := pred + dhi
 		r := search.Window(t.keys, lo, hi, q)
 		if t.monotone {
 			return r
@@ -60,7 +63,8 @@ func (t *Table[K]) Window(q K) (lo, hi int) {
 	pred := t.model.Predict(q)
 	k := t.partitionOf(pred)
 	if t.mode == ModeRange {
-		return pred + t.lo.get(k), pred + t.hi.get(k)
+		dlo, dhi := t.pairs.pair(k)
+		return pred + dlo, pred + dhi
 	}
 	s := pred + t.shift.get(k)
 	return s, s

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/cdfmodel"
@@ -96,6 +97,97 @@ func FuzzFindLookup(f *testing.F) {
 			if found[i] != (want < len(keys) && keys[want] == qq) {
 				t.Fatalf("LookupBatch found[%d]=%v for q=%d, want %v",
 					i, found[i], qq, !found[i])
+			}
+		}
+	})
+}
+
+// FuzzBuildLayout is the build-pipeline and fused-layout oracle: for a
+// fuzzed corpus and configuration it checks (1) the arena-sharded parallel
+// build is bit-identical to the serial build — widths, drifts, counts,
+// cached stats; (2) the fused interleaved pair layout de-interleaves to
+// exactly the split arrays the serialization format stores, and fusing
+// them back reproduces the query layout; (3) a serialize/load round trip
+// preserves the layer byte-for-byte and answers queries identically.
+func FuzzBuildLayout(f *testing.F) {
+	f.Add(uint64(7), uint16(5000), uint8(0), uint8(3), uint8(0), uint8(3))
+	f.Add(uint64(3), uint16(6000), uint8(255), uint8(1), uint8(1), uint8(8))  // duplicate-heavy
+	f.Add(uint64(11), uint16(7000), uint8(8), uint8(255), uint8(2), uint8(5)) // adversarially drifted
+	f.Add(uint64(1), uint16(0), uint8(0), uint8(0), uint8(0), uint8(2))       // empty keys
+	f.Add(uint64(9), uint16(4200), uint8(64), uint8(40), uint8(3), uint8(16)) // midpoint, reduced M
+
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, dup, drift, modeBits, workers uint8) {
+		keys := fuzzKeys(seed, int(n)%8192, dup, drift)
+		cfg := Config{}
+		if modeBits&1 != 0 {
+			cfg.Mode = ModeMidpoint
+		}
+		if modeBits&2 != 0 && len(keys) > 8 {
+			cfg.M = len(keys) / 8
+		}
+		w := int(workers)%16 + 2
+		model := cdfmodel.NewInterpolation(keys)
+		serial, err := Build(keys, model, cfg)
+		if err != nil {
+			t.Fatalf("Build(%d keys, %+v): %v", len(keys), cfg, err)
+		}
+		par, err := BuildParallel(keys, model, cfg, w)
+		if err != nil {
+			t.Fatalf("BuildParallel(%d keys, %+v, %d): %v", len(keys), cfg, w, err)
+		}
+		if d := diffLayer(serial, par); d != "" {
+			t.Fatalf("parallel(%d) differs from serial (n=%d cfg=%+v): %s", w, len(keys), cfg, d)
+		}
+
+		// Fused ≡ split at the layout level.
+		if cfg.Mode == ModeRange && serial.n > 0 {
+			lo, hi := serial.pairs.split(serial.loBits, serial.hiBits)
+			for k := 0; k < serial.m; k++ {
+				plo, phi := serial.pairs.pair(k)
+				if lo.get(k) != plo || hi.get(k) != phi {
+					t.Fatalf("split[%d] = <%d,%d>, fused <%d,%d>", k, lo.get(k), hi.get(k), plo, phi)
+				}
+			}
+			refused := fusePairs(&lo, &hi)
+			for k := 0; k < serial.m; k++ {
+				alo, ahi := refused.pair(k)
+				plo, phi := serial.pairs.pair(k)
+				if alo != plo || ahi != phi {
+					t.Fatalf("refuse[%d] = <%d,%d>, want <%d,%d>", k, alo, ahi, plo, phi)
+				}
+			}
+		}
+
+		// Serialize → load → serialize: byte-identical files, identical
+		// answers (the split on-disk format survives the fused in-memory
+		// layout).
+		if serial.n > 0 {
+			var buf1 bytes.Buffer
+			if _, err := par.WriteTo(&buf1); err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+			loaded, err := Load(bytes.NewReader(buf1.Bytes()), keys, model)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			var buf2 bytes.Buffer
+			if _, err := loaded.WriteTo(&buf2); err != nil {
+				t.Fatalf("re-WriteTo: %v", err)
+			}
+			if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+				t.Fatal("serialize/load/serialize not byte-identical")
+			}
+			x := seed
+			for i := 0; i < 32; i++ {
+				x = x*0xD1342543DE82EF95 + 29
+				q := x % (keys[len(keys)-1] + 3)
+				want := kv.LowerBound(keys, q)
+				if got := loaded.Find(q); got != want {
+					t.Fatalf("loaded.Find(%d) = %d, want %d", q, got, want)
+				}
+				if got := par.Find(q); got != want {
+					t.Fatalf("par.Find(%d) = %d, want %d", q, got, want)
+				}
 			}
 		}
 	})

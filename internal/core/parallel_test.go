@@ -1,19 +1,89 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"repro/internal/cdfmodel"
 	"repro/internal/dataset"
+	"repro/internal/kv"
 )
 
+// buildCorpora64 are the key multisets the build pipeline is property-
+// tested on: duplicate-heavy (shard cuts must respect §3.2 run starts),
+// drifted and skewed real-world-like, dense uniform, empty, tiny. Sizes
+// stay above parallelBuildMin so the sharded path actually runs.
+func buildCorpora64() map[string][]uint64 {
+	rng := rand.New(rand.NewSource(11))
+	dupHeavy := make([]uint64, 0, 30_000)
+	for v := uint64(100); len(dupHeavy) < 30_000; v += uint64(rng.Intn(50) + 1) {
+		run := 1 + rng.Intn(200) // long duplicate runs
+		for j := 0; j < run && len(dupHeavy) < 30_000; j++ {
+			dupHeavy = append(dupHeavy, v)
+		}
+	}
+	return map[string][]uint64{
+		"empty":        nil,
+		"tiny":         {1, 2, 3},
+		"dup-heavy":    dupHeavy,
+		"wiki-dups":    dataset.MustGenerate(dataset.Wiki, 64, 30_000, 5),
+		"drifted-face": dataset.MustGenerate(dataset.Face, 64, 30_000, 5),
+		"drifted-osmc": dataset.MustGenerate(dataset.Osmc, 64, 20_000, 6),
+		"skewed-logn":  dataset.MustGenerate(dataset.LogN, 64, 30_000, 5),
+		"uniform":      dataset.MustGenerate(dataset.UDen, 64, 30_000, 5),
+	}
+}
+
+// diffLayer reports the first difference between two built tables —
+// widths, fused drifts, counts, and cached stats must all be
+// bit-identical — or "" when they match.
+func diffLayer[K kv.Key](a, b *Table[K]) string {
+	if a.m != b.m || a.n != b.n || a.mode != b.mode {
+		return fmt.Sprintf("shape: m=%d/%d n=%d/%d mode=%v/%v", a.m, b.m, a.n, b.n, a.mode, b.mode)
+	}
+	switch a.mode {
+	case ModeRange:
+		if a.pairs.width != b.pairs.width || a.loBits != b.loBits || a.hiBits != b.hiBits {
+			return fmt.Sprintf("widths: pair=%d/%d lo=%d/%d hi=%d/%d",
+				a.pairs.width, b.pairs.width, a.loBits, b.loBits, a.hiBits, b.hiBits)
+		}
+	default:
+		if a.shift.width != b.shift.width {
+			return fmt.Sprintf("shift width: %d/%d", a.shift.width, b.shift.width)
+		}
+	}
+	for k := 0; k < a.m; k++ {
+		if a.count[k] != b.count[k] {
+			return fmt.Sprintf("count[%d]: %d/%d", k, a.count[k], b.count[k])
+		}
+		switch a.mode {
+		case ModeRange:
+			alo, ahi := a.pairs.pair(k)
+			blo, bhi := b.pairs.pair(k)
+			if alo != blo || ahi != bhi {
+				return fmt.Sprintf("pair[%d]: <%d,%d>/<%d,%d>", k, alo, ahi, blo, bhi)
+			}
+		default:
+			if a.shift.get(k) != b.shift.get(k) {
+				return fmt.Sprintf("shift[%d]: %d/%d", k, a.shift.get(k), b.shift.get(k))
+			}
+		}
+	}
+	if (a.stats == nil) != (b.stats == nil) {
+		return fmt.Sprintf("stats cached: %v/%v", a.stats != nil, b.stats != nil)
+	}
+	if a.stats != nil && *a.stats != *b.stats {
+		return fmt.Sprintf("stats: %+v / %+v", *a.stats, *b.stats)
+	}
+	return ""
+}
+
 // TestParallelBuildIdenticalToSerial checks bit-identical layers from the
-// sharded and serial builds across datasets, modes, worker counts, and
-// duplicate-heavy data (shard boundaries must respect run starts).
+// arena-sharded and serial builds across corpora, modes, layer sizes and
+// worker counts — including the fused pair widths and the cached stats.
 func TestParallelBuildIdenticalToSerial(t *testing.T) {
-	for _, name := range []dataset.Name{dataset.Face, dataset.Wiki, dataset.LogN, dataset.UDen} {
-		keys := dataset.MustGenerate(name, 64, 30_000, 5)
+	for name, keys := range buildCorpora64() {
 		model := cdfmodel.NewInterpolation(keys)
 		for _, cfg := range []Config{
 			{Mode: ModeRange},
@@ -21,6 +91,9 @@ func TestParallelBuildIdenticalToSerial(t *testing.T) {
 			{Mode: ModeRange, M: 999},
 			{Mode: ModeMidpoint, M: 37},
 		} {
+			if cfg.M > len(keys) && len(keys) > 0 {
+				continue
+			}
 			serial, err := Build(keys, model, cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -30,36 +103,125 @@ func TestParallelBuildIdenticalToSerial(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !sameLayer(serial, par) {
-					t.Fatalf("%s cfg=%v/%d workers=%d: parallel layer differs from serial",
-						name, cfg.Mode, cfg.M, workers)
+				if d := diffLayer(serial, par); d != "" {
+					t.Fatalf("%s cfg=%v/%d workers=%d: parallel differs from serial: %s",
+						name, cfg.Mode, cfg.M, workers, d)
 				}
 			}
 		}
 	}
 }
 
-// sameLayer compares every drift entry and count of two tables.
-func sameLayer(a, b *Table[uint64]) bool {
-	if a.m != b.m || a.n != b.n || a.mode != b.mode {
-		return false
-	}
-	for k := 0; k < a.m; k++ {
-		if a.count[k] != b.count[k] {
-			return false
-		}
-		switch a.mode {
-		case ModeRange:
-			if a.lo.get(k) != b.lo.get(k) || a.hi.get(k) != b.hi.get(k) {
-				return false
+// TestParallelBuild32Bit runs the bit-identity property over 32-bit keys
+// (narrower key type, same pipeline).
+func TestParallelBuild32Bit(t *testing.T) {
+	for _, name := range []dataset.Name{dataset.LogN, dataset.Amzn, dataset.USpr} {
+		keys := dataset.U32(dataset.MustGenerate(name, 32, 20_000, 9))
+		model := cdfmodel.NewInterpolation(keys)
+		for _, mode := range []Mode{ModeRange, ModeMidpoint} {
+			serial, err := Build(keys, model, Config{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
 			}
-		default:
-			if a.shift.get(k) != b.shift.get(k) {
-				return false
+			par, err := BuildParallel(keys, model, Config{Mode: mode}, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := diffLayer(serial, par); d != "" {
+				t.Fatalf("%s/%v: %s", name, mode, d)
 			}
 		}
 	}
-	return true
+}
+
+// TestParallelBuildNonMonotone pins the non-monotone path (§3.8): the
+// prediction stage stays parallel, accumulation falls back to one
+// goroutine, and the result is bit-identical to the serial build.
+func TestParallelBuildNonMonotone(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Osmc, 64, 20_000, 4)
+	model := cdfmodel.NewCubic(keys)
+	if model.Monotone() {
+		t.Fatal("cubic model should be non-monotone")
+	}
+	serial, err := Build(keys, model, Config{Mode: ModeRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildParallel(keys, model, Config{Mode: ModeRange}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffLayer(serial, par); d != "" {
+		t.Fatalf("non-monotone parallel differs: %s", d)
+	}
+}
+
+// lyingModel declares Monotone but predicts in reverse order — the sharded
+// accumulate would race on partitions if the pipeline trusted it.
+type lyingModel struct {
+	inner *cdfmodel.Interpolation[uint64]
+	n     int
+}
+
+func (m *lyingModel) Predict(k uint64) int { return m.n - 1 - m.inner.Predict(k) }
+func (m *lyingModel) Monotone() bool       { return true }
+func (m *lyingModel) SizeBytes() int       { return m.inner.SizeBytes() }
+func (m *lyingModel) Name() string         { return "lying" }
+
+// TestParallelBuildDetectsNonMonotonePredictions: a model mis-declaring
+// Monotone must degrade to the serial accumulate, not race — and still
+// produce the serial build's exact table.
+func TestParallelBuildDetectsNonMonotonePredictions(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Face, 64, 20_000, 8)
+	model := &lyingModel{inner: cdfmodel.NewInterpolation(keys), n: len(keys)}
+	serial, err := Build(keys, model, Config{Mode: ModeRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildParallel(keys, model, Config{Mode: ModeRange}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffLayer(serial, par); d != "" {
+		t.Fatalf("lying-monotone parallel differs: %s", d)
+	}
+}
+
+// TestFusedSplitRoundTrip checks the fused layout against the split one:
+// split() de-interleaves to the serialization arrays and fusePairs
+// reassembles them, entry for entry, at every packed width combination the
+// corpora produce.
+func TestFusedSplitRoundTrip(t *testing.T) {
+	for name, keys := range buildCorpora64() {
+		tab, err := Build(keys, cdfmodel.NewInterpolation(keys), Config{Mode: ModeRange})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.n == 0 {
+			continue
+		}
+		lo, hi := tab.pairs.split(tab.loBits, tab.hiBits)
+		if lo.width != tab.loBits || hi.width != tab.hiBits {
+			t.Fatalf("%s: split widths %d/%d, want %d/%d", name, lo.width, hi.width, tab.loBits, tab.hiBits)
+		}
+		for k := 0; k < tab.m; k++ {
+			plo, phi := tab.pairs.pair(k)
+			if lo.get(k) != plo || hi.get(k) != phi {
+				t.Fatalf("%s: split[%d] = <%d,%d>, fused <%d,%d>", name, k, lo.get(k), hi.get(k), plo, phi)
+			}
+		}
+		refused := fusePairs(&lo, &hi)
+		if refused.width != tab.pairs.width {
+			t.Fatalf("%s: refused width %d, want %d", name, refused.width, tab.pairs.width)
+		}
+		for k := 0; k < tab.m; k++ {
+			alo, ahi := refused.pair(k)
+			plo, phi := tab.pairs.pair(k)
+			if alo != plo || ahi != phi {
+				t.Fatalf("%s: refused[%d] = <%d,%d>, want <%d,%d>", name, k, alo, ahi, plo, phi)
+			}
+		}
+	}
 }
 
 func TestParallelBuildFallbacks(t *testing.T) {
@@ -77,9 +239,17 @@ func TestParallelBuildFallbacks(t *testing.T) {
 			t.Fatal("sampled parallel fallback broken")
 		}
 	}
-	// Errors still surface through the serial path.
+	// Sampled builds skip the stats cache (pass 1 sees a subset of keys);
+	// ComputeStats must fall back to the scan.
+	if tab.stats != nil {
+		t.Error("sampled build must not cache stats")
+	}
+	if got := tab.ComputeStats(); got.N != len(keys) {
+		t.Errorf("fallback stats N = %d, want %d", got.N, len(keys))
+	}
+	// Errors still surface through the shared validation.
 	if _, err := BuildParallel([]uint64{3, 1, 2}, model, Config{}, 4); err == nil {
-		t.Error("unsorted keys must error through the fallback")
+		t.Error("unsorted keys must error")
 	}
 }
 
@@ -128,6 +298,73 @@ func TestParallelBuildServesBatch(t *testing.T) {
 	for i, q := range qs {
 		if want := table.Find(q); out[i] != want {
 			t.Fatalf("FindBatch[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}
+
+// TestBuildNextReusesPools: a rebuild chain must share one batch-scratch
+// pool and one build-arena pool end to end, and every link must be
+// bit-identical to a from-scratch build over the same keys.
+func TestBuildNextReusesPools(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.LogN, 64, 20_000, 7)
+	model := cdfmodel.NewInterpolation(keys)
+	first, err := Build(keys, model, Config{Mode: ModeRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := first
+	for gen := 0; gen < 4; gen++ {
+		// Simulate compaction: grow the key set, rebuild from the
+		// predecessor.
+		grown := append(append([]uint64{}, cur.keys...), cur.keys[len(cur.keys)-1]+uint64(gen)+1)
+		m := cdfmodel.NewInterpolation(grown)
+		next, err := cur.BuildNext(grown, m, Config{Mode: ModeRange}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.scratch != first.scratch || next.buildPool != first.buildPool {
+			t.Fatalf("gen %d: pools not adopted across BuildNext", gen)
+		}
+		fresh, err := Build(grown, m, Config{Mode: ModeRange})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := diffLayer(fresh, next); d != "" {
+			t.Fatalf("gen %d: BuildNext differs from fresh build: %s", gen, d)
+		}
+		cur = next
+	}
+	// A nil receiver degenerates to BuildParallel.
+	var nilTab *Table[uint64]
+	tab, err := nilTab.BuildNext(keys, model, Config{}, 2)
+	if err != nil || tab == nil {
+		t.Fatalf("nil BuildNext: %v", err)
+	}
+	if tab.Find(keys[10]) != Build0(keys, model).Find(keys[10]) {
+		t.Fatal("nil BuildNext table broken")
+	}
+}
+
+// TestBuildStatsCached: the build's one model sweep must leave ComputeStats
+// and Log2Error O(1) and equal to the slow recomputation.
+func TestBuildStatsCached(t *testing.T) {
+	for _, mode := range []Mode{ModeRange, ModeMidpoint} {
+		keys := dataset.MustGenerate(dataset.Osmc, 64, 20_000, 2)
+		tab, err := BuildParallel(keys, cdfmodel.NewInterpolation(keys), Config{Mode: mode}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.stats == nil {
+			t.Fatal("built table must cache stats")
+		}
+		cached := tab.ComputeStats()
+		tab.stats = nil // force the slow path
+		slow := tab.ComputeStats()
+		if cached != slow {
+			t.Fatalf("mode %v: cached stats %+v != recomputed %+v", mode, cached, slow)
+		}
+		if l := tab.Log2Error(); l != slow.MeanLog2Bounds {
+			t.Fatalf("mode %v: Log2Error %v != MeanLog2Bounds %v", mode, l, slow.MeanLog2Bounds)
 		}
 	}
 }

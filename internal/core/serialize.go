@@ -42,15 +42,22 @@ func (t *Table[K]) WriteTo(w io.Writer) (int64, error) {
 			return cw.n, err
 		}
 	}
-	arrays := []*driftArray{}
+	// The on-disk format (version 1) stores range-mode lo/hi as two split
+	// arrays, each at its own narrowest width; de-interleave the in-memory
+	// fused layout back to that shape so files round-trip byte-identically
+	// across the layout change (DESIGN.md §8). The de-interleave streams in
+	// fixed-size chunks — at M = N = 200M keys a materialised split copy
+	// would transiently double the layer footprint.
 	switch t.mode {
 	case ModeRange:
-		arrays = append(arrays, &t.lo, &t.hi)
+		if err := writePairsHalf(cw, &t.pairs, t.m, t.loBits, false); err != nil {
+			return cw.n, err
+		}
+		if err := writePairsHalf(cw, &t.pairs, t.m, t.hiBits, true); err != nil {
+			return cw.n, err
+		}
 	default:
-		arrays = append(arrays, &t.shift)
-	}
-	for _, d := range arrays {
-		if err := writeDrifts(cw, d, t.m); err != nil {
+		if err := writeDrifts(cw, &t.shift, t.m); err != nil {
 			return cw.n, err
 		}
 	}
@@ -81,13 +88,14 @@ func Load[K kv.Key](r io.Reader, keys []K, model cdfmodel.Model[K]) (*Table[K], 
 		return nil, fmt.Errorf("core: unsupported layer version %d", head[1])
 	}
 	t := &Table[K]{
-		keys:     keys,
-		model:    model,
-		mode:     Mode(head[2]),
-		n:        int(head[3]),
-		m:        int(head[4]),
-		monotone: head[5] != 0,
-		scratch:  new(sync.Pool),
+		keys:      keys,
+		model:     model,
+		mode:      Mode(head[2]),
+		n:         int(head[3]),
+		m:         int(head[4]),
+		monotone:  head[5] != 0,
+		scratch:   new(sync.Pool),
+		buildPool: new(sync.Pool),
 	}
 	if t.n != len(keys) {
 		return nil, fmt.Errorf("core: layer built over %d keys, got %d", t.n, len(keys))
@@ -101,25 +109,104 @@ func Load[K kv.Key](r io.Reader, keys []K, model cdfmodel.Model[K]) (*Table[K], 
 	if got := modelFingerprint(model); got != head[7] {
 		return nil, fmt.Errorf("core: model mismatch (layer was built over %q-class model)", model.Name())
 	}
-	var arrays []*driftArray
 	switch t.mode {
 	case ModeRange:
-		arrays = []*driftArray{&t.lo, &t.hi}
-	case ModeMidpoint:
-		arrays = []*driftArray{&t.shift}
-	default:
-		return nil, fmt.Errorf("core: unknown mode %d in layer file", head[2])
-	}
-	for _, d := range arrays {
-		if err := readDrifts(br, d, t.m); err != nil {
+		// Read the split arrays of the file format, then fuse them into
+		// the interleaved query-path layout, keeping the split widths for
+		// the next WriteTo.
+		var lo, hi driftArray
+		if err := readDrifts(br, &lo, t.m); err != nil {
 			return nil, err
 		}
+		if err := readDrifts(br, &hi, t.m); err != nil {
+			return nil, err
+		}
+		t.pairs = fusePairs(&lo, &hi)
+		t.loBits, t.hiBits = lo.width, hi.width
+	case ModeMidpoint:
+		if err := readDrifts(br, &t.shift, t.m); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d in layer file", head[2])
 	}
 	t.count = make([]int32, t.m)
 	if err := binary.Read(br, binary.LittleEndian, t.count); err != nil {
 		return nil, fmt.Errorf("core: reading partition counts: %w", err)
 	}
 	return t, nil
+}
+
+// writePairsHalf streams one half of the fused pair array — lo entries
+// (hiHalf false) or hi entries (hiHalf true) — in the split on-disk shape:
+// the width header, then the values packed at bits, de-interleaved through
+// a fixed-size chunk buffer. Byte-identical to writeDrifts over the
+// materialised split array.
+func writePairsHalf(w io.Writer, d *driftPairs, m int, width uint8, hiHalf bool) error {
+	if d.len() != m {
+		return fmt.Errorf("core: drift pair length %d, want %d", d.len(), m)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(width)*8); err != nil {
+		return err
+	}
+	const chunk = 8192
+	val := func(k int) int {
+		lo, hi := d.pair(k)
+		if hiHalf {
+			return hi
+		}
+		return lo
+	}
+	switch width {
+	case 1:
+		buf := make([]int8, 0, chunk)
+		for k := 0; k < m; k++ {
+			buf = append(buf, int8(val(k)))
+			if len(buf) == chunk {
+				if err := binary.Write(w, binary.LittleEndian, buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+		return binary.Write(w, binary.LittleEndian, buf)
+	case 2:
+		buf := make([]int16, 0, chunk)
+		for k := 0; k < m; k++ {
+			buf = append(buf, int16(val(k)))
+			if len(buf) == chunk {
+				if err := binary.Write(w, binary.LittleEndian, buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+		return binary.Write(w, binary.LittleEndian, buf)
+	case 4:
+		buf := make([]int32, 0, chunk)
+		for k := 0; k < m; k++ {
+			buf = append(buf, int32(val(k)))
+			if len(buf) == chunk {
+				if err := binary.Write(w, binary.LittleEndian, buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+		return binary.Write(w, binary.LittleEndian, buf)
+	default:
+		buf := make([]int64, 0, chunk)
+		for k := 0; k < m; k++ {
+			buf = append(buf, int64(val(k)))
+			if len(buf) == chunk {
+				if err := binary.Write(w, binary.LittleEndian, buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+		return binary.Write(w, binary.LittleEndian, buf)
+	}
 }
 
 // writeDrifts stores the entry width then the packed array.

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math"
-
 	"repro/internal/cdfmodel"
 	"repro/internal/kv"
 )
@@ -36,8 +34,15 @@ type Stats struct {
 	MeanLog2Bounds float64 // mean log2(window) — binary-search iterations for last-mile (§4.2)
 }
 
-// ComputeStats scans the layer and the keys once and reports the summary.
+// ComputeStats reports the summary. Built tables carry it from the build's
+// one model sweep (build.go), so this is O(1) after Build/BuildParallel/
+// BuildNext; tables without the cache (sampled midpoint builds, Load) scan
+// the keys once. The cache is never populated lazily — a Table is immutable
+// after build and shared by concurrent readers.
 func (t *Table[K]) ComputeStats() Stats {
+	if t.stats != nil {
+		return *t.stats
+	}
 	s := Stats{
 		N:         t.n,
 		M:         t.m,
@@ -57,8 +62,7 @@ func (t *Table[K]) ComputeStats() Stats {
 	if t.n == 0 {
 		return s
 	}
-	var driftSum float64
-	var log2Sum float64
+	var driftSum int64
 	firstOcc := 0
 	for i, x := range t.keys {
 		if i > 0 && x != t.keys[i-1] {
@@ -69,28 +73,25 @@ func (t *Table[K]) ComputeStats() Stats {
 		if d < 0 {
 			d = -d
 		}
-		driftSum += float64(d)
+		driftSum += int64(d)
 		if d > s.MaxAbsDrift {
 			s.MaxAbsDrift = d
 		}
-		lo, hi := t.Window(x)
-		w := hi - lo + 1
-		if w < 1 {
-			w = 1
-		}
-		log2Sum += math.Log2(float64(w))
 	}
-	s.MeanAbsDrift = driftSum / float64(t.n)
-	s.MeanLog2Bounds = log2Sum / float64(t.n)
+	s.MeanAbsDrift = float64(driftSum) / float64(t.n)
+	s.MeanLog2Bounds = t.meanLog2Bounds()
 	return s
 }
 
 // Log2Error implements the index Log2Errer capability: the mean log2 of
 // the last-mile search window, i.e. the expected binary-search iteration
-// count after correction (§4.2). It scans the layer; callers that need
-// more than this one figure should use ComputeStats directly.
+// count after correction (§4.2). O(1) on built tables (the build caches
+// its stats); O(M) otherwise — never a model sweep.
 func (t *Table[K]) Log2Error() float64 {
-	return t.ComputeStats().MeanLog2Bounds
+	if t.stats != nil {
+		return t.stats.MeanLog2Bounds
+	}
+	return t.meanLog2Bounds()
 }
 
 // ModelError measures a model's accuracy over its training keys without any

@@ -115,8 +115,8 @@ func Registry[K kv.Key]() []Backend[K] {
 			}),
 		},
 		{
-			Name: "RMI",
-			Kind: Learned,
+			Name:  "RMI",
+			Kind:  Learned,
 			Build: func(keys []K) (Index[K], error) { return rmi.New(keys, TunedRMI(keys)) },
 		},
 		{
@@ -215,14 +215,16 @@ func (s shiftIndex[K]) SizeBytes() int {
 }
 
 // buildShift wraps a model constructor into a backend builder producing
-// model+Shift-Table (range mode, M=N — the paper's default configuration).
+// model+Shift-Table (range mode, M=N — the paper's default configuration),
+// built through the parallel pipeline (bit-identical to the serial build;
+// DESIGN.md §8).
 func buildShift[K kv.Key](mk func(keys []K) (cdfmodel.Model[K], error)) func(keys []K) (Index[K], error) {
 	return func(keys []K) (Index[K], error) {
 		model, err := mk(keys)
 		if err != nil {
 			return nil, err
 		}
-		tab, err := core.Build(keys, model, core.Config{Mode: core.ModeRange})
+		tab, err := core.BuildParallel(keys, model, core.Config{Mode: core.ModeRange}, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -239,20 +241,33 @@ type rmiTuneKey struct {
 	n, width         int
 }
 
-var rmiTuneCache sync.Map // rmiTuneKey → rmi.Config
+// rmiTuneEntry is one memo slot. The once gates the grid search itself, so
+// concurrent callers tuning the same (dataset, size) — router shards,
+// parallel benchmarks — run it exactly once and the rest block on the
+// result instead of duplicating four candidate builds each.
+type rmiTuneEntry struct {
+	once sync.Once
+	cfg  rmi.Config
+}
+
+var (
+	rmiTuneMu    sync.Mutex
+	rmiTuneCache = map[rmiTuneKey]*rmiTuneEntry{}
+)
 
 // TunedRMI grid-searches the RMI leaf count the way SOSD hand-tunes
 // per-dataset architectures (DESIGN.md §2): it picks the configuration
 // with the lowest estimated lookup cost (log2 error plus a model-size
 // penalty once the parameters spill out of cache). The search builds four
-// candidate RMIs, so the result is memoised per (dataset, size) within a
-// run — Table 2, Fig. 7 and the cmd front-ends re-tune the same keys many
-// times otherwise.
+// candidate RMIs — concurrently, since each build is independent — and the
+// result is memoised per (dataset, size) within a run: Table 2, Fig. 7 and
+// the cmd front-ends re-tune the same keys many times otherwise. Safe for
+// concurrent callers; a mutex guards the memo map and a per-entry once
+// deduplicates in-flight searches for the same key.
 func TunedRMI[K kv.Key](keys []K) rmi.Config {
 	n := len(keys)
-	best := rmi.Config{Leaves: n/1024 + 1}
 	if n == 0 {
-		return best
+		return rmi.Config{Leaves: 1}
 	}
 	key := rmiTuneKey{
 		first: uint64(keys[0]),
@@ -261,24 +276,50 @@ func TunedRMI[K kv.Key](keys []K) rmi.Config {
 		n:     n,
 		width: kv.Width[K](),
 	}
-	if v, ok := rmiTuneCache.Load(key); ok {
-		return v.(rmi.Config)
+	rmiTuneMu.Lock()
+	e, ok := rmiTuneCache[key]
+	if !ok {
+		e = &rmiTuneEntry{}
+		rmiTuneCache[key] = e
 	}
+	rmiTuneMu.Unlock()
+	e.once.Do(func() { e.cfg = tuneRMI(keys) })
+	return e.cfg
+}
+
+// tuneRMI is the actual grid search: the four candidate leaf counts build
+// and self-score concurrently (Log2Error on a built RMI reads its per-leaf
+// training error bounds; the builds dominate), then the winner is picked
+// in grid order so the choice is deterministic under ties.
+func tuneRMI[K kv.Key](keys []K) rmi.Config {
+	n := len(keys)
+	grid := []int{n/4096 + 1, n/1024 + 1, n/256 + 1, n/64 + 1}
+	costs := make([]float64, len(grid))
+	var wg sync.WaitGroup
+	for i, leaves := range grid {
+		wg.Add(1)
+		go func(i, leaves int) {
+			defer wg.Done()
+			idx, err := rmi.New(keys, rmi.Config{Leaves: leaves})
+			if err != nil {
+				costs[i] = 1e300
+				return
+			}
+			cost := idx.Log2Error()
+			if sz := idx.SizeBytes(); sz > 8<<20 {
+				cost += float64(sz) / float64(8<<20) // cache-spill penalty
+			}
+			costs[i] = cost
+		}(i, leaves)
+	}
+	wg.Wait()
+	best := rmi.Config{Leaves: n/1024 + 1}
 	bestCost := 1e300
-	for _, leaves := range []int{n/4096 + 1, n/1024 + 1, n/256 + 1, n/64 + 1} {
-		idx, err := rmi.New(keys, rmi.Config{Leaves: leaves})
-		if err != nil {
-			continue
-		}
-		cost := idx.Log2Error()
-		if sz := idx.SizeBytes(); sz > 8<<20 {
-			cost += float64(sz) / float64(8<<20) // cache-spill penalty
-		}
-		if cost < bestCost {
-			bestCost = cost
+	for i, leaves := range grid {
+		if costs[i] < bestCost {
+			bestCost = costs[i]
 			best = rmi.Config{Leaves: leaves}
 		}
 	}
-	rmiTuneCache.Store(key, best)
 	return best
 }

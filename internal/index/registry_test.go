@@ -1,10 +1,12 @@
 package index
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/dataset"
 	"repro/internal/kv"
+	"repro/internal/rmi"
 )
 
 // TestRegistryOrder pins the Table 2 column order: the harness emits CSVs
@@ -104,7 +106,36 @@ func TestTunedRMIMemoised(t *testing.T) {
 		t.Errorf("memoised tuning returned %+v then %+v", first, again)
 	}
 	key := rmiTuneKey{first: keys[0], mid: keys[len(keys)/2], last: keys[len(keys)-1], n: len(keys), width: 8}
-	if _, ok := rmiTuneCache.Load(key); !ok {
+	rmiTuneMu.Lock()
+	_, ok := rmiTuneCache[key]
+	rmiTuneMu.Unlock()
+	if !ok {
 		t.Error("tuning result not cached")
+	}
+}
+
+// TestTunedRMIConcurrent tunes the same (dataset, size) from 8 goroutines
+// — the access pattern router shards and parallel benchmarks now produce.
+// Run under -race this pins the memo-map guard; the once-per-entry
+// deduplication guarantees all callers agree on one configuration.
+func TestTunedRMIConcurrent(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Face, 64, 30_000, 12)
+	var wg sync.WaitGroup
+	got := make([]rmi.Config, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = TunedRMI(keys)
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		if got[g] != got[0] {
+			t.Fatalf("goroutine %d tuned %+v, goroutine 0 tuned %+v", g, got[g], got[0])
+		}
+	}
+	if got[0].Leaves < 1 {
+		t.Fatalf("tuned config %+v", got[0])
 	}
 }

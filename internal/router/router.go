@@ -18,7 +18,9 @@ package router
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/index"
@@ -109,7 +111,14 @@ type Router[K kv.Key] struct {
 
 // New builds the router: shard the key space (never splitting a duplicate
 // run), evaluate every candidate backend's §3.7 cost on a per-shard
-// training sample, build the cheapest per shard.
+// training sample, build the cheapest per shard. Shards build
+// concurrently — candidate training, cost evaluation and the full-scale
+// winner build are independent per shard — capped at GOMAXPROCS workers;
+// each shard draws from its own deterministic rng stream (seeded from
+// Config.Seed and the shard index), so the routing table is reproducible
+// for a given seed regardless of scheduling. Backends priced by
+// measurement rather than cost model see slightly noisier timings while
+// neighbouring shards build; the default slate is fully cost-modelled.
 func New[K kv.Key](keys []K, cfg Config) (*Router[K], error) {
 	if !kv.IsSorted(keys) {
 		return nil, fmt.Errorf("router: keys are not sorted")
@@ -120,20 +129,44 @@ func New[K kv.Key](keys []K, cfg Config) (*Router[K], error) {
 		return r, nil
 	}
 	cuts := shardCuts(keys, cfg.Shards)
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for i := 0; i+1 < len(cuts); i++ {
-		lo, hi := cuts[i], cuts[i+1]
-		shard := keys[lo:hi]
-		ix, choice, err := pickBackend(shard, &cfg, rng)
+	nsh := len(cuts) - 1
+	r.bounds = make([]K, nsh)
+	r.offs = make([]int, nsh)
+	r.shards = make([]index.Index[K], nsh)
+	r.choices = make([]Choice, nsh)
+	errs := make([]error, nsh)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nsh {
+		workers = nsh
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < nsh; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			lo, hi := cuts[i], cuts[i+1]
+			shard := keys[lo:hi]
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9E3779B9))
+			ix, choice, err := pickBackend(shard, &cfg, rng)
+			if err != nil {
+				errs[i] = fmt.Errorf("router: shard %d [%v, …): %w", i, shard[0], err)
+				return
+			}
+			choice.FirstKey = uint64(shard[0])
+			choice.Len = len(shard)
+			r.bounds[i] = shard[0]
+			r.offs[i] = lo
+			r.shards[i] = ix
+			r.choices[i] = choice
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("router: shard %d [%v, …): %w", i, shard[0], err)
+			return nil, err
 		}
-		choice.FirstKey = uint64(shard[0])
-		choice.Len = len(shard)
-		r.bounds = append(r.bounds, shard[0])
-		r.offs = append(r.offs, lo)
-		r.shards = append(r.shards, ix)
-		r.choices = append(r.choices, choice)
 	}
 	return r, nil
 }

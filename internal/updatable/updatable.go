@@ -54,6 +54,15 @@ type Index[K kv.Key] struct {
 
 // New builds the index over sorted initial keys (which may be empty).
 func New[K kv.Key](keys []K, cfg Config) (*Index[K], error) {
+	return NewFrom(keys, cfg, nil)
+}
+
+// NewFrom is New seeded with a predecessor base table: the build draws its
+// arena from prev's pool and the new base adopts prev's batch-scratch pool,
+// so a rebuild chain (internal/concurrent's compactor rebuilds off to the
+// side and passes the sealed snapshot's table here) allocates no fresh
+// scratch in steady state. A nil prev is exactly New.
+func NewFrom[K kv.Key](keys []K, cfg Config, prev *core.Table[K]) (*Index[K], error) {
 	if !kv.IsSorted(keys) {
 		return nil, fmt.Errorf("updatable: keys are not sorted")
 	}
@@ -61,27 +70,34 @@ func New[K kv.Key](keys []K, cfg Config) (*Index[K], error) {
 		return nil, fmt.Errorf("updatable: negative MaxDelta %d", cfg.MaxDelta)
 	}
 	ix := &Index[K]{cfg: cfg}
-	if err := ix.setBase(append([]K(nil), keys...)); err != nil {
+	if err := ix.setBaseFrom(append([]K(nil), keys...), prev); err != nil {
 		return nil, err
 	}
 	return ix, nil
 }
 
-// setBase installs a new base array and rebuilds model, layer and trees.
-// The previous base table's batch scratch pool is carried over so rebuilds
-// don't discard the warmed-up scratches.
+// setBase installs a new base array and rebuilds model, layer and trees,
+// carrying the current base table's pools over.
 func (ix *Index[K]) setBase(keys []K) error {
+	var prev *core.Table[K]
+	if ix.v != nil {
+		prev = ix.v.table
+	}
+	return ix.setBaseFrom(keys, prev)
+}
+
+// setBaseFrom rebuilds over keys through the parallel build pipeline
+// (DESIGN.md §8), reusing prev's build arena and batch scratches when a
+// predecessor exists.
+func (ix *Index[K]) setBaseFrom(keys []K, prev *core.Table[K]) error {
 	model := cdfmodel.NewInterpolation(keys)
-	table, err := core.Build(keys, model, ix.cfg.Layer)
+	table, err := prev.BuildNext(keys, model, ix.cfg.Layer, 0)
 	if err != nil {
 		return err
 	}
 	tree, err := fenwick.New(len(keys))
 	if err != nil {
 		return err
-	}
-	if ix.v != nil {
-		table.AdoptScratch(ix.v.table)
 	}
 	ix.v = &View[K]{
 		base:    keys,
