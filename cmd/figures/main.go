@@ -17,7 +17,9 @@
 // "router" pseudo-figure builds the cost-model-routed hybrid index
 // (internal/router) over a piecewise dataset and prints its latency
 // against every homogeneous candidate backend, with the per-shard routing
-// decisions as comment lines.
+// decisions as comment lines. The "persist" pseudo-figure prints the
+// snapshot sweep (cold build vs save vs warm load per backend, every
+// loaded index verified bit-identical before its time is reported).
 //
 // All CSV output flows through the shared bench.Grid emitter, the same
 // layout cmd/report renders as markdown.
@@ -34,7 +36,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure id: 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router")
+	fig := flag.String("fig", "", "figure id: 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router, persist")
 	n := flag.Int("n", 0, "dataset size (0 = per-figure default)")
 	q := flag.Int("q", 0, "query count (0 = per-figure default)")
 	seed := flag.Int64("seed", 7, "dataset seed")
@@ -69,8 +71,10 @@ func main() {
 		err = concurrentSweep(*n, *seed)
 	case "router":
 		err = routerSweep(*n, *q, *shards, *seed)
+	case "persist":
+		err = persistSweep(*n, *q, *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router")
+		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router, persist")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -257,6 +261,16 @@ func routerSweep(n, q, shards int, seed int64) error {
 		fmt.Printf("# router %.1f ns vs best homogeneous %s %.1f ns (ratio %.2f)\n",
 			res.RouterNs(), name, best, res.RouterNs()/best)
 	}
+	return nil
+}
+
+func persistSweep(n, q int, seed int64) error {
+	pts, err := bench.RunPersist(bench.PersistConfig{N: n, Queries: q, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("# persist sweep: cold build vs snapshot save vs warm load (every loaded index verified bit-identical to its cold twin)")
+	emit(bench.PersistGrid(pts))
 	return nil
 }
 

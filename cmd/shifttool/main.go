@@ -6,10 +6,18 @@
 //
 //	shifttool -dataset face64 [-n 2000000] [-model im|linear|rs]
 //	          [-mode r|s] [-m 0] [-file keys.bin] [-advise] [-rank]
+//	          [-save index.snap] [-load index.snap]
 //
 // With -file, keys are loaded from a SOSD-format binary file instead of
 // being generated ( -dataset then only selects the key width, e.g. any
 // name ending in 32 or 64).
+//
+// With -save, the built index is persisted as a verified snapshot
+// (DESIGN.md §9: checksummed container, atomic rename). With -load, the
+// snapshot is restored instead of building anything — the warm-start
+// path a serving restart takes — validated against its own keys, and
+// summarised. -load ignores the build flags entirely; the key width is
+// recorded in the snapshot and both widths are tried.
 //
 // With -rank, the tool generalises the advisor across the whole backend
 // registry (internal/index): it measures this machine's L(s) curve, asks
@@ -31,7 +39,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/index"
+	"repro/internal/kv"
 	"repro/internal/radixspline"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -44,18 +54,23 @@ func main() {
 	seed := flag.Int64("seed", 42, "generation seed")
 	advise := flag.Bool("advise", false, "run the cost-model advisor (measures an L(s) curve first)")
 	rank := flag.Bool("rank", false, "rank every registry backend on the dataset: §3.7 estimate vs measured ns")
+	save := flag.String("save", "", "persist the built index as a snapshot file")
+	load := flag.String("load", "", "restore and summarise a snapshot file instead of building")
 	flag.Parse()
 
-	if err := run(*ds, *n, *modelName, *mode, *m, *file, *seed, *advise, *rank); err != nil {
+	if err := run(*ds, *n, *modelName, *mode, *m, *file, *seed, *advise, *rank, *save, *load); err != nil {
 		fmt.Fprintln(os.Stderr, "shifttool:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ds string, n int, modelName, mode string, m int, file string, seed int64, advise, rank bool) error {
+func run(ds string, n int, modelName, mode string, m int, file string, seed int64, advise, rank bool, save, load string) error {
 	bits := 64
 	if strings.HasSuffix(ds, "32") {
 		bits = 32
+	}
+	if load != "" {
+		return loadSnapshot(load)
 	}
 	var keys []uint64
 	var err error
@@ -106,6 +121,18 @@ func run(ds string, n int, modelName, mode string, m int, file string, seed int6
 		return err
 	}
 	buildMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	if save != "" {
+		sstart := time.Now()
+		if err := index.SaveFile[uint64](save, tab); err != nil {
+			return err
+		}
+		st, err := os.Stat(save)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("saved snapshot %s (%s, %.1f ms)\n",
+			save, human(int(st.Size())), float64(time.Since(sstart).Nanoseconds())/1e6)
+	}
 	s := tab.ComputeStats()
 	fmt.Printf("built in %.1f ms (%.1f ns/key, %d workers)\n",
 		buildMs, buildMs*1e6/float64(len(keys)), runtime.GOMAXPROCS(0))
@@ -174,6 +201,55 @@ func rankBackends(keys []uint64, seed int64) error {
 		}
 		fmt.Printf("%-8s %14s %14.1f %12s\n", be.Name, est, ns, human(ix.SizeBytes()))
 	}
+	return nil
+}
+
+// loadSnapshot restores a snapshot file — the warm-start path — and
+// summarises it. Snapshots record their key width in their key sections;
+// both widths are tried (shifttool-built snapshots are 64-bit), and on
+// failure both errors are reported so a corrupt 32-bit file is not
+// masked by the 64-bit attempt's width-mismatch message.
+func loadSnapshot(path string) error {
+	start := time.Now()
+	ix64, err64 := index.LoadFile[uint64](path)
+	if err64 == nil {
+		return summarize(ix64, path, float64(time.Since(start).Nanoseconds())/1e6)
+	}
+	start = time.Now()
+	ix32, err32 := index.LoadFile[uint32](path)
+	if err32 == nil {
+		return summarize(ix32, path, float64(time.Since(start).Nanoseconds())/1e6)
+	}
+	kind, kerr := snapshot.ReadKindFile(path)
+	if kerr != nil {
+		return fmt.Errorf("loading %s: %w", path, err64)
+	}
+	return fmt.Errorf("loading %q snapshot %s failed both ways:\n  as 64-bit keys: %v\n  as 32-bit keys: %v",
+		kind, path, err64, err32)
+}
+
+// summarize prints the restored index and self-validates it against its
+// own keys where the backend exposes them.
+func summarize[K kv.Key](ix index.Index[K], path string, loadMs float64) error {
+	fmt.Printf("loaded %s from %s in %.1f ms (%d-bit keys)\n",
+		ix.Name(), path, loadMs, 8*kv.Width[K]())
+	fmt.Printf("  %d keys, index footprint %s\n", ix.Len(), human(ix.SizeBytes()))
+	kp, ok := ix.(interface{ Keys() []K })
+	if !ok {
+		fmt.Println("  (backend does not expose keys; skipping self-validation)")
+		return nil
+	}
+	keys := kp.Keys()
+	stride := len(keys)/512 + 1
+	probes := 0
+	for i := 0; i < len(keys); i += stride {
+		q := keys[i]
+		if got, want := ix.Find(q), kv.LowerBound(keys, q); got != want {
+			return fmt.Errorf("self-validation failed: Find(%v) = %d, want %d", q, got, want)
+		}
+		probes++
+	}
+	fmt.Printf("  self-validation: %d strided lower-bound probes OK\n", probes)
 	return nil
 }
 

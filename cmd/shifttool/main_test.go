@@ -8,19 +8,19 @@ import (
 )
 
 func TestRunGenerated(t *testing.T) {
-	if err := run("face64", 20_000, "im", "r", 0, "", 3, false, false); err != nil {
+	if err := run("face64", 20_000, "im", "r", 0, "", 3, false, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("wiki64", 20_000, "linear", "s", 500, "", 3, false, false); err != nil {
+	if err := run("wiki64", 20_000, "linear", "s", 500, "", 3, false, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("uspr32", 20_000, "rs", "r", 0, "", 3, false, false); err != nil {
+	if err := run("uspr32", 20_000, "rs", "r", 0, "", 3, false, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRank(t *testing.T) {
-	if err := run("uden64", 10_000, "im", "r", 0, "", 3, false, true); err != nil {
+	if err := run("uden64", 10_000, "im", "r", 0, "", 3, false, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -32,22 +32,41 @@ func TestRunFromFile(t *testing.T) {
 	if err := dataset.Save(path, keys, 64); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("face64", 0, "im", "r", 0, path, 3, false, false); err != nil {
+	if err := run("face64", 0, "im", "r", 0, path, 3, false, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("face64", 1000, "nope", "r", 0, "", 3, false, false); err == nil {
+	if err := run("face64", 1000, "nope", "r", 0, "", 3, false, false, "", ""); err == nil {
 		t.Error("want error for unknown model")
 	}
-	if err := run("face64", 1000, "im", "x", 0, "", 3, false, false); err == nil {
+	if err := run("face64", 1000, "im", "x", 0, "", 3, false, false, "", ""); err == nil {
 		t.Error("want error for unknown mode")
 	}
-	if err := run("nope64", 1000, "im", "r", 0, "", 3, false, false); err == nil {
+	if err := run("nope64", 1000, "im", "r", 0, "", 3, false, false, "", ""); err == nil {
 		t.Error("want error for unknown dataset")
 	}
-	if err := run("face64", 0, "im", "r", 0, "/does/not/exist.bin", 3, false, false); err == nil {
+	if err := run("face64", 0, "im", "r", 0, "/does/not/exist.bin", 3, false, false, "", ""); err == nil {
 		t.Error("want error for missing file")
+	}
+}
+
+func TestRunSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "table.snap")
+	if err := run("face64", 20_000, "im", "r", 0, "", 3, false, false, path, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("face64", 0, "im", "r", 0, "", 3, false, false, "", path); err != nil {
+		t.Fatal(err)
+	}
+	// Loading garbage must fail.
+	bad := filepath.Join(dir, "bad.snap")
+	if err := dataset.Save(bad, dataset.MustGenerate(dataset.Face, 64, 100, 1), 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("face64", 0, "im", "r", 0, "", 3, false, false, "", bad); err == nil {
+		t.Error("want error loading a non-snapshot file")
 	}
 }

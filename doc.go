@@ -55,6 +55,17 @@
 // writes. See examples/concurrent for usage and `figures -fig concurrent`
 // for the mixed read/write throughput sweep.
 //
+// Every index persists as a verified snapshot (internal/snapshot,
+// DESIGN.md §9): a versioned, checksummed, atomically-renamed container
+// holding keys, model identity and layer — and for the updatable stack
+// the tombstones, delta buffer and pending write generations — so a
+// serving restart warm-loads instead of rebuilding from raw keys.
+// Backends implement the index.Persister capability; loaders never trust
+// a header field they have not bounded, and nothing is served until the
+// trailing checksum verifies. See examples/persist for the walkthrough,
+// `shifttool -save/-load` for the CLI path, and `figures -fig persist`
+// for the cold-build-vs-warm-load sweep.
+//
 // See DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. Root-level benchmarks in
 // bench_test.go regenerate each table and figure; the cmd/ binaries produce

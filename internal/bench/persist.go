@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/concurrent"
+	"repro/internal/dataset"
+	"repro/internal/index"
+	"repro/internal/kv"
+	"repro/internal/router"
+	"repro/internal/updatable"
+)
+
+// This file is the persistence experiment (DESIGN.md §9): cold build vs
+// snapshot save vs warm load, per backend, with every loaded index
+// property-tested bit-identical to its cold-built twin before any number
+// is reported. The question it answers is the serving one — how much
+// faster does a restart get back to serving when it warm-loads a snapshot
+// instead of rebuilding from raw keys?
+
+// PersistConfig parameterises RunPersist.
+type PersistConfig struct {
+	// N is keys per dataset (0 = 2M).
+	N int
+	// Queries is the verification probe count (0 = 50k).
+	Queries int
+	// Seed for datasets and probes.
+	Seed int64
+	// Dir is where snapshot files land ("" = a fresh temp dir, removed
+	// afterwards).
+	Dir string
+	// WriteFrac is the fraction of N applied as writes to the updatable
+	// and concurrent arms before persisting (0 = 5%).
+	WriteFrac float64
+}
+
+// PersistPoint is one backend's cold-vs-warm measurement.
+type PersistPoint struct {
+	Backend    string
+	ColdMs     float64 // build from raw keys (plus writes, for updatable arms)
+	SaveMs     float64
+	LoadMs     float64
+	FileMB     float64
+	Speedup    float64 // ColdMs / LoadMs
+	Verified   int     // probes that had to (and did) answer bit-identically
+	WarmWrites int     // writes replayed during warm restart (concurrent arm)
+}
+
+// RunPersist measures the snapshot round trip for every persistence-
+// capable layer of the stack: the registry backends that implement
+// index.Persister, the hybrid router, and the updatable/concurrent
+// indexes with live tombstones, delta buffers and pending generations.
+func RunPersist(cfg PersistConfig) ([]PersistPoint, error) {
+	if cfg.N == 0 {
+		cfg.N = 2_000_000
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 50_000
+	}
+	if cfg.WriteFrac == 0 {
+		cfg.WriteFrac = 0.05
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "persist-bench-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	keys, err := dataset.Generate(dataset.Face, 64, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	qs := probes(keys, cfg.Queries, cfg.Seed+1)
+	var out []PersistPoint
+
+	// Registry backends with the Persister capability.
+	for _, name := range []string{"IM", "IM+ST", "RS+ST"} {
+		pt, err := persistRegistry(name, keys, qs, filepath.Join(dir, name+".snap"))
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		out = append(out, pt)
+	}
+
+	// Hybrid router over a piecewise key space (its natural habitat; the
+	// expensive cold phase is the per-shard candidate evaluation).
+	pw := dataset.Piecewise(cfg.N, cfg.Seed)
+	pt, err := persistRouter(pw, probes(pw, cfg.Queries, cfg.Seed+2), filepath.Join(dir, "router.snap"))
+	if err != nil {
+		return nil, fmt.Errorf("bench: router: %w", err)
+	}
+	out = append(out, pt)
+
+	writes := int(float64(cfg.N) * cfg.WriteFrac)
+	pt, err = persistUpdatable(keys, qs, writes, filepath.Join(dir, "updatable.snap"))
+	if err != nil {
+		return nil, fmt.Errorf("bench: updatable: %w", err)
+	}
+	out = append(out, pt)
+
+	pt, err = persistConcurrent(keys, qs, writes, filepath.Join(dir, "concurrent.snap"))
+	if err != nil {
+		return nil, fmt.Errorf("bench: concurrent: %w", err)
+	}
+	out = append(out, pt)
+	return out, nil
+}
+
+// probes mixes hits and near-misses.
+func probes[K kv.Key](keys []K, n int, seed int64) []K {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]K, n)
+	for i := range qs {
+		if i%2 == 0 {
+			qs[i] = keys[rng.Intn(len(keys))]
+		} else {
+			qs[i] = K(rng.Uint64()) % (keys[len(keys)-1] + 2)
+		}
+	}
+	return qs
+}
+
+func persistRegistry(name string, keys, qs []uint64, path string) (PersistPoint, error) {
+	start := time.Now()
+	cold, err := index.Build(name, keys)
+	if err != nil {
+		return PersistPoint{}, err
+	}
+	coldMs := msSince(start)
+
+	start = time.Now()
+	if err := index.SaveFile[uint64](path, cold); err != nil {
+		return PersistPoint{}, err
+	}
+	saveMs := msSince(start)
+
+	start = time.Now()
+	warm, err := index.LoadFile[uint64](path)
+	if err != nil {
+		return PersistPoint{}, err
+	}
+	loadMs := msSince(start)
+
+	for _, q := range qs {
+		if g, w := warm.Find(q), cold.Find(q); g != w {
+			return PersistPoint{}, fmt.Errorf("warm Find(%d) = %d, cold %d", q, g, w)
+		}
+	}
+	return point(name, coldMs, saveMs, loadMs, path, len(qs), 0)
+}
+
+func persistRouter(keys, qs []uint64, path string) (PersistPoint, error) {
+	start := time.Now()
+	cold, err := router.New(keys, router.Config{})
+	if err != nil {
+		return PersistPoint{}, err
+	}
+	coldMs := msSince(start)
+
+	start = time.Now()
+	if err := index.SaveFile[uint64](path, cold); err != nil {
+		return PersistPoint{}, err
+	}
+	saveMs := msSince(start)
+
+	start = time.Now()
+	warm, err := index.LoadFile[uint64](path)
+	if err != nil {
+		return PersistPoint{}, err
+	}
+	loadMs := msSince(start)
+
+	for _, q := range qs {
+		if g, w := warm.Find(q), cold.Find(q); g != w {
+			return PersistPoint{}, fmt.Errorf("warm Find(%d) = %d, cold %d", q, g, w)
+		}
+	}
+	return point("router", coldMs, saveMs, loadMs, path, len(qs), 0)
+}
+
+func persistUpdatable(keys, qs []uint64, writes int, path string) (PersistPoint, error) {
+	start := time.Now()
+	cold, err := updatable.New(keys, updatable.Config{})
+	if err != nil {
+		return PersistPoint{}, err
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < writes; i++ {
+		if i%3 == 0 {
+			cold.Delete(keys[rng.Intn(len(keys))])
+		} else if err := cold.Insert(rng.Uint64() % (keys[len(keys)-1] + 2)); err != nil {
+			return PersistPoint{}, err
+		}
+	}
+	coldMs := msSince(start)
+
+	start = time.Now()
+	if err := updatable.SaveFile(path, cold); err != nil {
+		return PersistPoint{}, err
+	}
+	saveMs := msSince(start)
+
+	start = time.Now()
+	warm, err := updatable.LoadFile[uint64](path)
+	if err != nil {
+		return PersistPoint{}, err
+	}
+	loadMs := msSince(start)
+
+	for _, q := range qs {
+		if g, w := warm.Find(q), cold.Find(q); g != w {
+			return PersistPoint{}, fmt.Errorf("warm Find(%d) = %d, cold %d", q, g, w)
+		}
+	}
+	return point("updatable", coldMs, saveMs, loadMs, path, len(qs), 0)
+}
+
+func persistConcurrent(keys, qs []uint64, writes int, path string) (PersistPoint, error) {
+	start := time.Now()
+	cold, err := concurrent.New(keys, concurrent.Config{
+		Policy: concurrent.CompactionPolicy{Kind: concurrent.Manual},
+	})
+	if err != nil {
+		return PersistPoint{}, err
+	}
+	defer cold.Close()
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < writes; i++ {
+		if i%3 == 0 {
+			cold.Delete(keys[rng.Intn(len(keys))])
+		} else {
+			cold.Insert(rng.Uint64() % (keys[len(keys)-1] + 2))
+		}
+	}
+	coldMs := msSince(start)
+	replayed := cold.Pending()
+
+	start = time.Now()
+	if err := concurrent.SaveFile(path, cold); err != nil {
+		return PersistPoint{}, err
+	}
+	saveMs := msSince(start)
+
+	start = time.Now()
+	warm, err := concurrent.LoadFile[uint64](path)
+	if err != nil {
+		return PersistPoint{}, err
+	}
+	loadMs := msSince(start)
+	defer warm.Close()
+
+	for _, q := range qs {
+		if g, w := warm.Find(q), cold.Find(q); g != w {
+			return PersistPoint{}, fmt.Errorf("warm Find(%d) = %d, cold %d", q, g, w)
+		}
+	}
+	return point("concurrent", coldMs, saveMs, loadMs, path, len(qs), replayed)
+}
+
+func point(name string, coldMs, saveMs, loadMs float64, path string, verified, warmWrites int) (PersistPoint, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return PersistPoint{}, err
+	}
+	return PersistPoint{
+		Backend:    name,
+		ColdMs:     coldMs,
+		SaveMs:     saveMs,
+		LoadMs:     loadMs,
+		FileMB:     float64(st.Size()) / (1 << 20),
+		Speedup:    coldMs / loadMs,
+		Verified:   verified,
+		WarmWrites: warmWrites,
+	}, nil
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Nanoseconds()) / 1e6
+}
+
+// PersistGrid renders the sweep through the shared emitter.
+func PersistGrid(pts []PersistPoint) *Grid {
+	g := NewGrid("backend", "cold_build_ms", "save_ms", "warm_load_ms", "file_mb", "warm_speedup", "verified_probes", "replayed_writes")
+	verbs := []string{"%s", "%.1f", "%.1f", "%.1f", "%.2f", "%.2f", "%d", "%d"}
+	for _, p := range pts {
+		g.Rowf(verbs, p.Backend, p.ColdMs, p.SaveMs, p.LoadMs, p.FileMB, p.Speedup, p.Verified, p.WarmWrites)
+	}
+	return g
+}

@@ -1,0 +1,31 @@
+package bench
+
+import "testing"
+
+// TestRunPersistSmoke runs the full persist sweep at small N: every
+// backend saves, loads, and answers its verification probes bit-
+// identically (RunPersist errors out otherwise).
+func TestRunPersistSmoke(t *testing.T) {
+	pts, err := RunPersist(PersistConfig{N: 30_000, Queries: 2_000, Seed: 3, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"IM", "IM+ST", "RS+ST", "router", "updatable", "concurrent"}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points, want %d", len(pts), len(want))
+	}
+	for i, p := range pts {
+		if p.Backend != want[i] {
+			t.Errorf("point %d is %q, want %q", i, p.Backend, want[i])
+		}
+		if p.Verified == 0 || p.LoadMs <= 0 || p.FileMB <= 0 {
+			t.Errorf("%s: implausible point %+v", p.Backend, p)
+		}
+	}
+	if pts[5].WarmWrites == 0 {
+		t.Error("concurrent arm replayed no writes")
+	}
+	if g := PersistGrid(pts); len(g.Rows) != len(pts) {
+		t.Error("grid row count mismatch")
+	}
+}

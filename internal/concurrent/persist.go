@@ -1,0 +1,233 @@
+package concurrent
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/kv"
+	snap "repro/internal/snapshot"
+	"repro/internal/updatable"
+)
+
+// This file persists the concurrent index (DESIGN.md §9). A snapshot of
+// the serving index is exactly one of its published read snapshots: the
+// frozen updatable.View (persisted through the updatable section
+// sequence) plus the sealed write generations stacked on top. Because the
+// published snapshot is immutable, persistence runs concurrently with
+// reads, writes and compactions without any locks — it streams whatever
+// state one atomic pointer load returned.
+//
+// Warm restart replays rather than reconstructs: Load rebuilds the base
+// view, starts a live index (background compactor included), then pushes
+// every persisted generation's writes through the public Insert/Delete
+// path. Tombstones cancel by key value and only ever target occurrences
+// at or below their own generation, so replaying generations oldest-first
+// reproduces the persisted multiset exactly.
+
+// SnapshotKind identifies concurrent-index snapshots.
+const SnapshotKind = "concurrent"
+
+// Section ids of the concurrent kind (the embedded view uses the
+// updatable ids in between).
+const (
+	secConMeta = 20
+	secConIns  = 21 // repeated, one per generation, oldest first
+	secConDels = 22 // repeated, paired with secConIns
+)
+
+// maxSnapshotGens bounds the generation count a snapshot may claim. The
+// compaction policy keeps live stacks to a handful of generations;
+// anything beyond this is a corrupt header.
+const maxSnapshotGens = 1 << 20
+
+// SnapshotKind implements the persistence capability (same shape as
+// index.Persister).
+func (ix *Index[K]) SnapshotKind() string { return SnapshotKind }
+
+// PersistSnapshot writes the current published snapshot: policy, view,
+// and the pending write generations. Lock-free — concurrent writes land
+// in successor snapshots and are simply not part of this one.
+func (ix *Index[K]) PersistSnapshot(sw *snap.Writer) error {
+	s := ix.snap.Load()
+	meta := make([]byte, 0, 24)
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(ix.cfg.Policy.Kind))
+	meta = binary.LittleEndian.AppendUint64(meta, math.Float64bits(ix.cfg.Policy.Fraction))
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(ix.cfg.Policy.Count))
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(len(s.gens)))
+	if err := sw.Bytes(secConMeta, meta); err != nil {
+		return err
+	}
+	if err := updatable.PersistView(sw, s.view, updatable.Config{Layer: ix.cfg.Layer}); err != nil {
+		return err
+	}
+	for _, g := range s.gens {
+		if err := snap.WriteKeySection(sw, secConIns, g.ins); err != nil {
+			return err
+		}
+		if err := snap.WriteKeySection(sw, secConDels, g.dels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadSections restores the base and collects the generations to replay.
+func loadSections[K kv.Key](sr *snap.Reader) (*updatable.Index[K], CompactionPolicy, []*generation[K], error) {
+	var policy CompactionPolicy
+	ms, err := sr.Expect(secConMeta)
+	if err != nil {
+		return nil, policy, nil, err
+	}
+	meta, err := ms.Bytes(0)
+	if err != nil {
+		return nil, policy, nil, err
+	}
+	if len(meta) != 24 {
+		return nil, policy, nil, fmt.Errorf("concurrent: meta section is %d bytes, want 24", len(meta))
+	}
+	policy.Kind = PolicyKind(binary.LittleEndian.Uint32(meta))
+	policy.Fraction = math.Float64frombits(binary.LittleEndian.Uint64(meta[4:]))
+	count := binary.LittleEndian.Uint64(meta[12:])
+	genCount := binary.LittleEndian.Uint32(meta[20:])
+	if count > uint64(1<<62) {
+		return nil, policy, nil, fmt.Errorf("concurrent: policy count %d is not credible", count)
+	}
+	policy.Count = int(count)
+	if err := policy.validate(); err != nil {
+		return nil, policy, nil, err
+	}
+	if genCount > maxSnapshotGens {
+		return nil, policy, nil, fmt.Errorf("concurrent: snapshot claims %d generations (limit %d)",
+			genCount, maxSnapshotGens)
+	}
+
+	base, err := updatable.LoadView[K](sr)
+	if err != nil {
+		return nil, policy, nil, err
+	}
+
+	gens := make([]*generation[K], 0, genCount)
+	for i := uint32(0); i < genCount; i++ {
+		is, err := sr.Expect(secConIns)
+		if err != nil {
+			return nil, policy, nil, err
+		}
+		ins, err := snap.ReadKeySection[K](is, 0)
+		if err != nil {
+			return nil, policy, nil, err
+		}
+		dls, err := sr.Expect(secConDels)
+		if err != nil {
+			return nil, policy, nil, err
+		}
+		dels, err := snap.ReadKeySection[K](dls, 0)
+		if err != nil {
+			return nil, policy, nil, err
+		}
+		if !kv.IsSorted(ins) || !kv.IsSorted(dels) {
+			return nil, policy, nil, fmt.Errorf("concurrent: generation %d is not sorted", i)
+		}
+		gens = append(gens, &generation[K]{ins: ins, dels: dels})
+	}
+	return base, policy, gens, nil
+}
+
+// Load restores a concurrent index from a snapshot container and
+// warm-restarts it: the base view loads directly, the index goes live
+// (background compactor running), and the persisted write generations
+// replay through the public write path. total is the input size in bytes
+// (-1 when unknown).
+func Load[K kv.Key](r io.Reader, total int64) (*Index[K], error) {
+	var (
+		base   *updatable.Index[K]
+		policy CompactionPolicy
+		gens   []*generation[K]
+	)
+	err := snap.Load(r, total, func(sr *snap.Reader) error {
+		if sr.Kind() != SnapshotKind {
+			return fmt.Errorf("concurrent: snapshot kind %q, want %q", sr.Kind(), SnapshotKind)
+		}
+		var lerr error
+		base, policy, gens, lerr = loadSections[K](sr)
+		return lerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assemble(base, policy, gens)
+}
+
+// LoadFile restores a concurrent index from a snapshot file.
+func LoadFile[K kv.Key](path string) (*Index[K], error) {
+	var (
+		base   *updatable.Index[K]
+		policy CompactionPolicy
+		gens   []*generation[K]
+	)
+	err := snap.LoadFile(path, func(sr *snap.Reader) error {
+		if sr.Kind() != SnapshotKind {
+			return fmt.Errorf("concurrent: snapshot kind %q, want %q", sr.Kind(), SnapshotKind)
+		}
+		var lerr error
+		base, policy, gens, lerr = loadSections[K](sr)
+		return lerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assemble(base, policy, gens)
+}
+
+// assemble goes live and replays the persisted delta — called only after
+// the container checksum verified. The replay is the same one a
+// compaction performs when it publishes a rebuilt base: the sealed
+// generations carry over verbatim onto the restored view (they are
+// already in the exact internal representation — sorted multisets whose
+// tombstones cancel by key value), and a fresh empty write head goes on
+// top. That makes warm restart O(pending) pointer work instead of
+// re-executing every pending write one copy-on-write publication at a
+// time.
+func assemble[K kv.Key](base *updatable.Index[K], policy CompactionPolicy, gens []*generation[K]) (*Index[K], error) {
+	ix, err := Wrap(base, policy)
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) > 0 {
+		ix.mu.Lock()
+		cur := ix.snap.Load()
+		s := &snapshot[K]{
+			view: cur.view,
+			gens: append(append([]*generation[K]{}, gens...), &generation[K]{}),
+		}
+		if s.length() < 0 {
+			ix.mu.Unlock()
+			ix.Close()
+			return nil, fmt.Errorf("concurrent: restored generations cancel more occurrences than exist (corrupt snapshot)")
+		}
+		ix.snap.Store(s)
+		ix.mu.Unlock()
+		ix.maybeWake(s)
+	}
+	return ix, nil
+}
+
+// Save writes the index's current published snapshot as one verified
+// container.
+func Save[K kv.Key](w io.Writer, ix *Index[K]) error {
+	sw, err := snap.NewWriter(w, SnapshotKind)
+	if err != nil {
+		return err
+	}
+	if err := ix.PersistSnapshot(sw); err != nil {
+		return err
+	}
+	return sw.Close()
+}
+
+// SaveFile writes the index's current published snapshot crash-safely to
+// path.
+func SaveFile[K kv.Key](path string, ix *Index[K]) error {
+	return snap.SaveFile(path, SnapshotKind, ix.PersistSnapshot)
+}

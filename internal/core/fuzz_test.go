@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cdfmodel"
 	"repro/internal/kv"
+	"repro/internal/snapshot"
 )
 
 // fuzzKeys deterministically expands the fuzz parameters into a sorted key
@@ -99,6 +100,97 @@ func FuzzFindLookup(f *testing.F) {
 					i, found[i], qq, !found[i])
 			}
 		}
+	})
+}
+
+// FuzzLoad drives the two untrusted-input paths — the bare layer loader
+// (core.Load) and the snapshot-container loader (LoadTableSnapshot) —
+// over mutated and truncated byte corpora seeded from valid files. The
+// property is absolute: any input either loads (and then answers queries
+// identically to a freshly built table, when it loaded from an untampered
+// prefix this cannot happen by luck) or returns an error. No panics, no
+// unbounded allocation (readSliceChunked/Section.Bytes grow at most 1 MiB
+// per read, so a hostile length dies on the short read behind it).
+func FuzzLoad(f *testing.F) {
+	keys := fuzzKeys(7, 700, 16, 40)
+	model := cdfmodel.NewInterpolation(keys)
+
+	// Seed with valid artifacts of both formats and both modes, plus
+	// mutated and truncated variants so the fuzzer starts at the
+	// interesting boundaries.
+	for _, cfg := range []Config{{Mode: ModeRange}, {Mode: ModeMidpoint}, {Mode: ModeRange, M: 77}} {
+		tab, err := Build(keys, model, cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var layer bytes.Buffer
+		if _, err := tab.WriteTo(&layer); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(layer.Bytes())
+		f.Add(layer.Bytes()[:layer.Len()/2])
+		mut := append([]byte(nil), layer.Bytes()...)
+		mut[35] ^= 0x81 // inside the m field
+		f.Add(mut)
+
+		var cont bytes.Buffer
+		sw, err := snapshot.NewWriter(&cont, tab.SnapshotKind())
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := tab.PersistSnapshot(sw); err != nil {
+			f.Fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(cont.Bytes())
+		f.Add(cont.Bytes()[:2*cont.Len()/3])
+		mut2 := append([]byte(nil), cont.Bytes()...)
+		mut2[20] ^= 0x04
+		f.Add(mut2)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("STSNAP01"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Bare layer format against the real keys and model.
+		if tab, err := Load(bytes.NewReader(data), keys, model); err == nil {
+			// Whatever loaded claims to be a layer over these keys; probing
+			// it must at least never step out of bounds.
+			for _, q := range []uint64{0, keys[0], keys[len(keys)/2], keys[len(keys)-1], ^uint64(0)} {
+				r := tab.Find(q)
+				if r < 0 || r > tab.N() {
+					t.Fatalf("loaded layer Find(%d) = %d out of [0, %d]", q, r, tab.N())
+				}
+			}
+		}
+		// Snapshot container: kind-checked, fingerprint-bound, checksummed.
+		_ = snapshot.Load(bytes.NewReader(data), int64(len(data)), func(sr *snapshot.Reader) error {
+			if sr.Kind() != SnapshotKindTable {
+				return nil
+			}
+			tab, err := LoadTableSnapshot[uint64](sr)
+			if err != nil {
+				return err
+			}
+			for _, q := range []uint64{0, 1 << 30, ^uint64(0)} {
+				r := tab.Find(q)
+				if r < 0 || r > tab.N() {
+					t.Fatalf("snapshot table Find(%d) = %d out of [0, %d]", q, r, tab.N())
+				}
+			}
+			return nil
+		})
+		// And with unknown total size (the io.Reader path bounds
+		// allocations by chunking alone).
+		_ = snapshot.Load(bytes.NewReader(data), -1, func(sr *snapshot.Reader) error {
+			if sr.Kind() != SnapshotKindTable {
+				return nil
+			}
+			_, err := LoadTableSnapshot[uint64](sr)
+			return err
+		})
 	})
 }
 

@@ -5,7 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"sync"
+
+	"repro/internal/snapshot"
 
 	"repro/internal/cdfmodel"
 	"repro/internal/kv"
@@ -70,10 +73,32 @@ func (t *Table[K]) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
+// maxLayerFactor bounds M relative to N in loaded layer files. Builds
+// default to M = N and the paper's reduced configurations use M = N/X, so
+// a header claiming a layer orders of magnitude larger than its key set
+// is corrupt (or hostile), not a configuration this repository produces.
+const maxLayerFactor = 64
+
 // Load reads a layer previously written with WriteTo and attaches it to the
 // given keys and model. The keys and model must be the ones the layer was
 // built over; fingerprint mismatches are rejected.
+//
+// The input is untrusted: every header field is bounds-checked before it
+// drives an allocation, array reads allocate incrementally (so a 64-byte
+// hostile header cannot demand terabytes), and truncation at any point
+// returns a wrapped, descriptive error — never a panic.
 func Load[K kv.Key](r io.Reader, keys []K, model cdfmodel.Model[K]) (*Table[K], error) {
+	// A reader that vouches for its length (a snapshot.Section over a
+	// stat-sized file) lets the array reads allocate once instead of
+	// growing chunk by chunk — the warm-restart hot path. avail tracks the
+	// vouched-for bytes still unread; -1 means untrusted.
+	avail := int64(-1)
+	if ts, ok := r.(interface {
+		Trusted() bool
+		Remaining() int64
+	}); ok && ts.Trusted() {
+		avail = ts.Remaining()
+	}
 	br := bufio.NewReaderSize(r, 1<<16)
 	var head [8]uint64
 	for i := range head {
@@ -87,18 +112,21 @@ func Load[K kv.Key](r io.Reader, keys []K, model cdfmodel.Model[K]) (*Table[K], 
 	if head[1] != layerVersion {
 		return nil, fmt.Errorf("core: unsupported layer version %d", head[1])
 	}
-	t := &Table[K]{
-		keys:      keys,
-		model:     model,
-		mode:      Mode(head[2]),
-		n:         int(head[3]),
-		m:         int(head[4]),
-		monotone:  head[5] != 0,
-		scratch:   new(sync.Pool),
-		buildPool: new(sync.Pool),
+	// Validate every remaining header field before using it: mode drives a
+	// switch, n and m drive allocations, monotone drives the query path.
+	if head[2] != uint64(ModeRange) && head[2] != uint64(ModeMidpoint) {
+		return nil, fmt.Errorf("core: invalid mode %d in layer header", head[2])
 	}
-	if t.n != len(keys) {
-		return nil, fmt.Errorf("core: layer built over %d keys, got %d", t.n, len(keys))
+	if head[3] != uint64(len(keys)) {
+		return nil, fmt.Errorf("core: layer built over %d keys, got %d", head[3], len(keys))
+	}
+	n := len(keys)
+	if err := checkLayerM(head[4], n); err != nil {
+		return nil, err
+	}
+	m := int(head[4])
+	if head[5] > 1 {
+		return nil, fmt.Errorf("core: invalid monotone flag %d in layer header", head[5])
 	}
 	if got := keysFingerprint(keys); got != head[6] {
 		return nil, fmt.Errorf("core: key fingerprint mismatch (layer is stale or for other data)")
@@ -109,32 +137,100 @@ func Load[K kv.Key](r io.Reader, keys []K, model cdfmodel.Model[K]) (*Table[K], 
 	if got := modelFingerprint(model); got != head[7] {
 		return nil, fmt.Errorf("core: model mismatch (layer was built over %q-class model)", model.Name())
 	}
+	t := &Table[K]{
+		keys:      keys,
+		model:     model,
+		mode:      Mode(head[2]),
+		n:         n,
+		m:         m,
+		monotone:  head[5] != 0,
+		scratch:   new(sync.Pool),
+		buildPool: new(sync.Pool),
+	}
+	if avail >= 0 {
+		avail -= 8 * 8 // header already consumed
+	}
 	switch t.mode {
 	case ModeRange:
 		// Read the split arrays of the file format, then fuse them into
 		// the interleaved query-path layout, keeping the split widths for
 		// the next WriteTo.
 		var lo, hi driftArray
-		if err := readDrifts(br, &lo, t.m); err != nil {
-			return nil, err
+		if err := readDrifts(br, &lo, t.m, avail); err != nil {
+			return nil, fmt.Errorf("core: lo drift array: %w", err)
 		}
-		if err := readDrifts(br, &hi, t.m); err != nil {
-			return nil, err
+		if avail >= 0 {
+			avail -= 8 + int64(t.m)*int64(lo.width)
 		}
-		t.pairs = fusePairs(&lo, &hi)
+		if err := readDrifts(br, &hi, t.m, avail); err != nil {
+			return nil, fmt.Errorf("core: hi drift array: %w", err)
+		}
+		if avail >= 0 {
+			avail -= 8 + int64(t.m)*int64(hi.width)
+		}
+		if t.m > 0 {
+			t.pairs = fusePairs(&lo, &hi)
+		}
 		t.loBits, t.hiBits = lo.width, hi.width
-	case ModeMidpoint:
-		if err := readDrifts(br, &t.shift, t.m); err != nil {
-			return nil, err
+	default: // ModeMidpoint; anything else was rejected above
+		if err := readDrifts(br, &t.shift, t.m, avail); err != nil {
+			return nil, fmt.Errorf("core: drift array: %w", err)
 		}
-	default:
-		return nil, fmt.Errorf("core: unknown mode %d in layer file", head[2])
+		if avail >= 0 {
+			avail -= 8 + int64(t.m)*int64(t.shift.width)
+		}
 	}
-	t.count = make([]int32, t.m)
-	if err := binary.Read(br, binary.LittleEndian, t.count); err != nil {
-		return nil, fmt.Errorf("core: reading partition counts: %w", err)
+	counts, err := readCounts(br, t.m, n, avail)
+	if err != nil {
+		return nil, err
 	}
+	t.count = counts
 	return t, nil
+}
+
+// checkLayerM validates the partition-count header field: non-negative
+// when converted, zero exactly for an empty table, and sane relative to
+// the key count so the drift-array reads that follow stay bounded by real
+// input.
+func checkLayerM(raw uint64, n int) error {
+	if n == 0 {
+		if raw != 0 {
+			return fmt.Errorf("core: layer header claims %d partitions over 0 keys", raw)
+		}
+		return nil
+	}
+	if raw == 0 {
+		return fmt.Errorf("core: layer header claims 0 partitions over %d keys", n)
+	}
+	limit := uint64(n) * maxLayerFactor
+	if limit/maxLayerFactor != uint64(n) || limit > uint64(math.MaxInt32)*maxLayerFactor {
+		limit = uint64(math.MaxInt32) * maxLayerFactor
+	}
+	if raw > limit {
+		return fmt.Errorf("core: layer header claims %d partitions over %d keys (limit %d)", raw, n, limit)
+	}
+	return nil
+}
+
+// readCounts reads the per-partition cardinalities with incremental
+// allocation and validates them: counts are non-negative and their sum
+// never exceeds the key count (sampled builds record fewer).
+func readCounts(r io.Reader, m, n int, avail int64) ([]int32, error) {
+	counts, err := readSliceChunked[int32](r, m, 4, "partition count", avail)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var sum int64
+	for k, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("core: negative cardinality %d for partition %d", c, k)
+		}
+		sum += int64(c)
+		if sum > int64(n) {
+			return nil, fmt.Errorf("core: partition cardinalities sum past the %d indexed keys", n)
+		}
+	}
+	return counts, nil
 }
 
 // writePairsHalf streams one half of the fused pair array — lo entries
@@ -229,29 +325,58 @@ func writeDrifts(w io.Writer, d *driftArray, m int) error {
 	}
 }
 
-func readDrifts(r io.Reader, d *driftArray, m int) error {
+// readDrifts reads one packed drift array: the width header, then m
+// entries at that width. The width is validated before any allocation, a
+// width/m combination the stream cannot back fails with a wrapped
+// short-read error, and entries are allocated incrementally so the
+// allocation never outruns the bytes actually read.
+func readDrifts(r io.Reader, d *driftArray, m int, avail int64) error {
 	var bits uint64
 	if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
-		return fmt.Errorf("core: reading drift width: %w", err)
+		return fmt.Errorf("reading drift width: %w", err)
+	}
+	if avail >= 0 {
+		avail -= 8
+	}
+	switch bits {
+	case 0:
+		// An empty table packs to width 0; a populated layer never does.
+		if m != 0 {
+			return fmt.Errorf("invalid drift entry width 0 for %d partitions", m)
+		}
+		d.width = 0
+		return nil
+	case 8, 16, 32, 64:
+		if m == 0 {
+			return fmt.Errorf("drift entry width %d for an empty layer", bits)
+		}
+	default:
+		return fmt.Errorf("invalid drift entry width %d", bits)
 	}
 	d.width = uint8(bits / 8)
+	var err error
 	switch bits {
 	case 8:
-		d.w8 = make([]int8, m)
-		return binary.Read(r, binary.LittleEndian, d.w8)
+		d.w8, err = readSliceChunked[int8](r, m, 1, "drift entry", avail)
 	case 16:
-		d.w16 = make([]int16, m)
-		return binary.Read(r, binary.LittleEndian, d.w16)
+		d.w16, err = readSliceChunked[int16](r, m, 2, "drift entry", avail)
 	case 32:
-		d.w32 = make([]int32, m)
-		return binary.Read(r, binary.LittleEndian, d.w32)
-	case 64:
-		d.w64 = make([]int64, m)
-		return binary.Read(r, binary.LittleEndian, d.w64)
+		d.w32, err = readSliceChunked[int32](r, m, 4, "drift entry", avail)
 	default:
-		d.width = 0
-		return fmt.Errorf("core: invalid drift entry width %d", bits)
+		d.w64, err = readSliceChunked[int64](r, m, 8, "drift entry", avail)
 	}
+	if err != nil {
+		d.width = 0
+	}
+	return err
+}
+
+// readSliceChunked reads m fixed-width values through the one shared
+// chunked-read implementation (snapshot.ReadFixed): one-shot allocation
+// when avail vouches the bytes are present, bounded incremental growth
+// otherwise — the protection the old single make([]T, m) did not have.
+func readSliceChunked[T int8 | int16 | int32 | int64](r io.Reader, m, elemSize int, what string, avail int64) ([]T, error) {
+	return snapshot.ReadFixed[T](r, m, elemSize, what, avail)
 }
 
 // keysFingerprint hashes a structural sample of the keys (size, endpoints,

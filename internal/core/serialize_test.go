@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/cdfmodel"
@@ -95,6 +97,109 @@ func TestLoadRejectsMismatches(t *testing.T) {
 	if _, err := Load(bytes.NewReader(nil), keys, model); err == nil {
 		t.Error("Load must reject an empty stream")
 	}
+}
+
+// TestLoadCorruptHeader mutates every header field of a valid layer file —
+// magic, version, mode, n, m, monotone, both fingerprints — plus the drift
+// width fields and the partition counts, and asserts each mutation is
+// rejected with a descriptive error instead of a panic or a giant
+// allocation. This is the regression suite for the hardened loader: the
+// old code fed head[4] straight into make([]int32, m).
+func TestLoadCorruptHeader(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Face, 64, 8_000, 5)
+	model := cdfmodel.NewInterpolation(keys)
+	for _, cfg := range []Config{{Mode: ModeRange}, {Mode: ModeMidpoint}} {
+		tab, err := Build(keys, model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := tab.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		valid := buf.Bytes()
+
+		mutate := func(name string, field int, val uint64) {
+			bad := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint64(bad[field*8:], val)
+			_, err := Load(bytes.NewReader(bad), keys, model)
+			if err == nil {
+				t.Errorf("%v/%s=%d: corrupt header accepted", cfg.Mode, name, val)
+			} else if err.Error() == "" {
+				t.Errorf("%v/%s: empty error message", cfg.Mode, name)
+			}
+		}
+		mutate("magic", 0, 0xDEADBEEF)
+		mutate("version", 1, 2)
+		mutate("version", 1, ^uint64(0))
+		mutate("mode", 2, 2)
+		mutate("mode", 2, ^uint64(0))
+		mutate("n", 3, uint64(len(keys)+1))
+		mutate("n", 3, ^uint64(0))
+		mutate("m", 4, 0)
+		mutate("m", 4, uint64(len(keys))*maxLayerFactor+1) // beyond the sane-M bound
+		mutate("m", 4, 1<<40)                              // would have been a 1 TiB counts allocation
+		mutate("m", 4, ^uint64(0))                         // would have wrapped negative
+		mutate("m", 4, uint64(tab.M()+1))                  // sane-looking but wrong: drift reads run past the stream
+		mutate("monotone", 5, 2)
+		mutate("keys-fingerprint", 6, binary.LittleEndian.Uint64(valid[6*8:])^1)
+		mutate("model-fingerprint", 7, binary.LittleEndian.Uint64(valid[7*8:])^1)
+
+		// Drift width field (first u64 after the 64-byte header): zero,
+		// non-power-of-two, and absurd widths must all be rejected before
+		// any entry allocation.
+		for _, bits := range []uint64{0, 7, 12, 128, ^uint64(0)} {
+			mutate("drift-width", 8, bits)
+		}
+
+		// Partition counts: a negative cardinality (high bit set) must be
+		// rejected; counts live after the drift arrays, so locate them from
+		// the end.
+		bad := append([]byte(nil), valid...)
+		countOff := len(bad) - 4*tab.M()
+		bad[countOff+3] |= 0x80
+		if _, err := Load(bytes.NewReader(bad), keys, model); err == nil {
+			t.Errorf("%v: negative partition count accepted", cfg.Mode)
+		}
+
+		// Truncation at a stride of positions, including mid-header and
+		// mid-array, must always error.
+		for cut := 0; cut < len(valid); cut += 13 {
+			if _, err := Load(bytes.NewReader(valid[:cut]), keys, model); err == nil {
+				t.Errorf("%v: truncation to %d of %d bytes accepted", cfg.Mode, cut, len(valid))
+			}
+		}
+	}
+}
+
+// TestLoadHostileHeaderBoundedAllocation: a 64-byte header claiming a
+// gigantic layer over a stream that ends right after it must fail after
+// at most one incremental chunk, not try to allocate the claimed size.
+func TestLoadHostileHeaderBoundedAllocation(t *testing.T) {
+	keys := dataset.MustGenerate(dataset.Face, 64, 1_000_000, 5)
+	model := cdfmodel.NewInterpolation(keys)
+	head := make([]byte, 0, 80)
+	for _, v := range []uint64{
+		0x53485442, 1, uint64(ModeMidpoint), uint64(len(keys)),
+		uint64(len(keys)) * 32, // m: sane relative to n, far beyond the 72 bytes that follow
+		1, keysFingerprint(keys), modelFingerprint(model),
+		64, // drift width: 64-bit entries ⇒ claimed array is 256 MiB
+	} {
+		head = binary.LittleEndian.AppendUint64(head, v)
+	}
+	before := allocatedBytes()
+	if _, err := Load(bytes.NewReader(head), keys, model); err == nil {
+		t.Fatal("hostile header accepted")
+	}
+	if grew := allocatedBytes() - before; grew > 16<<20 {
+		t.Errorf("hostile header allocated %d MiB before failing", grew>>20)
+	}
+}
+
+func allocatedBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
 }
 
 func TestFingerprintSensitivity(t *testing.T) {

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/kv"
+	"repro/internal/snapshot"
+)
+
+// This file promotes the bare layer format (serialize.go) into full index
+// snapshots (DESIGN.md §9): a Shift-Table or bare-model index persisted as
+// one verified container — keys, model identity, and layer — so a restart
+// warm-loads the index instead of rebuilding it from raw keys. The layer
+// format stays exactly the serialize.go v1 bytes, embedded as one section;
+// its key and model fingerprints double as the binding between sections.
+
+// Snapshot container kinds written by this package.
+const (
+	// SnapshotKindTable is a complete Shift-Table index: keys, model
+	// spec, layer.
+	SnapshotKindTable = "shift-table"
+	// SnapshotKindModelIndex is a bare-model index: keys and model spec.
+	SnapshotKindModelIndex = "model-index"
+)
+
+// Section ids of the shift-table and model-index kinds.
+const (
+	secTableKeys  = 1
+	secTableModel = 2
+	secTableLayer = 3
+)
+
+// maxModelSpecLen bounds the model section; model parameter blobs are a
+// few words (an ε, a leaf count), never bulk data.
+const maxModelSpecLen = 1 << 16
+
+// SnapshotKind implements the index.Persister capability.
+func (t *Table[K]) SnapshotKind() string { return SnapshotKindTable }
+
+// PersistSnapshot writes the complete index — keys, model spec, layer —
+// as the shift-table section sequence. The caller owns the container
+// (header and checksum); see index.Save.
+func (t *Table[K]) PersistSnapshot(sw *snapshot.Writer) error {
+	if err := snapshot.WriteKeySection(sw, secTableKeys, t.keys); err != nil {
+		return err
+	}
+	return t.PersistModelAndLayer(sw, secTableModel, secTableLayer)
+}
+
+// PersistModelAndLayer writes the keyless part of a table snapshot — the
+// model spec and the layer — under the given section ids. Containers
+// that already carry the keys (the router persists each Shift-Table
+// shard this way, attached to its slice of the router's one key section)
+// embed tables through this instead of duplicating the key data.
+func (t *Table[K]) PersistModelAndLayer(sw *snapshot.Writer, modelID, layerID uint32) error {
+	spec, err := encodeModelSpec(t.model)
+	if err != nil {
+		return err
+	}
+	if err := sw.Bytes(modelID, spec); err != nil {
+		return err
+	}
+	lw, err := sw.SectionSized(layerID, t.layerSize())
+	if err != nil {
+		return err
+	}
+	_, err = t.WriteTo(lw)
+	return err
+}
+
+// layerSize is the exact byte count WriteTo produces: the 64-byte header,
+// the drift arrays at their recorded split widths, and the partition
+// counts. The sized section write enforces the agreement.
+func (t *Table[K]) layerSize() int64 {
+	size := int64(8 * 8)
+	m := int64(t.m)
+	switch t.mode {
+	case ModeRange:
+		size += (8 + m*int64(t.loBits)) + (8 + m*int64(t.hiBits))
+	default:
+		size += 8 + m*int64(t.shift.width)
+	}
+	return size + 4*m
+}
+
+// LoadTableSnapshot reads a shift-table snapshot: keys, model spec
+// (reconstructing the model and verifying its fingerprint), then the
+// layer through the hardened Load, whose own fingerprints bind it to the
+// keys and model just read. The caller owns checksum verification
+// (snapshot.Reader.Close) and must discard the result if it fails.
+func LoadTableSnapshot[K kv.Key](sr *snapshot.Reader) (*Table[K], error) {
+	keys, err := loadSortedKeys[K](sr, secTableKeys)
+	if err != nil {
+		return nil, err
+	}
+	return LoadTableWithKeys(sr, keys, secTableModel, secTableLayer)
+}
+
+// LoadTableWithKeys reads the keyless model+layer section pair written by
+// PersistModelAndLayer and attaches it to caller-supplied keys (which
+// the caller must already have validated as sorted). The layer's key
+// fingerprint still binds it to exactly these keys.
+func LoadTableWithKeys[K kv.Key](sr *snapshot.Reader, keys []K, modelID, layerID uint32) (*Table[K], error) {
+	model, err := loadModelSpecSection(sr, modelID, keys)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := sr.Expect(layerID)
+	if err != nil {
+		return nil, err
+	}
+	return Load(ls, keys, model)
+}
+
+// SnapshotKind implements the index.Persister capability.
+func (ix *ModelIndex[K]) SnapshotKind() string { return SnapshotKindModelIndex }
+
+// PersistSnapshot writes the bare-model index: keys and model spec.
+func (ix *ModelIndex[K]) PersistSnapshot(sw *snapshot.Writer) error {
+	if err := snapshot.WriteKeySection(sw, secTableKeys, ix.keys); err != nil {
+		return err
+	}
+	return ix.PersistModelSpec(sw, secTableModel)
+}
+
+// PersistModelSpec writes just the model spec section — the keyless form
+// of a model-index snapshot (the router persists bare-model shards this
+// way).
+func (ix *ModelIndex[K]) PersistModelSpec(sw *snapshot.Writer, id uint32) error {
+	spec, err := encodeModelSpec(ix.model)
+	if err != nil {
+		return err
+	}
+	return sw.Bytes(id, spec)
+}
+
+// LoadModelIndexSnapshot reads a model-index snapshot.
+func LoadModelIndexSnapshot[K kv.Key](sr *snapshot.Reader) (*ModelIndex[K], error) {
+	keys, err := loadSortedKeys[K](sr, secTableKeys)
+	if err != nil {
+		return nil, err
+	}
+	return LoadModelIndexWithKeys(sr, keys, secTableModel)
+}
+
+// LoadModelIndexWithKeys reads a model spec section and rebuilds the
+// bare-model index over caller-supplied (already sorted) keys.
+func LoadModelIndexWithKeys[K kv.Key](sr *snapshot.Reader, keys []K, modelID uint32) (*ModelIndex[K], error) {
+	model, err := loadModelSpecSection(sr, modelID, keys)
+	if err != nil {
+		return nil, err
+	}
+	return NewModelIndex(keys, model)
+}
+
+// loadSortedKeys reads a key section and validates ordering.
+func loadSortedKeys[K kv.Key](sr *snapshot.Reader, id uint32) ([]K, error) {
+	ks, err := sr.Expect(id)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := snapshot.ReadKeySection[K](ks, 0)
+	if err != nil {
+		return nil, err
+	}
+	if !kv.IsSorted(keys) {
+		return nil, fmt.Errorf("core: snapshot keys are not sorted")
+	}
+	return keys, nil
+}
+
+// loadModelSpecSection reads and decodes one model spec section.
+func loadModelSpecSection[K kv.Key](sr *snapshot.Reader, id uint32, keys []K) (cdfmodel.Model[K], error) {
+	ms, err := sr.Expect(id)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := ms.Bytes(maxModelSpecLen)
+	if err != nil {
+		return nil, err
+	}
+	return decodeModelSpec(spec, keys)
+}
+
+// ModelParamser is the optional interface a model implements when its
+// reconstruction needs parameters beyond the keys themselves (a radix
+// spline's ε, an RMI's leaf count). Models without it — the cdfmodel
+// families — are re-derived from the keys alone.
+type ModelParamser interface {
+	SnapshotParams() []byte
+}
+
+// encodeModelSpec renders a model's identity: family name, fingerprint,
+// and the reconstruction parameters (empty when the keys suffice).
+func encodeModelSpec[K kv.Key](m cdfmodel.Model[K]) ([]byte, error) {
+	name := m.Name()
+	if name == "" || len(name) > 255 {
+		return nil, fmt.Errorf("core: model name %q not serializable", name)
+	}
+	var params []byte
+	if p, ok := m.(ModelParamser); ok {
+		params = p.SnapshotParams()
+	}
+	if len(params) > maxModelSpecLen/2 {
+		return nil, fmt.Errorf("core: model %q parameter blob too large (%d bytes)", name, len(params))
+	}
+	out := make([]byte, 0, 4+len(name)+8+4+len(params))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(name)))
+	out = append(out, name...)
+	out = binary.LittleEndian.AppendUint64(out, modelFingerprint(m))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(params)))
+	out = append(out, params...)
+	return out, nil
+}
+
+// decodeModelSpec reconstructs the model over the snapshot's keys and
+// verifies the rebuilt model's fingerprint against the recorded one, so a
+// reconstruction that drifted (changed defaults, wrong parameters) is
+// rejected instead of silently mis-predicting.
+func decodeModelSpec[K kv.Key](spec []byte, keys []K) (cdfmodel.Model[K], error) {
+	if len(spec) < 4 {
+		return nil, fmt.Errorf("core: model spec truncated")
+	}
+	nameLen := int(binary.LittleEndian.Uint32(spec))
+	spec = spec[4:]
+	if nameLen == 0 || nameLen > 255 || nameLen > len(spec) {
+		return nil, fmt.Errorf("core: invalid model name length %d", nameLen)
+	}
+	name := string(spec[:nameLen])
+	spec = spec[nameLen:]
+	if len(spec) < 12 {
+		return nil, fmt.Errorf("core: model spec for %q truncated", name)
+	}
+	fp := binary.LittleEndian.Uint64(spec)
+	paramsLen := int(binary.LittleEndian.Uint32(spec[8:]))
+	spec = spec[12:]
+	if paramsLen != len(spec) {
+		return nil, fmt.Errorf("core: model %q parameter length %d does not match the %d bytes present",
+			name, paramsLen, len(spec))
+	}
+	model, err := buildModel(name, keys, spec)
+	if err != nil {
+		return nil, err
+	}
+	if got := modelFingerprint(model); got != fp {
+		return nil, fmt.Errorf("core: reconstructed %q model does not match the persisted one (fingerprint %016x, want %016x)",
+			name, got, fp)
+	}
+	return model, nil
+}
+
+// buildModel dispatches on the model family: the cdfmodel families are
+// re-derived from the keys directly; anything else goes through the
+// registered loaders (internal/index registers the RS and RMI families —
+// loading a snapshot whose model lives outside cdfmodel requires linking
+// the registry, which every front-end does).
+func buildModel[K kv.Key](name string, keys []K, params []byte) (cdfmodel.Model[K], error) {
+	switch name {
+	case "IM", "Linear", "Cubic":
+		if len(params) != 0 {
+			return nil, fmt.Errorf("core: model %q takes no parameters, spec carries %d bytes", name, len(params))
+		}
+		switch name {
+		case "IM":
+			return cdfmodel.NewInterpolation(keys), nil
+		case "Linear":
+			return cdfmodel.NewLinear(keys), nil
+		default:
+			return cdfmodel.NewCubic(keys), nil
+		}
+	}
+	if fn, ok := modelLoaders.Load(modelLoaderKey{name: name, width: kv.Width[K]()}); ok {
+		return fn.(func([]K, []byte) (cdfmodel.Model[K], error))(keys, params)
+	}
+	return nil, fmt.Errorf("core: no loader registered for model family %q (link internal/index for RS/RMI)", name)
+}
+
+type modelLoaderKey struct {
+	name  string
+	width int
+}
+
+var modelLoaders sync.Map // modelLoaderKey -> func([]K, []byte) (cdfmodel.Model[K], error)
+
+// RegisterModelLoader registers a reconstruction function for a model
+// family outside cdfmodel, keyed by family name and key width. Called
+// from package init functions (internal/index registers RS and RMI);
+// later registrations for the same key replace earlier ones.
+func RegisterModelLoader[K kv.Key](name string, fn func(keys []K, params []byte) (cdfmodel.Model[K], error)) {
+	modelLoaders.Store(modelLoaderKey{name: name, width: kv.Width[K]()}, fn)
+}

@@ -21,6 +21,25 @@ func New(n int) (*Tree, error) {
 	return &Tree{bit: make([]int64, n+1)}, nil
 }
 
+// FromBools returns a tree whose slot i holds 1 where set[i] is true —
+// built in O(n) with the standard parent-propagation pass instead of n
+// O(log n) point updates. The snapshot loader rebuilds tombstone prefix
+// sums from the persisted bitmap through this.
+func FromBools(set []bool) *Tree {
+	t := &Tree{bit: make([]int64, len(set)+1)}
+	for i, s := range set {
+		if s {
+			t.bit[i+1] = 1
+		}
+	}
+	for i := 1; i < len(t.bit); i++ {
+		if j := i + i&(-i); j < len(t.bit) {
+			t.bit[j] += t.bit[i]
+		}
+	}
+	return t
+}
+
 // Len returns the number of slots.
 func (t *Tree) Len() int { return len(t.bit) - 1 }
 

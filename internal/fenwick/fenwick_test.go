@@ -116,3 +116,27 @@ func TestEdges(t *testing.T) {
 	}()
 	tr.Add(3, 1)
 }
+
+func TestFromBools(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 1000} {
+		set := make([]bool, n)
+		for i := range set {
+			set[i] = i%3 == 0 || i%7 == 2
+		}
+		bulk := FromBools(set)
+		ref, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range set {
+			if s {
+				ref.Add(i, 1)
+			}
+		}
+		for i := 0; i <= n; i++ {
+			if got, want := bulk.PrefixSum(i), ref.PrefixSum(i); got != want {
+				t.Fatalf("n=%d PrefixSum(%d) = %d, want %d", n, i, got, want)
+			}
+		}
+	}
+}

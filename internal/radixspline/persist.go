@@ -1,0 +1,14 @@
+package radixspline
+
+import "encoding/binary"
+
+// SnapshotParams implements the model-reconstruction capability the
+// snapshot subsystem probes for (core.ModelParamser, matched
+// structurally): a radix spline is rebuilt from its keys plus the ε it
+// was trained with, so the parameter blob is the ε alone. The matching
+// loader is registered by internal/index.
+func (idx *Index[K]) SnapshotParams() []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(idx.maxErr))
+	return b[:]
+}

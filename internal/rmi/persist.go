@@ -1,0 +1,15 @@
+package rmi
+
+import "encoding/binary"
+
+// SnapshotParams implements the model-reconstruction capability the
+// snapshot subsystem probes for (core.ModelParamser, matched
+// structurally): an RMI is rebuilt deterministically from its keys plus
+// its configuration, so the parameter blob is the leaf count and root
+// kind. The matching loader is registered by internal/index.
+func (idx *Index[K]) SnapshotParams() []byte {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(idx.Leaves()))
+	binary.LittleEndian.PutUint64(b[8:], uint64(idx.rootKind))
+	return b[:]
+}

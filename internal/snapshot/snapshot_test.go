@@ -1,0 +1,289 @@
+package snapshot
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildContainer writes a small three-section container and returns its
+// bytes: a metadata section, a sized key-style section, and an empty one.
+func buildContainer(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw, err := NewWriter(&buf, "test-kind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Bytes(1, []byte("hello metadata")); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xAB, 0xCD}, 500)
+	w, err := sw.SectionSized(2, int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Bytes(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	raw := buildContainer(t)
+	for _, total := range []int64{int64(len(raw)), -1} {
+		sr, err := NewReader(bytes.NewReader(raw), total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Kind() != "test-kind" {
+			t.Fatalf("kind = %q", sr.Kind())
+		}
+		s1, err := sr.Expect(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s1.Bytes(0)
+		if err != nil || string(b) != "hello metadata" {
+			t.Fatalf("section 1 = %q, %v", b, err)
+		}
+		s2, err := sr.Expect(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s2.Len != 1000 {
+			t.Fatalf("section 2 len = %d", s2.Len)
+		}
+		got, err := io.ReadAll(s2)
+		if err != nil || len(got) != 1000 {
+			t.Fatalf("section 2 read: %d bytes, %v", len(got), err)
+		}
+		s3, err := sr.Expect(3)
+		if err != nil || s3.Len != 0 {
+			t.Fatal(err)
+		}
+		if err := sr.Close(); err != nil {
+			t.Fatalf("Close (total=%d): %v", total, err)
+		}
+	}
+}
+
+// TestContainerRejectsEveryBitFlip is the core integrity property: any
+// single corrupted byte anywhere in the container must surface as an
+// error by the time Close returns — either a structural validation error
+// or the trailing checksum.
+func TestContainerRejectsEveryBitFlip(t *testing.T) {
+	raw := buildContainer(t)
+	for i := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x40
+		err := readAll(bad)
+		if err == nil {
+			t.Fatalf("flipping byte %d of %d went undetected", i, len(raw))
+		}
+	}
+}
+
+// TestContainerRejectsEveryTruncation: cutting the container at any
+// length must error, never hang or panic.
+func TestContainerRejectsEveryTruncation(t *testing.T) {
+	raw := buildContainer(t)
+	for cut := 0; cut < len(raw); cut++ {
+		if err := readAll(raw[:cut]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes went undetected", cut, len(raw))
+		}
+	}
+}
+
+// readAll parses a container the way a loader would: walks every section,
+// drains payloads, verifies the checksum.
+func readAll(raw []byte) error {
+	sr, err := NewReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		return err
+	}
+	for {
+		s, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(io.Discard, s); err != nil {
+			return err
+		}
+	}
+	return sr.Close()
+}
+
+func TestWriterValidation(t *testing.T) {
+	if _, err := NewWriter(io.Discard, ""); err == nil {
+		t.Error("empty kind accepted")
+	}
+	if _, err := NewWriter(io.Discard, strings.Repeat("k", MaxKindLen+1)); err == nil {
+		t.Error("oversized kind accepted")
+	}
+	var buf bytes.Buffer
+	sw, _ := NewWriter(&buf, "k")
+	if _, err := sw.SectionSized(0, 4); err == nil {
+		t.Error("section id 0 accepted")
+	}
+	sw, _ = NewWriter(&buf, "k")
+	w, _ := sw.SectionSized(5, 4)
+	if _, err := w.Write([]byte("12345")); err == nil {
+		t.Error("overflowing a sized section accepted")
+	}
+	sw, _ = NewWriter(&buf, "k")
+	w, _ = sw.SectionSized(5, 4)
+	if _, err := w.Write([]byte("12")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err == nil {
+		t.Error("closing a short sized section accepted")
+	}
+}
+
+func TestReaderValidation(t *testing.T) {
+	raw := buildContainer(t)
+
+	// Wrong expected section id.
+	sr, _ := NewReader(bytes.NewReader(raw), int64(len(raw)))
+	if _, err := sr.Expect(7); err == nil {
+		t.Error("Expect(7) on section 1 accepted")
+	}
+
+	// Unread payload at Next.
+	sr, _ = NewReader(bytes.NewReader(raw), int64(len(raw)))
+	if _, err := sr.Expect(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err == nil {
+		t.Error("Next over an unread payload accepted")
+	}
+
+	// Close with sections remaining.
+	sr, _ = NewReader(bytes.NewReader(raw), int64(len(raw)))
+	if err := sr.Close(); err == nil {
+		t.Error("Close with unread sections accepted")
+	}
+
+	// Bytes cap.
+	sr, _ = NewReader(bytes.NewReader(raw), int64(len(raw)))
+	s, _ := sr.Expect(1)
+	if _, err := s.Bytes(4); err == nil {
+		t.Error("Bytes over cap accepted")
+	}
+
+	// A section length exceeding a known total must be rejected before
+	// any payload read.
+	sr, _ = NewReader(bytes.NewReader(raw), 40)
+	if _, err := sr.Next(); err == nil {
+		t.Error("section length beyond known total accepted")
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.snap")
+	err := SaveFile(path, "file-kind", func(sw *Writer) error {
+		return sw.Bytes(1, []byte("payload"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	err = LoadFile(path, func(sr *Reader) error {
+		if sr.Kind() != "file-kind" {
+			t.Errorf("kind = %q", sr.Kind())
+		}
+		s, err := sr.Expect(1)
+		if err != nil {
+			return err
+		}
+		got, err = s.Bytes(0)
+		return err
+	})
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("LoadFile: %q, %v", got, err)
+	}
+	if kind, err := ReadKindFile(path); err != nil || kind != "file-kind" {
+		t.Fatalf("ReadKindFile: %q, %v", kind, err)
+	}
+
+	// A failing persist must leave no file behind (and not clobber an
+	// existing snapshot).
+	path2 := filepath.Join(dir, "broken.snap")
+	err = SaveFile(path2, "file-kind", func(sw *Writer) error {
+		return io.ErrClosedPipe
+	})
+	if err == nil {
+		t.Fatal("SaveFile swallowed the persist error")
+	}
+	if _, serr := os.Stat(path2); !os.IsNotExist(serr) {
+		t.Error("failed SaveFile left a file behind")
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestKeySections(t *testing.T) {
+	keys := []uint64{1, 5, 5, 9, 1 << 60}
+	var buf bytes.Buffer
+	sw, _ := NewWriter(&buf, "k")
+	if err := WriteKeySection(sw, 1, keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteKeySection(sw, 2, []uint64{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	sr, _ := NewReader(bytes.NewReader(raw), int64(len(raw)))
+	s, _ := sr.Expect(1)
+	got, err := ReadKeySection[uint64](s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) || got[0] != 1 || got[4] != 1<<60 {
+		t.Fatalf("keys round trip = %v", got)
+	}
+	s, _ = sr.Expect(2)
+	empty, err := ReadKeySection[uint64](s, 0)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty keys round trip = %v, %v", empty, err)
+	}
+	if err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Width mismatch: reading a 64-bit section as 32-bit keys.
+	sr, _ = NewReader(bytes.NewReader(raw), int64(len(raw)))
+	s, _ = sr.Expect(1)
+	if _, err := ReadKeySection[uint32](s, 0); err == nil {
+		t.Error("width mismatch accepted")
+	}
+
+	// Count cap.
+	sr, _ = NewReader(bytes.NewReader(raw), int64(len(raw)))
+	s, _ = sr.Expect(1)
+	if _, err := ReadKeySection[uint64](s, 2); err == nil {
+		t.Error("key count beyond cap accepted")
+	}
+}

@@ -106,13 +106,7 @@ func (ix *Index[K]) setBaseFrom(keys []K, prev *core.Table[K]) error {
 		delTree: tree,
 	}
 	ix.frozen = false
-	ix.maxDelta = ix.cfg.MaxDelta
-	if ix.maxDelta == 0 {
-		ix.maxDelta = len(keys) / 64
-		if ix.maxDelta < 1024 {
-			ix.maxDelta = 1024
-		}
-	}
+	ix.maxDelta = resolveMaxDelta(ix.cfg.MaxDelta, len(keys))
 	return nil
 }
 
