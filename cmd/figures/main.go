@@ -19,7 +19,11 @@
 // against every homogeneous candidate backend, with the per-shard routing
 // decisions as comment lines. The "persist" pseudo-figure prints the
 // snapshot sweep (cold build vs save vs warm load per backend, every
-// loaded index verified bit-identical before its time is reported).
+// loaded index verified bit-identical before its time is reported). The
+// "replica" pseudo-figure prints the replication sweep (publish → fetch →
+// verify → swap per version, delta vs full artifact sizes, cold sync vs
+// crash/warm-restart time; every synced version oracle-verified) and
+// writes BENCH_replica.json.
 //
 // All CSV output flows through the shared bench.Grid emitter, the same
 // layout cmd/report renders as markdown.
@@ -36,13 +40,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure id: 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router, persist")
+	fig := flag.String("fig", "", "figure id: 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router, persist, replica")
 	n := flag.Int("n", 0, "dataset size (0 = per-figure default)")
 	q := flag.Int("q", 0, "query count (0 = per-figure default)")
 	seed := flag.Int64("seed", 7, "dataset seed")
 	ds := flag.String("dataset", "face64", "dataset for fig 8 (face64 or osmc64)")
 	shards := flag.Int("shards", 0, "router shard count (0 = auto)")
-	jsonPath := flag.String("json", "BENCH_build.json", "fig build: JSON output path (empty = skip)")
+	jsonPath := flag.String("json", "auto", "figs build/replica: JSON output path (auto = BENCH_<fig>.json, empty = skip)")
 	flag.Parse()
 
 	var err error
@@ -66,15 +70,17 @@ func main() {
 	case "batch":
 		err = batchSweep(*n, *q, *seed)
 	case "build":
-		err = buildSweep(*n, *seed, *jsonPath)
+		err = buildSweep(*n, *seed, jsonOut(*jsonPath, "BENCH_build.json"))
 	case "concurrent":
 		err = concurrentSweep(*n, *seed)
 	case "router":
 		err = routerSweep(*n, *q, *shards, *seed)
 	case "persist":
 		err = persistSweep(*n, *q, *seed)
+	case "replica":
+		err = replicaSweep(*n, *q, *seed, jsonOut(*jsonPath, "BENCH_replica.json"))
 	default:
-		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router, persist")
+		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router, persist, replica")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -260,6 +266,37 @@ func routerSweep(n, q, shards int, seed int64) error {
 	if name, best := res.BestHomogeneousNs(); best > 0 {
 		fmt.Printf("# router %.1f ns vs best homogeneous %s %.1f ns (ratio %.2f)\n",
 			res.RouterNs(), name, best, res.RouterNs()/best)
+	}
+	return nil
+}
+
+// jsonOut resolves the -json flag: "auto" means the per-figure default.
+func jsonOut(flagVal, def string) string {
+	if flagVal == "auto" {
+		return def
+	}
+	return flagVal
+}
+
+func replicaSweep(n, q int, seed int64, jsonPath string) error {
+	res, err := bench.RunReplication(bench.ReplicationConfig{N: n, Queries: q, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# replication sweep: n=%d rounds=%d (every synced version oracle-verified before timing is reported)\n", res.N, res.Rounds)
+	fmt.Printf("# mean artifact: full %.1f KB, delta %.1f KB; cold sync %.1f ms, warm restart %.1f ms (version %d, store offline)\n",
+		res.FullKB, res.DeltaKB, res.ColdSyncMs, res.WarmRestartMs, res.WarmVersion)
+	emit(res.Grid())
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", jsonPath)
 	}
 	return nil
 }

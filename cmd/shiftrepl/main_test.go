@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/replica"
+)
+
+func TestParseFault(t *testing.T) {
+	f, err := parseFault("truncate:4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != replica.FaultTruncate || f.Offset != 4096 || f.Count != 1 {
+		t.Fatalf("parseFault: %+v", f)
+	}
+	f, err = parseFault("stall::3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != replica.FaultStall || f.Offset != 0 || f.Count != 3 || f.Delay != time.Hour {
+		t.Fatalf("parseFault: %+v", f)
+	}
+	for _, bad := range []string{"", "gizmo", "truncate:x", "stall:0:y"} {
+		if _, err := parseFault(bad); err == nil {
+			t.Errorf("parseFault(%q) accepted", bad)
+		}
+	}
+}
+
+func TestOpenStore(t *testing.T) {
+	if s, err := openStore("https://example.com/snapshots"); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(replica.HTTPStore); !ok {
+		t.Fatalf("https spec gave %T, want HTTPStore", s)
+	}
+	dir := t.TempDir() + "/store"
+	if s, err := openStore(dir); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(replica.DirStore); !ok {
+		t.Fatalf("dir spec gave %T, want DirStore", s)
+	}
+}

@@ -66,6 +66,18 @@
 // `shifttool -save/-load` for the CLI path, and `figures -fig persist`
 // for the cold-build-vs-warm-load sweep.
 //
+// Snapshots replicate (internal/replica, DESIGN.md §10): a primary
+// publishes versioned fulls and generation deltas into a manifest-rooted
+// store (local directory or HTTP), and replicas fetch with retry,
+// backoff and per-attempt timeouts, verify every byte — CRC-32C, model
+// fingerprint, key count — off the serving path, and atomically swap.
+// On persistent failure a replica keeps serving its last-good version
+// and reports staleness; after a crash it warm-restarts from re-verified
+// local state without the network. The injected-fault matrix and the
+// kill/restart torture harness live in internal/replica's tests. See
+// cmd/shiftrepl for the publish/fetch/serve CLI and `figures -fig
+// replica` for the time-to-fresh sweep.
+//
 // See DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. Root-level benchmarks in
 // bench_test.go regenerate each table and figure; the cmd/ binaries produce

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunReplicationSmoke runs the replication sweep at small N: every
+// synced version is oracle-verified inside RunReplication, so a clean
+// return plus plausible numbers is the assertion.
+func TestRunReplicationSmoke(t *testing.T) {
+	res, err := RunReplication(ReplicationConfig{
+		N: 40_000, Rounds: 5, Queries: 500, Seed: 3, Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 { // base + 5 rounds
+		t.Fatalf("got %d points, want 6", len(res.Points))
+	}
+	if res.Points[0].Kind != "full" {
+		t.Errorf("first publish was %q, want full", res.Points[0].Kind)
+	}
+	fulls, deltas := 0, 0
+	for _, p := range res.Points {
+		if p.Verified == 0 || p.SyncMs < 0 || p.ArtifactKB <= 0 {
+			t.Errorf("implausible point %+v", p)
+		}
+		if p.Kind == "full" {
+			fulls++
+		} else {
+			deltas++
+		}
+	}
+	if fulls < 2 || deltas < 3 {
+		t.Errorf("expected fulls and deltas in the mix, got %d/%d", fulls, deltas)
+	}
+	if res.DeltaKB <= 0 || res.FullKB <= res.DeltaKB {
+		t.Errorf("deltas should be smaller than fulls: full %.1f KB, delta %.1f KB", res.FullKB, res.DeltaKB)
+	}
+	if res.WarmVersion != res.Points[len(res.Points)-1].Version {
+		t.Errorf("warm restart at version %d, want %d", res.WarmVersion, res.Points[len(res.Points)-1].Version)
+	}
+	if g := res.Grid(); len(g.Rows) != len(res.Points) {
+		t.Error("grid row count mismatch")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ReplicationResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("BENCH_replica.json shape does not round-trip: %v", err)
+	}
+	if back.WarmVersion != res.WarmVersion || len(back.Points) != len(res.Points) {
+		t.Error("JSON round trip changed content")
+	}
+}

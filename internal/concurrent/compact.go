@@ -111,7 +111,7 @@ func (ix *Index[K]) compactor() {
 			default:
 			}
 			s := ix.snap.Load()
-			if !ix.cfg.Policy.due(s.pending(), s.length()) {
+			if !ix.policy.due(s.pending(), s.length()) {
 				break
 			}
 			if err := ix.Compact(); err != nil {
@@ -150,10 +150,11 @@ func (ix *Index[K]) Compact() error {
 	// Phase 1: seal.
 	ix.mu.Lock()
 	s0 := ix.snap.Load()
-	sealed := &snapshot[K]{view: s0.view, gens: s0.gens}
+	sealed := &snapshot[K]{view: s0.view, gens: s0.gens, tag: s0.tag}
 	opened := &snapshot[K]{
 		view: s0.view,
 		gens: append(append([]*generation[K]{}, s0.gens...), &generation[K]{}),
+		tag:  s0.tag,
 	}
 	ix.snap.Store(opened)
 	ix.mu.Unlock()
@@ -172,14 +173,14 @@ func (ix *Index[K]) Compact() error {
 		merged = append(merged, k)
 		return true
 	})
-	rebuilt, err := updatable.NewFrom(merged, updatable.Config{Layer: ix.cfg.Layer}, sealed.view.Table())
+	rebuilt, err := updatable.NewFrom(merged, updatable.Config{Layer: ix.layerCfg()}, sealed.view.Table())
 	if err != nil {
 		// Flatten the generation stack so reads don't degrade while the
 		// failure persists; the compactor goroutine survives errors, so
 		// the next due write retries (and a manual Compact can too).
 		ix.mu.Lock()
 		cur := ix.snap.Load()
-		ix.snap.Store(&snapshot[K]{view: cur.view, gens: mergeGens(cur.gens)})
+		ix.snap.Store(&snapshot[K]{view: cur.view, gens: mergeGens(cur.gens), tag: cur.tag})
 		ix.mu.Unlock()
 		return err
 	}
@@ -192,7 +193,7 @@ func (ix *Index[K]) Compact() error {
 	// so cur.gens is the sealed prefix (untouched) plus everything that
 	// landed mid-rebuild; the suffix survives onto the rebuilt base.
 	live := cur.gens[len(sealed.gens):]
-	ix.snap.Store(&snapshot[K]{view: view, gens: append([]*generation[K]{}, live...)})
+	ix.snap.Store(&snapshot[K]{view: view, gens: append([]*generation[K]{}, live...), tag: cur.tag})
 	ix.mu.Unlock()
 	ix.rebuilds.Add(1)
 	return nil

@@ -52,8 +52,13 @@ type Config struct {
 // readers may call the read methods concurrently with each other, with
 // writers, and with an in-flight compaction.
 type Index[K kv.Key] struct {
-	cfg  Config
-	snap atomic.Pointer[snapshot[K]]
+	policy CompactionPolicy
+	// layer is the base Shift-Table geometry compaction rebuilds with. It
+	// is behind an atomic pointer because replication replaces it:
+	// InstallState adopts the incoming snapshot's configuration while
+	// persistence and the compactor may be reading the old one lock-free.
+	layer atomic.Pointer[core.Config]
+	snap  atomic.Pointer[snapshot[K]]
 
 	mu sync.Mutex // serialises writers and snapshot publication
 
@@ -94,10 +99,12 @@ func wrap[K kv.Key](base *updatable.Index[K], cfg Config) (*Index[K], error) {
 		return nil, err
 	}
 	ix := &Index[K]{
-		cfg:  cfg,
-		wake: make(chan struct{}, 1),
-		done: make(chan struct{}),
+		policy: cfg.Policy,
+		wake:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
 	}
+	layer := cfg.Layer
+	ix.layer.Store(&layer)
 	ix.snap.Store(&snapshot[K]{
 		view: base.Freeze(),
 		gens: []*generation[K]{{}},
@@ -106,6 +113,10 @@ func wrap[K kv.Key](base *updatable.Index[K], cfg Config) (*Index[K], error) {
 	go ix.compactor()
 	return ix, nil
 }
+
+// layerCfg returns the base-layer geometry current compactions rebuild
+// with (replication may replace it; see InstallState).
+func (ix *Index[K]) layerCfg() core.Config { return *ix.layer.Load() }
 
 // Close stops the background compactor. Reads and writes remain valid
 // after Close (writes simply stop triggering automatic compaction).
@@ -117,6 +128,23 @@ func (ix *Index[K]) Close() {
 
 // Len returns the number of live keys.
 func (ix *Index[K]) Len() int { return ix.snap.Load().length() }
+
+// Name identifies the backend in benchmark output (index.Index contract).
+func (ix *Index[K]) Name() string {
+	return "concurrent(" + ix.snap.Load().view.Table().Name() + ")"
+}
+
+// SizeBytes reports the auxiliary footprint beyond the key data
+// (index.Index contract): the view's footprint plus the pending write
+// generations.
+func (ix *Index[K]) SizeBytes() int {
+	s := ix.snap.Load()
+	n := s.view.SizeBytes()
+	for _, g := range s.gens {
+		n += g.size() * kv.Width[K]()
+	}
+	return n
+}
 
 // Pending returns the number of write operations not yet compacted into
 // the base (observability; the compaction policies act on it).
@@ -155,13 +183,27 @@ func (ix *Index[K]) Lookup(q K) (rank int, found bool) {
 // core.Table.FindBatch pipeline of the frozen view; the generation
 // corrections are applied per lane.
 func (ix *Index[K]) FindBatch(qs []K, out []int) []int {
+	out, _ = ix.FindBatchTagged(qs, out)
+	return out
+}
+
+// FindBatchTagged is FindBatch plus the snapshot's install tag: every
+// result in the batch is answered by one snapshot, and the returned tag is
+// that snapshot's (InstallState/InstallDelta set it to the replicated
+// version). This lets a replica reader learn which published version
+// answered the whole batch with no lock and no tag/results race.
+func (ix *Index[K]) FindBatchTagged(qs []K, out []int) ([]int, uint64) {
 	s := ix.snap.Load()
 	out = s.view.FindBatch(qs, out)
 	for i, q := range qs {
 		out[i] += s.genRank(q)
 	}
-	return out
+	return out, s.tag
 }
+
+// Tag returns the install tag of the current published snapshot (zero if
+// no replicated state was ever installed).
+func (ix *Index[K]) Tag() uint64 { return ix.snap.Load().tag }
 
 // LookupBatch answers Lookup for every query in qs against one snapshot:
 // one staged base-table batch probe per lane (View.LookupCountBatch), then
@@ -240,7 +282,7 @@ func (ix *Index[K]) Delete(k K) bool {
 // maybeWake nudges the compactor when the policy says the published
 // snapshot is due. Non-blocking: a pending nudge is enough.
 func (ix *Index[K]) maybeWake(s *snapshot[K]) {
-	if !ix.cfg.Policy.due(s.pending(), s.length()) {
+	if !ix.policy.due(s.pending(), s.length()) {
 		return
 	}
 	select {

@@ -1,0 +1,350 @@
+package concurrent
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/kv"
+	snap "repro/internal/snapshot"
+	"repro/internal/updatable"
+)
+
+// This file is the replication surface of the concurrent index
+// (DESIGN.md §10). A primary captures one published snapshot as an
+// immutable PublishedState and ships it two ways:
+//
+//   - a full artifact: the existing SnapshotKind container (view + write
+//     generations), written off the serving path from the captured state;
+//   - a delta artifact: the COMPLETE generation stack of the captured
+//     state, bound to the full artifact it layers over by (base version,
+//     base artifact CRC). A delta is a replacement, not a patch — the
+//     replica swaps its whole generation stack, so deltas are idempotent
+//     and any delta whose base matches can be applied directly, no
+//     intermediate versions required.
+//
+// A replica loads a full artifact into a State (verified but not yet
+// serving), then InstallState swaps it in behind the atomic snapshot
+// pointer; later deltas go through InstallDelta, which refuses to apply
+// over the wrong base (ErrStaleBase) instead of corrupting the multiset.
+// Every installed snapshot carries the replicated version as its tag, so
+// FindBatchTagged answers "which version served this query" atomically
+// with the results.
+
+// DeltaKind identifies shipped generation-stack delta containers.
+const DeltaKind = "concurrent-delta"
+
+// secDeltaMeta is the delta container's metadata section; the generation
+// pairs reuse secConIns/secConDels.
+const secDeltaMeta = 30
+
+// ErrStaleBase reports a delta whose recorded base does not match the
+// state it is being applied over. The caller falls back to fetching a
+// full snapshot; nothing is installed.
+var ErrStaleBase = errors.New("concurrent: delta base does not match installed state")
+
+// PublishedState is an immutable capture of one published snapshot — the
+// unit replication ships. It stays valid (and serveable for persistence
+// and oracle scans) no matter how many writes, compactions, or installs
+// the index performs afterwards.
+type PublishedState[K kv.Key] struct {
+	ix *Index[K]
+	s  *snapshot[K]
+}
+
+// Published captures the current published snapshot.
+func (ix *Index[K]) Published() *PublishedState[K] {
+	return &PublishedState[K]{ix: ix, s: ix.snap.Load()}
+}
+
+// Len returns the captured state's live key count.
+func (p *PublishedState[K]) Len() int { return p.s.length() }
+
+// Pending returns the captured state's uncompacted write count.
+func (p *PublishedState[K]) Pending() int { return p.s.pending() }
+
+// Gens returns the captured generation-stack depth (observability).
+func (p *PublishedState[K]) Gens() int { return len(p.s.gens) }
+
+// ModelFingerprint returns the fingerprint of the captured base model —
+// the value the replication manifest records and replicas re-verify.
+func (p *PublishedState[K]) ModelFingerprint() uint64 { return p.s.view.ModelFingerprint() }
+
+// SameView reports whether q shares p's base view (same frozen
+// updatable.View, pointer identity). The publisher uses it to decide
+// full vs delta: if the view is unchanged since the last full artifact,
+// the write generations alone reproduce the state.
+func (p *PublishedState[K]) SameView(q *PublishedState[K]) bool {
+	return q != nil && p.s.view == q.s.view
+}
+
+// Scan walks the captured state's live keys in [a, b] in sorted order —
+// the torture harness's oracle reads primary states through this.
+func (p *PublishedState[K]) Scan(a, b K, fn func(k K) bool) { p.s.scan(a, b, fn) }
+
+// Persist writes the captured state as the full-snapshot section
+// sequence (same layout as PersistSnapshot, but of this capture rather
+// than whatever is published at write time).
+func (p *PublishedState[K]) Persist(sw *snap.Writer) error {
+	return p.ix.persistState(p.s, sw)
+}
+
+// SaveStateFile writes a captured published state crash-safely to path
+// as a full-snapshot container.
+func SaveStateFile[K kv.Key](path string, p *PublishedState[K]) error {
+	return snap.SaveFile(path, SnapshotKind, p.Persist)
+}
+
+// DeltaInfo binds a shipped delta to the full artifact it layers over.
+type DeltaInfo struct {
+	// Version is the replicated version this delta produces.
+	Version uint64
+	// Base is the replicated version of the full artifact whose view the
+	// generations are relative to.
+	Base uint64
+	// BaseCRC is the CRC-32C of the base artifact file — a content
+	// binding, so a republished base with the same version number cannot
+	// silently change meaning under existing deltas.
+	BaseCRC uint32
+}
+
+// PersistDelta writes the captured state's complete generation stack as
+// the delta section sequence.
+func (p *PublishedState[K]) PersistDelta(sw *snap.Writer, info DeltaInfo) error {
+	meta := make([]byte, 0, 24)
+	meta = binary.LittleEndian.AppendUint64(meta, info.Version)
+	meta = binary.LittleEndian.AppendUint64(meta, info.Base)
+	meta = binary.LittleEndian.AppendUint32(meta, info.BaseCRC)
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(len(p.s.gens)))
+	if err := sw.Bytes(secDeltaMeta, meta); err != nil {
+		return err
+	}
+	for _, g := range p.s.gens {
+		if err := snap.WriteKeySection(sw, secConIns, g.ins); err != nil {
+			return err
+		}
+		if err := snap.WriteKeySection(sw, secConDels, g.dels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveDeltaFile writes the captured state's generation stack crash-safely
+// to path as a delta container.
+func SaveDeltaFile[K kv.Key](path string, p *PublishedState[K], info DeltaInfo) error {
+	return snap.SaveFile(path, DeltaKind, func(sw *snap.Writer) error {
+		return p.PersistDelta(sw, info)
+	})
+}
+
+// Delta is a loaded shipped delta: the base binding plus the complete
+// generation stack at Info.Version.
+type Delta[K kv.Key] struct {
+	Info DeltaInfo
+	gens []*generation[K]
+}
+
+// Pending returns the delta's total write-operation count (observability).
+func (d *Delta[K]) Pending() int {
+	n := 0
+	for _, g := range d.gens {
+		n += g.size()
+	}
+	return n
+}
+
+func loadDeltaSections[K kv.Key](sr *snap.Reader) (*Delta[K], error) {
+	ms, err := sr.Expect(secDeltaMeta)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := ms.Bytes(0)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) != 24 {
+		return nil, fmt.Errorf("concurrent: delta meta section is %d bytes, want 24", len(meta))
+	}
+	d := &Delta[K]{Info: DeltaInfo{
+		Version: binary.LittleEndian.Uint64(meta),
+		Base:    binary.LittleEndian.Uint64(meta[8:]),
+		BaseCRC: binary.LittleEndian.Uint32(meta[16:]),
+	}}
+	genCount := binary.LittleEndian.Uint32(meta[20:])
+	if genCount > maxSnapshotGens {
+		return nil, fmt.Errorf("concurrent: delta claims %d generations (limit %d)", genCount, maxSnapshotGens)
+	}
+	if d.Info.Version <= d.Info.Base {
+		return nil, fmt.Errorf("concurrent: delta version %d does not follow its base %d", d.Info.Version, d.Info.Base)
+	}
+	d.gens, err = readGens[K](sr, genCount)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LoadDelta reads a delta container; total is the input size in bytes
+// (-1 when unknown). The container checksum verifies before the delta is
+// returned.
+func LoadDelta[K kv.Key](r io.Reader, total int64) (*Delta[K], error) {
+	var d *Delta[K]
+	err := snap.Load(r, total, func(sr *snap.Reader) error {
+		if sr.Kind() != DeltaKind {
+			return fmt.Errorf("concurrent: snapshot kind %q, want %q", sr.Kind(), DeltaKind)
+		}
+		var lerr error
+		d, lerr = loadDeltaSections[K](sr)
+		return lerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LoadDeltaFile reads a delta container from a file.
+func LoadDeltaFile[K kv.Key](path string) (*Delta[K], error) {
+	f, total, err := openSized(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadDelta[K](f, total)
+}
+
+// openSized opens path for loading and reports its size (-1 when stat
+// fails; the reader then bounds sections conservatively).
+func openSized(path string) (*os.File, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	total := int64(-1)
+	if fi, err := f.Stat(); err == nil {
+		total = fi.Size()
+	}
+	return f, total, nil
+}
+
+// State is a verified full snapshot not yet serving: the loaded base
+// (with its layer configuration), the persisted policy, and the
+// generation stack — everything InstallState needs, built entirely off
+// the serving path.
+type State[K kv.Key] struct {
+	base   *updatable.Index[K]
+	view   *updatable.View[K]
+	policy CompactionPolicy
+	gens   []*generation[K]
+}
+
+// Len returns the state's live key count.
+func (st *State[K]) Len() int {
+	s := snapshot[K]{view: st.view, gens: st.gens}
+	return s.length()
+}
+
+// ModelFingerprint returns the fingerprint of the state's base model.
+func (st *State[K]) ModelFingerprint() uint64 { return st.view.ModelFingerprint() }
+
+// LenWith returns the live key count st would have with d's generation
+// stack in place of its own — the replica verifies this against the
+// manifest before InstallDelta, so a wrong-count delta is rejected
+// without ever being served.
+func (st *State[K]) LenWith(d *Delta[K]) int {
+	s := snapshot[K]{view: st.view, gens: d.gens}
+	return s.length()
+}
+
+// LoadState reads a full-snapshot container into a State; total is the
+// input size in bytes (-1 when unknown).
+func LoadState[K kv.Key](r io.Reader, total int64) (*State[K], error) {
+	var st *State[K]
+	err := snap.Load(r, total, func(sr *snap.Reader) error {
+		if sr.Kind() != SnapshotKind {
+			return fmt.Errorf("concurrent: snapshot kind %q, want %q", sr.Kind(), SnapshotKind)
+		}
+		base, policy, gens, lerr := loadSections[K](sr)
+		if lerr != nil {
+			return lerr
+		}
+		st = &State[K]{base: base, view: base.Freeze(), policy: policy, gens: gens}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st.Len() < 0 {
+		return nil, fmt.Errorf("concurrent: state generations cancel more occurrences than exist (corrupt snapshot)")
+	}
+	return st, nil
+}
+
+// LoadStateFile reads a full-snapshot container file into a State.
+func LoadStateFile[K kv.Key](path string) (*State[K], error) {
+	f, total, err := openSized(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadState[K](f, total)
+}
+
+// InstallState swaps st in as the index's entire content: the base view,
+// the generation stack verbatim, and tag as the snapshot's install tag.
+// The index also adopts st's base-layer geometry, so later compactions
+// rebuild with the primary's configuration rather than the replica's
+// bootstrap default. Serialises with writers and compactions; readers
+// see either the old state or the new one, never a mixture.
+func (ix *Index[K]) InstallState(st *State[K], tag uint64) error {
+	gens := st.gens
+	if len(gens) == 0 {
+		gens = []*generation[K]{{}}
+	}
+	next := &snapshot[K]{view: st.view, gens: gens, tag: tag}
+	if next.length() < 0 {
+		return fmt.Errorf("concurrent: state generations cancel more occurrences than exist (corrupt snapshot)")
+	}
+	layer := st.base.Config().Layer
+
+	// Full writer+compactor lock: an in-flight compaction's publish phase
+	// must not resurrect the replaced state, and the layer adoption must
+	// be atomic with the swap from any later compaction's point of view.
+	ix.compactMu.Lock()
+	defer ix.compactMu.Unlock()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.layer.Store(&layer)
+	ix.snap.Store(next)
+	return nil
+}
+
+// InstallDelta applies a shipped delta over st, which must be the
+// currently installed base state: the snapshot keeps st's view and
+// replaces the whole generation stack with the delta's. If the published
+// view is no longer st's (a compaction ran, or a different state was
+// installed) it returns ErrStaleBase and installs nothing.
+func (ix *Index[K]) InstallDelta(st *State[K], d *Delta[K], tag uint64) error {
+	gens := d.gens
+	if len(gens) == 0 {
+		gens = []*generation[K]{{}}
+	}
+	next := &snapshot[K]{view: st.view, gens: gens, tag: tag}
+	if next.length() < 0 {
+		return fmt.Errorf("concurrent: delta generations cancel more occurrences than exist (corrupt delta)")
+	}
+
+	ix.compactMu.Lock()
+	defer ix.compactMu.Unlock()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.snap.Load().view != st.view {
+		return ErrStaleBase
+	}
+	ix.snap.Store(next)
+	return nil
+}
+

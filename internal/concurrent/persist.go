@@ -50,16 +50,24 @@ func (ix *Index[K]) SnapshotKind() string { return SnapshotKind }
 // and the pending write generations. Lock-free — concurrent writes land
 // in successor snapshots and are simply not part of this one.
 func (ix *Index[K]) PersistSnapshot(sw *snap.Writer) error {
-	s := ix.snap.Load()
+	return ix.persistState(ix.snap.Load(), sw)
+}
+
+// persistState streams one immutable snapshot. Replication uses it to
+// persist a *captured* published state (PublishedState.Persist) so the
+// primary can keep writing while the artifact streams out; the bytes are
+// deterministic for a given (policy, layer, state) triple, which is what
+// the delta-equivalence tests assert.
+func (ix *Index[K]) persistState(s *snapshot[K], sw *snap.Writer) error {
 	meta := make([]byte, 0, 24)
-	meta = binary.LittleEndian.AppendUint32(meta, uint32(ix.cfg.Policy.Kind))
-	meta = binary.LittleEndian.AppendUint64(meta, math.Float64bits(ix.cfg.Policy.Fraction))
-	meta = binary.LittleEndian.AppendUint64(meta, uint64(ix.cfg.Policy.Count))
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(ix.policy.Kind))
+	meta = binary.LittleEndian.AppendUint64(meta, math.Float64bits(ix.policy.Fraction))
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(ix.policy.Count))
 	meta = binary.LittleEndian.AppendUint32(meta, uint32(len(s.gens)))
 	if err := sw.Bytes(secConMeta, meta); err != nil {
 		return err
 	}
-	if err := updatable.PersistView(sw, s.view, updatable.Config{Layer: ix.cfg.Layer}); err != nil {
+	if err := updatable.PersistView(sw, s.view, updatable.Config{Layer: ix.layerCfg()}); err != nil {
 		return err
 	}
 	for _, g := range s.gens {
@@ -108,30 +116,40 @@ func loadSections[K kv.Key](sr *snap.Reader) (*updatable.Index[K], CompactionPol
 		return nil, policy, nil, err
 	}
 
+	gens, err := readGens[K](sr, genCount)
+	if err != nil {
+		return nil, policy, nil, err
+	}
+	return base, policy, gens, nil
+}
+
+// readGens reads genCount (ins, dels) section pairs — shared by the full
+// snapshot loader and the shipped-delta loader (delta.go).
+func readGens[K kv.Key](sr *snap.Reader, genCount uint32) ([]*generation[K], error) {
 	gens := make([]*generation[K], 0, genCount)
 	for i := uint32(0); i < genCount; i++ {
 		is, err := sr.Expect(secConIns)
 		if err != nil {
-			return nil, policy, nil, err
+			return nil, err
 		}
 		ins, err := snap.ReadKeySection[K](is, 0)
 		if err != nil {
-			return nil, policy, nil, err
+			return nil, err
 		}
 		dls, err := sr.Expect(secConDels)
 		if err != nil {
-			return nil, policy, nil, err
+			return nil, err
 		}
 		dels, err := snap.ReadKeySection[K](dls, 0)
 		if err != nil {
-			return nil, policy, nil, err
+			return nil, err
 		}
 		if !kv.IsSorted(ins) || !kv.IsSorted(dels) {
-			return nil, policy, nil, fmt.Errorf("concurrent: generation %d is not sorted", i)
+			return nil, fmt.Errorf("concurrent: generation %d is not sorted", i)
 		}
 		gens = append(gens, &generation[K]{ins: ins, dels: dels})
 	}
-	return base, policy, gens, nil
+	return gens, nil
 }
 
 // Load restores a concurrent index from a snapshot container and

@@ -170,8 +170,8 @@ func TestConcurrentSnapshotFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer loaded.Close()
-	if loaded.cfg.Policy.Kind != DeltaCount || loaded.cfg.Policy.Count != 12_345 {
-		t.Fatalf("policy not preserved: %+v", loaded.cfg.Policy)
+	if loaded.policy.Kind != DeltaCount || loaded.policy.Count != 12_345 {
+		t.Fatalf("policy not preserved: %+v", loaded.policy)
 	}
 	if got, want := loaded.Len(), orig.Len(); got != want {
 		t.Fatalf("Len = %d, want %d", got, want)

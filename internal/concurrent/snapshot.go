@@ -77,6 +77,13 @@ func countEq[K kv.Key](xs []K, q K) int {
 type snapshot[K kv.Key] struct {
 	view *updatable.View[K]
 	gens []*generation[K] // oldest first; the last is the write head
+
+	// tag is an opaque caller-supplied label carried by the snapshot and
+	// every successor derived from it (writes, compactions). Replication
+	// sets it to the installed version so a reader can learn, atomically
+	// with its results, which published version answered the query
+	// (FindBatchTagged). Zero when never installed.
+	tag uint64
 }
 
 // replaceTop returns a successor snapshot with the write head swapped. The
@@ -85,14 +92,14 @@ type snapshot[K kv.Key] struct {
 func (s *snapshot[K]) replaceTop(g *generation[K]) *snapshot[K] {
 	gens := append([]*generation[K]{}, s.gens...)
 	gens[len(gens)-1] = g
-	return &snapshot[K]{view: s.view, gens: gens}
+	return &snapshot[K]{view: s.view, gens: gens, tag: s.tag}
 }
 
 // pushHead returns a successor snapshot with g appended as the new write
 // head, sealing the previous one.
 func (s *snapshot[K]) pushHead(g *generation[K]) *snapshot[K] {
 	gens := append(append([]*generation[K]{}, s.gens...), g)
-	return &snapshot[K]{view: s.view, gens: gens}
+	return &snapshot[K]{view: s.view, gens: gens, tag: s.tag}
 }
 
 // pending is the number of write operations not yet merged into the base.

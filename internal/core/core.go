@@ -172,6 +172,13 @@ func (t *Table[K]) Mode() Mode { return t.mode }
 // Model returns the underlying CDF model.
 func (t *Table[K]) Model() cdfmodel.Model[K] { return t.model }
 
+// ModelFingerprint returns the fingerprint of the table's CDF model — the
+// same value the snapshot container embeds to refuse layer/model
+// mismatches. Replication records it in the manifest so a replica can
+// verify a fetched artifact carries the model family the primary
+// published, before anything is served from it.
+func (t *Table[K]) ModelFingerprint() uint64 { return modelFingerprint(t.model) }
+
 // Keys returns the indexed keys (shared, not copied).
 func (t *Table[K]) Keys() []K { return t.keys }
 

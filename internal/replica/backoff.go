@@ -1,0 +1,126 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/snapshot"
+)
+
+// RetryPolicy bounds one fetch operation: Attempts tries, each under a
+// per-attempt Timeout, separated by capped exponential backoff with
+// jitter. The zero value gets the documented defaults. Backoff sleeps
+// are context-cancellable — a replica shutting down mid-retry stops
+// immediately.
+type RetryPolicy struct {
+	// Attempts is the maximum tries per operation (default 5).
+	Attempts int
+	// Base is the delay after the first failure (default 50ms).
+	Base time.Duration
+	// Max caps the grown delay (default 2s).
+	Max time.Duration
+	// Multiplier grows the delay per failure (default 2).
+	Multiplier float64
+	// Jitter spreads each delay uniformly over ±Jitter fraction of
+	// itself (default 0.2), decorrelating replica fleets hammering a
+	// recovering store.
+	Jitter float64
+	// Timeout bounds each individual attempt (default 10s). The
+	// operation's context is the parent; cancelling it aborts both the
+	// attempt and any backoff sleep.
+	Timeout time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 5
+	}
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		p.Jitter = 0.2
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 10 * time.Second
+	}
+	return p
+}
+
+// backoff returns the jittered delay before attempt number `attempt`
+// (1-based count of failures so far).
+func (p RetryPolicy) backoff(attempt int, rnd *rand.Rand) time.Duration {
+	d := float64(p.Base)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 && rnd != nil {
+		d *= 1 + p.Jitter*(2*rnd.Float64()-1)
+	}
+	return time.Duration(d)
+}
+
+// retryable reports whether err is worth another attempt. Version skew
+// (snapshot.ErrVersionUnsupported) is permanent: no number of retries
+// makes an unreadable future-format artifact readable, so the fetcher
+// surfaces it immediately. Everything else — transport errors, checksum
+// mismatches, truncation, stalls, even NotFound (publishers prune) — is
+// transient by assumption.
+func retryable(err error) bool {
+	return !errors.Is(err, snapshot.ErrVersionUnsupported)
+}
+
+// do runs op under the policy: per-attempt timeout, bounded attempts,
+// jittered capped backoff between failures. It returns nil on the first
+// success; the last error (wrapped with the attempt count) on
+// exhaustion; the context error if the parent is cancelled; and a
+// non-retryable error immediately.
+func (p RetryPolicy) do(ctx context.Context, rnd *rand.Rand, op func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	var last error
+	for attempt := 1; attempt <= p.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		actx, cancel := context.WithTimeout(ctx, p.Timeout)
+		err := op(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		last = err
+		if !retryable(err) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt == p.Attempts {
+			break
+		}
+		t := time.NewTimer(p.backoff(attempt, rnd))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return fmt.Errorf("replica: %d attempts exhausted: %w", p.Attempts, last)
+}

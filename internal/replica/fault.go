@@ -1,0 +1,231 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Fault injection: FaultStore wraps any Store and corrupts, truncates,
+// stalls, or fails operations at chosen byte offsets for a chosen number
+// of matching calls. It is the test substrate for the ISSUE's failure
+// matrix — every injected failure class must leave the replica serving
+// its last-good state — but it lives in the package proper (not a _test
+// file) so the torture harness, the bench, and shiftrepl's -fault flag
+// can all reach it.
+
+// FaultKind enumerates the injected failure classes.
+type FaultKind int
+
+const (
+	// FaultTruncate ends the Get stream cleanly at Offset bytes — a torn
+	// fetch or a half-replicated object.
+	FaultTruncate FaultKind = iota
+	// FaultBitFlip XORs bit 0 of the byte at Offset in the Get stream —
+	// silent transport or storage corruption.
+	FaultBitFlip
+	// FaultStall blocks the Get stream at Offset for Delay (or until the
+	// attempt context dies) — a hung connection that must trip the
+	// per-attempt timeout.
+	FaultStall
+	// FaultError fails the Get stream at Offset with a transport error.
+	FaultError
+	// FaultNotFound makes Get report ErrNotFound — a missing or pruned
+	// version.
+	FaultNotFound
+	// FaultTornPut commits only the first Offset bytes of a Put and then
+	// reports failure — a publisher crash that leaves a short object
+	// under the final name on a non-atomic store.
+	FaultTornPut
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTruncate:
+		return "truncate"
+	case FaultBitFlip:
+		return "bit-flip"
+	case FaultStall:
+		return "stall"
+	case FaultError:
+		return "error"
+	case FaultNotFound:
+		return "not-found"
+	case FaultTornPut:
+		return "torn-put"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the root of every fault the store fabricates, so tests
+// can tell injected failures from real ones.
+var ErrInjected = errors.New("replica: injected fault")
+
+// Fault is one injection rule.
+type Fault struct {
+	// Name selects the object to afflict; "" afflicts every object.
+	Name string
+	// Kind is the failure class.
+	Kind FaultKind
+	// Offset is the byte position the failure manifests at (stream
+	// faults), or the committed prefix length (FaultTornPut).
+	Offset int64
+	// Count is how many matching operations to afflict before the rule
+	// retires; negative means every one, forever.
+	Count int
+	// Delay is the stall duration (FaultStall).
+	Delay time.Duration
+}
+
+// FaultStore wraps a Store with an injection rule list. Rules match in
+// insertion order; the first live match per operation fires and consumes
+// one count.
+type FaultStore struct {
+	Inner Store
+
+	mu     sync.Mutex
+	rules  []*Fault
+	gets   int
+	puts   int
+	faults int
+}
+
+// NewFaultStore wraps inner with an empty rule list (a transparent
+// proxy until Inject is called).
+func NewFaultStore(inner Store) *FaultStore {
+	return &FaultStore{Inner: inner}
+}
+
+// Inject adds a rule.
+func (fs *FaultStore) Inject(f Fault) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	rule := f
+	fs.rules = append(fs.rules, &rule)
+}
+
+// Clear drops all rules.
+func (fs *FaultStore) Clear() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.rules = nil
+}
+
+// Ops returns how many Get and Put operations have passed through
+// (afflicted or not) — tests use it to assert retry counts.
+func (fs *FaultStore) Ops() (gets, puts int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.gets, fs.puts
+}
+
+// Fired returns how many operations have been afflicted.
+func (fs *FaultStore) Fired() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.faults
+}
+
+// match consumes and returns the first live rule for (name, put-ness).
+func (fs *FaultStore) match(name string, put bool) *Fault {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if put {
+		fs.puts++
+	} else {
+		fs.gets++
+	}
+	for _, r := range fs.rules {
+		if r.Count == 0 {
+			continue
+		}
+		if r.Name != "" && r.Name != name {
+			continue
+		}
+		if put != (r.Kind == FaultTornPut) {
+			continue
+		}
+		if r.Count > 0 {
+			r.Count--
+		}
+		fs.faults++
+		return r
+	}
+	return nil
+}
+
+// Get returns the inner stream, possibly wrapped to misbehave.
+func (fs *FaultStore) Get(ctx context.Context, name string) (io.ReadCloser, error) {
+	f := fs.match(name, false)
+	if f != nil && f.Kind == FaultNotFound {
+		return nil, fmt.Errorf("replica: %s: %w: %w", name, ErrInjected, ErrNotFound)
+	}
+	rc, err := fs.Inner.Get(ctx, name)
+	if err != nil || f == nil {
+		return rc, err
+	}
+	return &faultReader{rc: rc, f: f, ctx: ctx}, nil
+}
+
+// Put commits r, torn short when a FaultTornPut rule matches.
+func (fs *FaultStore) Put(ctx context.Context, name string, r io.Reader) error {
+	f := fs.match(name, true)
+	if f == nil {
+		return fs.Inner.Put(ctx, name, r)
+	}
+	// Commit only the prefix, then report the crash. The short object
+	// lands under the final name — exactly what a non-atomic store shows
+	// readers after a mid-write crash.
+	if err := fs.Inner.Put(ctx, name, io.LimitReader(r, f.Offset)); err != nil {
+		return err
+	}
+	return fmt.Errorf("replica: torn put of %s after %d bytes: %w", name, f.Offset, ErrInjected)
+}
+
+// faultReader manifests one stream fault at its offset.
+type faultReader struct {
+	rc   io.ReadCloser
+	f    *Fault
+	ctx  context.Context
+	pos  int64
+	done bool // fault already manifested (stall fires once)
+}
+
+func (r *faultReader) Read(p []byte) (int, error) {
+	if !r.done && r.f.Kind == FaultTruncate && r.pos >= r.f.Offset {
+		r.done = true
+		return 0, io.EOF
+	}
+	if !r.done && r.f.Kind == FaultError && r.pos >= r.f.Offset {
+		r.done = true
+		return 0, fmt.Errorf("replica: transport error at byte %d: %w", r.pos, ErrInjected)
+	}
+	if !r.done && r.f.Kind == FaultStall && r.pos >= r.f.Offset {
+		r.done = true
+		t := time.NewTimer(r.f.Delay)
+		select {
+		case <-r.ctx.Done():
+			t.Stop()
+			return 0, r.ctx.Err()
+		case <-t.C:
+		}
+	}
+	// Cap the read so the fault offset lands inside this call's window.
+	if !r.done && r.pos < r.f.Offset && int64(len(p)) > r.f.Offset-r.pos {
+		p = p[:r.f.Offset-r.pos]
+	}
+	n, err := r.rc.Read(p)
+	if !r.done && r.f.Kind == FaultBitFlip &&
+		r.pos <= r.f.Offset && r.f.Offset < r.pos+int64(n) {
+		p[r.f.Offset-r.pos] ^= 1
+		r.done = true
+	}
+	r.pos += int64(n)
+	return n, err
+}
+
+func (r *faultReader) Close() error { return r.rc.Close() }

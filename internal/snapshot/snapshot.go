@@ -52,6 +52,7 @@ package snapshot
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash"
 	"hash/crc32"
@@ -64,6 +65,17 @@ import (
 
 // Version is the container format version this package writes and accepts.
 const Version = 1
+
+// ErrVersionUnsupported reports version skew: an artifact (snapshot
+// container, replication manifest, or replica state file) declares a format
+// version this build does not read. It is a distinct, typed condition
+// because the replication layer treats it differently from corruption —
+// a corrupt fetch is retried, but a future-version file written by a newer
+// builder will never parse, so a replica must refuse it immediately, keep
+// serving its last-good state, and report the skew. Wrapping errors always
+// include the found and supported versions in their message; match with
+// errors.Is.
+var ErrVersionUnsupported = errors.New("format version unsupported")
 
 // MaxKindLen bounds the kind string so a corrupt header cannot demand an
 // unbounded name allocation.
@@ -264,7 +276,7 @@ func NewReader(r io.Reader, total int64) (*Reader, error) {
 		return nil, fmt.Errorf("snapshot: reading version: %w", err)
 	}
 	if ver != Version {
-		return nil, fmt.Errorf("snapshot: unsupported container version %d (this build reads %d)", ver, Version)
+		return nil, fmt.Errorf("snapshot: container version %d, this build reads %d: %w", ver, Version, ErrVersionUnsupported)
 	}
 	kindLen, err := sr.readU32()
 	if err != nil {
@@ -617,8 +629,15 @@ func SaveFile(path, kind string, persist func(*Writer) error) (err error) {
 		return fmt.Errorf("snapshot: creating temp file: %w", err)
 	}
 	tmp := f.Name()
+	// Cleanup keys off the committed flag, not the error value, so every
+	// exit — error return, a panic inside persist, a failed Sync or Rename
+	// — removes the temp file. A stranded *.tmp in a snapshot directory is
+	// not harmless litter: a store listing that treats directory entries as
+	// candidate artifacts would pick it up, and it is by construction a
+	// torn container.
+	committed := false
 	defer func() {
-		if err != nil {
+		if !committed {
 			f.Close()
 			os.Remove(tmp)
 		}
@@ -646,6 +665,7 @@ func SaveFile(path, kind string, persist func(*Writer) error) (err error) {
 	if err = os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("snapshot: publishing %s: %w", path, err)
 	}
+	committed = true
 	// Sync the directory so the rename itself survives a crash; best
 	// effort — not every filesystem supports directory fsync.
 	if d, derr := os.Open(dir); derr == nil {

@@ -2,6 +2,8 @@ package snapshot
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -286,4 +288,132 @@ func TestKeySections(t *testing.T) {
 	if _, err := ReadKeySection[uint64](s, 2); err == nil {
 		t.Error("key count beyond cap accepted")
 	}
+}
+
+// TestVersionSkewTyped: a container claiming a future format version must
+// fail with the typed ErrVersionUnsupported (found/supported versions in
+// the message), not a generic parse error — replicas key their rolling-
+// upgrade refusal off errors.Is.
+func TestVersionSkewTyped(t *testing.T) {
+	raw := buildContainer(t)
+	future := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(future[8:], Version+1) // version field follows the 8-byte magic
+	_, err := NewReader(bytes.NewReader(future), int64(len(future)))
+	if err == nil {
+		t.Fatal("future-version container accepted")
+	}
+	if !errors.Is(err, ErrVersionUnsupported) {
+		t.Fatalf("future-version error is not ErrVersionUnsupported: %v", err)
+	}
+	for _, want := range []string{"version 2", "reads 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("version-skew message %q does not name %q", err, want)
+		}
+	}
+
+	// A corrupt-but-current container must NOT match the sentinel: the
+	// replication layer retries corruption but refuses skew permanently.
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)-1] ^= 0xFF
+	err = Load(bytes.NewReader(flipped), int64(len(flipped)), func(sr *Reader) error {
+		for {
+			s, err := sr.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if _, err := s.Bytes(0); err != nil {
+				return err
+			}
+		}
+	})
+	if err == nil {
+		t.Fatal("corrupt container accepted")
+	}
+	if errors.Is(err, ErrVersionUnsupported) {
+		t.Fatalf("checksum corruption misreported as version skew: %v", err)
+	}
+}
+
+// TestSaveFileCleansTempOnFailure: every failure path of SaveFile — persist
+// error, persist panic, and a failed rename — must leave the directory
+// clean. A stranded *.tmp looks like a candidate artifact to a naive store
+// listing and is by construction torn.
+func TestSaveFileCleansTempOnFailure(t *testing.T) {
+	dirEntries := func(dir string) []string {
+		t.Helper()
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		return names
+	}
+
+	t.Run("persist error", func(t *testing.T) {
+		dir := t.TempDir()
+		err := SaveFile(filepath.Join(dir, "x.snap"), "k", func(sw *Writer) error {
+			if err := sw.Bytes(1, []byte("partial")); err != nil {
+				return err
+			}
+			return errors.New("boom")
+		})
+		if err == nil {
+			t.Fatal("failing persist reported success")
+		}
+		if got := dirEntries(dir); len(got) != 0 {
+			t.Fatalf("persist error stranded files: %v", got)
+		}
+	})
+
+	t.Run("persist panic", func(t *testing.T) {
+		dir := t.TempDir()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("panic did not propagate")
+				}
+			}()
+			_ = SaveFile(filepath.Join(dir, "x.snap"), "k", func(sw *Writer) error {
+				panic("mid-persist crash")
+			})
+		}()
+		if got := dirEntries(dir); len(got) != 0 {
+			t.Fatalf("persist panic stranded files: %v", got)
+		}
+	})
+
+	t.Run("rename failure", func(t *testing.T) {
+		dir := t.TempDir()
+		// Renaming a file over a non-empty directory fails after the temp
+		// file was fully written and synced — the late error path.
+		target := filepath.Join(dir, "x.snap")
+		if err := os.MkdirAll(filepath.Join(target, "occupied"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		err := SaveFile(target, "k", func(sw *Writer) error {
+			return sw.Bytes(1, []byte("payload"))
+		})
+		if err == nil {
+			t.Fatal("rename onto a directory reported success")
+		}
+		if got := dirEntries(dir); len(got) != 1 || got[0] != "x.snap" {
+			t.Fatalf("rename failure stranded files: %v", got)
+		}
+	})
+
+	t.Run("writer kind error", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := SaveFile(filepath.Join(dir, "x.snap"), "", nil); err == nil {
+			t.Fatal("empty kind accepted")
+		}
+		if got := dirEntries(dir); len(got) != 0 {
+			t.Fatalf("header error stranded files: %v", got)
+		}
+	})
 }

@@ -1,0 +1,24 @@
+package updatable
+
+import (
+	"repro/internal/index"
+	"repro/internal/kv"
+	"repro/internal/snapshot"
+)
+
+// The updatable index registers its snapshot kind with the index
+// registry (the router pattern from internal/router: the package that
+// owns the kind self-registers its loader, so index.Load can dispatch
+// replicated artifacts of any kind a linked program knows about without
+// internal/index importing every backend).
+
+func init() {
+	registerLoader[uint64]()
+	registerLoader[uint32]()
+}
+
+func registerLoader[K kv.Key]() {
+	index.RegisterSnapshotLoader[K](SnapshotKind, func(sr *snapshot.Reader) (index.Index[K], error) {
+		return LoadView[K](sr)
+	})
+}

@@ -144,6 +144,13 @@ func (ix *Index[K]) Len() int { return ix.v.Len() }
 // Rebuilds returns how many compactions have run.
 func (ix *Index[K]) Rebuilds() int { return ix.rebuilds }
 
+// Name identifies the backend in benchmark output (index.Index contract).
+func (ix *Index[K]) Name() string { return "updatable(" + ix.v.table.Name() + ")" }
+
+// SizeBytes reports the auxiliary footprint beyond the key data
+// (index.Index contract). See View.SizeBytes.
+func (ix *Index[K]) SizeBytes() int { return ix.v.SizeBytes() }
+
 // DeltaLen returns the current insert-buffer size (observability).
 func (ix *Index[K]) DeltaLen() int { return ix.v.DeltaLen() }
 

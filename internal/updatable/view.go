@@ -44,6 +44,19 @@ func (v *View[K]) Tombstones() int { return v.deadCount }
 // (core.Table.AdoptScratch).
 func (v *View[K]) Table() *core.Table[K] { return v.table }
 
+// ModelFingerprint returns the fingerprint of the base table's CDF model
+// (core.Table.ModelFingerprint). Replication records it in the manifest
+// and re-verifies it on the replica before a fetched state is served.
+func (v *View[K]) ModelFingerprint() uint64 { return v.table.ModelFingerprint() }
+
+// SizeBytes reports the view's auxiliary footprint beyond the key data:
+// correction layer, host model, tombstone bitmap, Fenwick tree, and the
+// insert buffer.
+func (v *View[K]) SizeBytes() int {
+	return v.table.SizeBytes() + v.table.Model().SizeBytes() +
+		len(v.dead) + 8*(v.delTree.Len()+1) + len(v.delta)*kv.Width[K]()
+}
+
 // Find returns the logical lower-bound rank of q among live keys: the
 // number of live keys < q, which is the index the first key >= q would
 // have in the live sorted multiset.
