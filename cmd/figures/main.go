@@ -23,7 +23,11 @@
 // "replica" pseudo-figure prints the replication sweep (publish → fetch →
 // verify → swap per version, delta vs full artifact sizes, cold sync vs
 // crash/warm-restart time; every synced version oracle-verified) and
-// writes BENCH_replica.json.
+// writes BENCH_replica.json. The "serve" pseudo-figure stands up the
+// whole networked serving tier in-process (publisher → store → replica →
+// hardened HTTP server) and prints throughput and p50/p99/p999 latency
+// for coalesced vs per-request dispatch under live publishing, every
+// response oracle-verified by version tag; it writes BENCH_serve.json.
 //
 // All CSV output flows through the shared bench.Grid emitter, the same
 // layout cmd/report renders as markdown.
@@ -40,7 +44,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure id: 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router, persist, replica")
+	fig := flag.String("fig", "", "figure id: 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router, persist, replica, serve")
 	n := flag.Int("n", 0, "dataset size (0 = per-figure default)")
 	q := flag.Int("q", 0, "query count (0 = per-figure default)")
 	seed := flag.Int64("seed", 7, "dataset seed")
@@ -79,8 +83,10 @@ func main() {
 		err = persistSweep(*n, *q, *seed)
 	case "replica":
 		err = replicaSweep(*n, *q, *seed, jsonOut(*jsonPath, "BENCH_replica.json"))
+	case "serve":
+		err = serveSweep(*n, *q, *seed, jsonOut(*jsonPath, "BENCH_serve.json"))
 	default:
-		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router, persist, replica")
+		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router, persist, replica, serve")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -286,6 +292,29 @@ func replicaSweep(n, q int, seed int64, jsonPath string) error {
 	fmt.Printf("# replication sweep: n=%d rounds=%d (every synced version oracle-verified before timing is reported)\n", res.N, res.Rounds)
 	fmt.Printf("# mean artifact: full %.1f KB, delta %.1f KB; cold sync %.1f ms, warm restart %.1f ms (version %d, store offline)\n",
 		res.FullKB, res.DeltaKB, res.ColdSyncMs, res.WarmRestartMs, res.WarmVersion)
+	emit(res.Grid())
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+func serveSweep(n, q int, seed int64, jsonPath string) error {
+	res, err := bench.RunServe(bench.ServeConfig{N: n, Pool: q, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# serving-tier sweep: n=%d workers=%d open-loop %g qps (every response oracle-verified by version tag; %d versions published mid-run)\n",
+		res.N, res.Workers, res.RateQPS, res.Published)
+	fmt.Printf("# coalesced closed-loop throughput %.2fx per-request dispatch\n", res.CoalesceSpeedup)
 	emit(res.Grid())
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)

@@ -1,0 +1,338 @@
+// Command shiftload is the open-loop load generator for shiftserver: it
+// fires point lookups at a fixed arrival rate (or closed-loop with
+// -rate 0), measures latency from each request's SCHEDULED time (so
+// server-side queueing is charged to the server, not hidden by a stalled
+// client — no coordinated omission), and reports p50/p99/p999 plus
+// error counts, optionally as JSON for the figures pipeline.
+//
+// Usage:
+//
+//	shiftload -url http://HOST:PORT [-rate 2000] [-duration 5s]
+//	          [-workers 8] [-seed 7] [-poolsize 4096] [-max 0]
+//	          [-verify -store DIR|URL] [-json FILE]
+//
+// With -verify, every response's (rank, version) pair is checked
+// bit-exactly against the per-version oracles the publisher wrote into
+// -store (shiftrepl publish -oracle): the version tag selects the
+// oracle, fetched lazily and cached, so verification stays sound even
+// while the primary publishes new versions mid-run. The query pool is
+// regenerated from the oracle's recorded seed/size/bound, guaranteeing
+// generator and oracle agree on what query i is.
+//
+// Exit status: 2 if any response was incorrect (rank mismatch or a
+// version no oracle explains), 1 if transport errors occurred or nothing
+// completed, 0 otherwise. Admission refusals (429/503) are counted and
+// reported separately — backpressure is the server working as designed,
+// not a correctness failure.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/replica"
+	"repro/internal/serve"
+)
+
+type report struct {
+	Mode          string  `json:"mode"` // "open" or "closed"
+	RateQPS       float64 `json:"rate_qps"`
+	DurationS     float64 `json:"duration_s"`
+	Workers       int     `json:"workers"`
+	Completed     uint64  `json:"completed"`
+	Errors        uint64  `json:"errors"`
+	Rejected      uint64  `json:"rejected"`
+	Incorrect     uint64  `json:"incorrect"`
+	Verified      uint64  `json:"verified"`
+	Versions      int     `json:"versions_observed"`
+	P50us         int64   `json:"p50_us"`
+	P99us         int64   `json:"p99_us"`
+	P999us        int64   `json:"p999_us"`
+	MaxUs         int64   `json:"max_us"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+}
+
+func main() {
+	if code := run(); code != 0 {
+		os.Exit(code)
+	}
+}
+
+func run() int {
+	url := flag.String("url", "", "shiftserver base URL, e.g. http://127.0.0.1:8422 (required)")
+	rate := flag.Float64("rate", 2000, "open-loop arrival rate in QPS (0 = closed loop)")
+	duration := flag.Duration("duration", 5*time.Second, "run length")
+	workers := flag.Int("workers", 8, "concurrent connections")
+	seed := flag.Int64("seed", 7, "query pool seed (ignored with -verify: the oracle's pool is used)")
+	poolSize := flag.Int("poolsize", 4096, "query pool size (ignored with -verify)")
+	maxKey := flag.Uint64("max", 0, "query key bound, 0 = full domain (ignored with -verify)")
+	verify := flag.Bool("verify", false, "verify every response against per-version oracles in -store")
+	store := flag.String("store", "", "oracle store: directory or http(s) base URL (required with -verify)")
+	jsonOut := flag.String("json", "", "write the report as JSON to this file")
+	flag.Parse()
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "shiftload: -url is required")
+		return 1
+	}
+
+	ctx := context.Background()
+	client := &http.Client{
+		Timeout:   10 * time.Second,
+		Transport: &http.Transport{MaxIdleConnsPerHost: *workers * 2},
+	}
+
+	v := &verifier{}
+	var pool []uint64
+	if *verify {
+		if *store == "" {
+			fmt.Fprintln(os.Stderr, "shiftload: -verify requires -store")
+			return 1
+		}
+		s, err := openStore(*store)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shiftload:", err)
+			return 1
+		}
+		v.store = s
+		// Bootstrap the pool from the currently-served version's oracle;
+		// later versions reuse the same pool parameters by construction.
+		ver, err := servedVersion(client, *url)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shiftload: reading /statusz:", err)
+			return 1
+		}
+		o, err := v.oracle(ctx, ver)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shiftload: no oracle for served version %d: %v\n", ver, err)
+			return 1
+		}
+		pool = o.Pool()
+		fmt.Printf("verifying against oracles in %s (pool: %d keys, seed %d)\n", *store, len(pool), o.Seed)
+	} else {
+		pool = serve.QueryPool(*seed, *poolSize, *maxKey)
+	}
+
+	var completed, errors, rejected, incorrect, verified atomic.Uint64
+	var mu sync.Mutex
+	var lat []int64 // µs, successful requests only
+
+	record := func(us int64) {
+		mu.Lock()
+		lat = append(lat, us)
+		mu.Unlock()
+	}
+
+	fire := func(rnd uint64) (ok bool) {
+		idx := int(rnd % uint64(len(pool)))
+		resp, err := client.Get(fmt.Sprintf("%s/v1/find?key=%d", *url, pool[idx]))
+		if err != nil {
+			errors.Add(1)
+			return false
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			rejected.Add(1)
+			return false
+		default:
+			errors.Add(1)
+			return false
+		}
+		var fr struct {
+			Rank    int    `json:"rank"`
+			Version uint64 `json:"version"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+			errors.Add(1)
+			return false
+		}
+		completed.Add(1)
+		if *verify {
+			o, err := v.oracle(ctx, fr.Version)
+			if err != nil {
+				// A served version whose oracle cannot be fetched is
+				// unexplainable — that is a correctness failure under the
+				// oracle-before-publish discipline.
+				fmt.Fprintf(os.Stderr, "shiftload: unexplained version %d: %v\n", fr.Version, err)
+				incorrect.Add(1)
+				return true
+			}
+			if idx >= len(o.Ranks) || fr.Rank != o.Ranks[idx] {
+				fmt.Fprintf(os.Stderr, "shiftload: find(%d)@v%d = %d, oracle says %d\n",
+					pool[idx], fr.Version, fr.Rank, o.Ranks[idx])
+				incorrect.Add(1)
+				return true
+			}
+			verified.Add(1)
+		}
+		return true
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	if *rate > 0 {
+		// Open loop: request i is scheduled at start + i/rate; worker w
+		// owns the arithmetic progression i ≡ w (mod workers). Latency is
+		// completion minus SCHEDULED time.
+		interval := time.Duration(float64(time.Second) / *rate)
+		total := int(float64(*duration) / float64(interval))
+		for w := 0; w < *workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < total; i += *workers {
+					sched := start.Add(time.Duration(i) * interval)
+					if d := time.Until(sched); d > 0 {
+						time.Sleep(d)
+					}
+					if fire(uint64(i)*2654435761 + uint64(w)) {
+						record(time.Since(sched).Microseconds())
+					}
+				}
+			}(w)
+		}
+	} else {
+		// Closed loop: each worker back-to-back; latency is per-request
+		// round trip. This is the throughput probe.
+		deadline := start.Add(*duration)
+		for w := 0; w < *workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := uint64(w); time.Now().Before(deadline); i += uint64(*workers) {
+					t0 := time.Now()
+					if fire(i*2654435761 + uint64(w)) {
+						record(time.Since(t0).Microseconds())
+					}
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep := report{
+		Mode: "open", RateQPS: *rate, DurationS: elapsed.Seconds(),
+		Workers: *workers, Completed: completed.Load(), Errors: errors.Load(),
+		Rejected: rejected.Load(), Incorrect: incorrect.Load(), Verified: verified.Load(),
+		Versions: v.count(),
+		P50us:    pct(lat, 0.50), P99us: pct(lat, 0.99), P999us: pct(lat, 0.999),
+		ThroughputQPS: float64(completed.Load()) / elapsed.Seconds(),
+	}
+	if *rate == 0 {
+		rep.Mode = "closed"
+	}
+	if n := len(lat); n > 0 {
+		rep.MaxUs = lat[n-1]
+	}
+
+	fmt.Printf("%s loop: %d completed in %.2fs (%.0f qps), %d errors, %d rejected\n",
+		rep.Mode, rep.Completed, rep.DurationS, rep.ThroughputQPS, rep.Errors, rep.Rejected)
+	fmt.Printf("latency: p50 %dµs  p99 %dµs  p999 %dµs  max %dµs\n",
+		rep.P50us, rep.P99us, rep.P999us, rep.MaxUs)
+	if *verify {
+		fmt.Printf("verified %d responses across %d versions, %d incorrect\n",
+			rep.Verified, rep.Versions, rep.Incorrect)
+	}
+	if *jsonOut != "" {
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "shiftload: writing -json:", err)
+			return 1
+		}
+	}
+
+	switch {
+	case rep.Incorrect > 0:
+		return 2
+	case rep.Errors > 0 || rep.Completed == 0:
+		return 1
+	}
+	return 0
+}
+
+// verifier lazily fetches and caches per-version oracles.
+type verifier struct {
+	store replica.Store
+	mu    sync.Mutex
+	cache map[uint64]*serve.Oracle
+}
+
+func (v *verifier) oracle(ctx context.Context, version uint64) (*serve.Oracle, error) {
+	v.mu.Lock()
+	if o, ok := v.cache[version]; ok {
+		v.mu.Unlock()
+		return o, nil
+	}
+	v.mu.Unlock()
+	// Fetch outside the lock; a duplicate fetch on a race is harmless.
+	o, err := serve.FetchOracle(ctx, v.store, version)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	if v.cache == nil {
+		v.cache = make(map[uint64]*serve.Oracle)
+	}
+	v.cache[version] = o
+	v.mu.Unlock()
+	return o, nil
+}
+
+func (v *verifier) count() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.cache)
+}
+
+// servedVersion scrapes the serving version from /statusz.
+func servedVersion(client *http.Client, base string) (uint64, error) {
+	resp, err := client.Get(base + "/statusz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("statusz: HTTP %d", resp.StatusCode)
+	}
+	var st struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	if st.Version == 0 {
+		return 0, fmt.Errorf("server has no version installed")
+	}
+	return st.Version, nil
+}
+
+// pct reads a percentile off a sorted latency slice.
+func pct(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func openStore(spec string) (replica.Store, error) {
+	if strings.HasPrefix(spec, "http://") || strings.HasPrefix(spec, "https://") {
+		return replica.HTTPStore{Base: spec}, nil
+	}
+	return replica.DirStore{Dir: spec}, nil
+}

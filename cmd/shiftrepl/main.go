@@ -6,9 +6,10 @@
 //
 //	shiftrepl publish -store DIR|URL [-dataset face64] [-n 200000]
 //	          [-rounds 3] [-writes 2000] [-seed 42] [-spool DIR]
+//	          [-oracle 0] [-oracleseed 7]
 //	shiftrepl fetch   -store DIR|URL -dir REPLICADIR [-q 8]
 //	          [-watch 0s] [-fault kind[:offset[:count]]]
-//	shiftrepl serve   -store DIR -addr :8421
+//	shiftrepl serve   -store DIR -addr :8421 [-drain 10s]
 //
 // A -store value starting with http:// or https:// selects the HTTP
 // transport; anything else is a local directory. publish builds a
@@ -20,7 +21,15 @@
 // syncing at that interval until interrupted. -fault injects a failure
 // into the fetch transport to demonstrate retry and last-good
 // degradation. serve exposes a directory store over HTTP for remote
-// replicas.
+// replicas on a hardened server (request timeouts, bounded headers)
+// that drains gracefully on SIGINT/SIGTERM.
+//
+// -oracle N publishes, BEFORE each version's manifest appears, an
+// oracle object with the version's reference ranks for an N-key
+// deterministic query pool (seed -oracleseed), computed on the primary
+// via the scan path. shiftload -verify correlates every served
+// response's version tag against these oracles, so correctness is
+// checkable end to end even while publishing continues mid-run.
 package main
 
 import (
@@ -28,15 +37,17 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
-	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/concurrent"
 	"repro/internal/dataset"
 	"repro/internal/replica"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -50,7 +61,7 @@ func main() {
 	case "fetch":
 		err = fetch(os.Args[2:])
 	case "serve":
-		err = serve(os.Args[2:])
+		err = serveStore(os.Args[2:])
 	default:
 		usage()
 	}
@@ -86,6 +97,8 @@ func publish(args []string) error {
 	writes := fs.Int("writes", 2000, "random writes per round")
 	seed := fs.Int64("seed", 42, "dataset and write seed")
 	spool := fs.String("spool", "", "spool directory for staging artifacts (default: temp)")
+	oracle := fs.Int("oracle", 0, "publish per-version oracles for an N-key query pool (0 = off)")
+	oracleSeed := fs.Int64("oracleseed", 7, "oracle query pool seed")
 	fs.Parse(args)
 	if *store == "" {
 		return fmt.Errorf("publish: -store is required")
@@ -130,6 +143,20 @@ func publish(args []string) error {
 			}
 		}
 		start := time.Now()
+		if *oracle > 0 {
+			// Oracle first, then Publish: the manifest must never name a
+			// version whose oracle is not already fetchable.
+			pool := serve.QueryPool(*oracleSeed, *oracle, top)
+			o := &serve.Oracle{
+				Version: pub.Version() + 1,
+				Seed:    *oracleSeed,
+				Max:     top,
+				Ranks:   serve.OracleRanks(primary.Published(), pool),
+			}
+			if err := serve.PutOracle(ctx, s, o); err != nil {
+				return fmt.Errorf("publishing oracle for version %d: %w", o.Version, err)
+			}
+		}
 		v, full, err := pub.Publish(ctx)
 		if err != nil {
 			return err
@@ -250,10 +277,11 @@ func fetch(args []string) error {
 	}
 }
 
-func serve(args []string) error {
+func serveStore(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	store := fs.String("store", "", "store directory to expose (required)")
 	addr := fs.String("addr", ":8421", "listen address")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	fs.Parse(args)
 	if *store == "" {
 		return fmt.Errorf("serve: -store is required")
@@ -261,6 +289,16 @@ func serve(args []string) error {
 	if err := os.MkdirAll(*store, 0o755); err != nil {
 		return err
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Hardened server, not bare ListenAndServe: slowloris/read/write
+	// bounds set, and SIGINT/SIGTERM drains in-flight artifact transfers
+	// for up to -drain before tearing connections down.
+	srv := serve.NewHTTPServer(*addr, replica.NewHandler(replica.DirStore{Dir: *store}), serve.ServerConfig{})
 	fmt.Printf("serving %s on %s\n", *store, *addr)
-	return http.ListenAndServe(*addr, replica.NewHandler(replica.DirStore{Dir: *store}))
+	err := serve.Run(ctx, srv, *drain, func() { fmt.Println("draining: signal received") })
+	if err == nil {
+		fmt.Println("shut down cleanly")
+	}
+	return err
 }

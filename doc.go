@@ -78,6 +78,20 @@
 // cmd/shiftrepl for the publish/fetch/serve CLI and `figures -fig
 // replica` for the time-to-fresh sweep.
 //
+// Replicas are fronted by a networked serving tier (internal/serve,
+// DESIGN.md §11): a hardened HTTP/JSON server (timeouts, bounded
+// headers, graceful signal-driven drain) with per-request admission
+// control, and a flat-combining request coalescer that merges
+// concurrently-arriving point lookups into FindBatchTagged waves of up
+// to 256 — one snapshot load and one staged pipeline pass per wave,
+// bit-identical to the scalar path (property tested under concurrent
+// version installs). Every response carries the snapshot version tag
+// that produced it, and the primary writes a scan-derived oracle for a
+// version before publishing it, so a load generator can verify every
+// answer end to end. See cmd/shiftserver for the server, cmd/shiftload
+// for the verifying open-loop load generator, and `figures -fig serve`
+// for the coalesced-vs-direct latency/throughput sweep.
+//
 // See DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. Root-level benchmarks in
 // bench_test.go regenerate each table and figure; the cmd/ binaries produce

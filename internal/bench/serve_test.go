@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunServeSmoke runs the serving-tier sweep at small scale: every
+// response is oracle-verified by version tag inside RunServe (incorrect
+// responses fail the run), so a clean return plus plausible numbers is
+// the assertion.
+func TestRunServeSmoke(t *testing.T) {
+	res, err := RunServe(ServeConfig{
+		N: 40_000, Pool: 256, Workers: 4, Rate: 400,
+		Duration: 400 * time.Millisecond, PubEvery: 150 * time.Millisecond,
+		SyncEvery: 50 * time.Millisecond, Seed: 3, Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 { // {direct,coalesce} × {closed,open}
+		t.Fatalf("got %d points, want 4", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Completed == 0 || p.Verified == 0 {
+			t.Errorf("%s/%s served nothing: %+v", p.Mode, p.Loop, p)
+		}
+		if p.Incorrect != 0 || p.Errors != 0 {
+			t.Errorf("%s/%s: %d incorrect, %d errors", p.Mode, p.Loop, p.Incorrect, p.Errors)
+		}
+		if p.ThroughputQPS <= 0 || p.P99us < p.P50us {
+			t.Errorf("implausible point %+v", p)
+		}
+	}
+	if res.Published == 0 {
+		t.Error("no versions published mid-run: the race being measured never happened")
+	}
+	if res.CoalesceSpeedup <= 0 {
+		t.Errorf("speedup not computed: %f", res.CoalesceSpeedup)
+	}
+	if g := res.Grid(); len(g.Rows) != len(res.Points) {
+		t.Error("grid row count mismatch")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ServeResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("BENCH_serve.json shape does not round-trip: %v", err)
+	}
+	if len(back.Points) != len(res.Points) || back.Published != res.Published {
+		t.Error("JSON round trip changed content")
+	}
+}

@@ -441,8 +441,14 @@ func (r *Replica[K]) sweepTemps() {
 		return
 	}
 	for _, e := range ents {
-		if strings.HasPrefix(e.Name(), ".fetch-") || strings.HasPrefix(e.Name(), ".put-") {
-			os.Remove(filepath.Join(r.dir, e.Name()))
+		n := e.Name()
+		// .fetch-* are fetchArtifact spools; .*.tmp-* are
+		// snapshot.WriteFileAtomic temps (DirStore.Put, local state);
+		// .put-* is the pre-helper Put temp naming, still swept so an
+		// upgrade over an old crash leaves nothing behind.
+		if strings.HasPrefix(n, ".fetch-") || strings.HasPrefix(n, ".put-") ||
+			(strings.HasPrefix(n, ".") && strings.Contains(n, ".tmp-")) {
+			os.Remove(filepath.Join(r.dir, n))
 		}
 	}
 }

@@ -8,7 +8,10 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+
+	"repro/internal/snapshot"
 )
 
 // ErrNotFound reports a missing store object. A missing manifest means
@@ -57,7 +60,12 @@ func (d DirStore) Get(ctx context.Context, name string) (io.ReadCloser, error) {
 	return f, err
 }
 
-// Put atomically replaces the named object with r's content.
+// Put atomically replaces the named object with r's content. It rides
+// snapshot.WriteFileAtomic — the same temp/fsync/rename/dir-sync
+// discipline SaveFile uses — so a crash right after the rename cannot
+// lose the publish: without the parent-directory sync the rename lives
+// only in the directory's in-memory state, and a manifest Put that "won"
+// before a crash could vanish afterwards despite the crash-safe claim.
 func (d DirStore) Put(ctx context.Context, name string, r io.Reader) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -66,32 +74,10 @@ func (d DirStore) Put(ctx context.Context, name string, r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.CreateTemp(d.Dir, ".put-*")
-	if err != nil {
+	return snapshot.WriteFileAtomic(p, func(f *os.File) error {
+		_, err := io.Copy(f, r)
 		return err
-	}
-	tmp := f.Name()
-	committed := false
-	defer func() {
-		if !committed {
-			f.Close()
-			os.Remove(tmp)
-		}
-	}()
-	if _, err := io.Copy(f, r); err != nil {
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, p); err != nil {
-		return err
-	}
-	committed = true
-	return nil
+	})
 }
 
 // RefuseStore is a Store with no backend: every operation fails. It
@@ -181,10 +167,39 @@ func (h HTTPStore) Put(ctx context.Context, name string, r io.Reader) error {
 	return nil
 }
 
+// Sized is implemented by Get streams that know the total object size
+// up front. NewHandler uses it to set Content-Length so a replica's
+// HTTP fetch can tell a truncated transfer (connection cut short of the
+// promised length → transport error, retried as such) from an object
+// that really is the wrong size.
+type Sized interface {
+	ObjectSize() (int64, error)
+}
+
+// objectSize reports rc's total size when it can be known without
+// consuming the stream: an explicit Sized implementation, or a stat-able
+// stream (DirStore's *os.File). Returns -1 when unknown.
+func objectSize(rc io.ReadCloser) int64 {
+	switch s := rc.(type) {
+	case Sized:
+		if n, err := s.ObjectSize(); err == nil {
+			return n
+		}
+	case interface{ Stat() (os.FileInfo, error) }:
+		if st, err := s.Stat(); err == nil && st.Mode().IsRegular() {
+			return st.Size()
+		}
+	}
+	return -1
+}
+
 // NewHandler serves a Store over HTTP with the verbs HTTPStore speaks:
 // GET streams an object, PUT replaces one. The handler is what
 // `shiftrepl serve` runs and what the replication tests stand up with
-// httptest.
+// httptest. When the object's size is known (Sized stream or stat-able
+// file) GET sets Content-Length, so a transfer the network truncates
+// fails on the client as a transport error instead of arriving as a
+// silent short body that gets misclassified as a corrupt object.
 func NewHandler(s Store) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		name := strings.TrimPrefix(r.URL.Path, "/")
@@ -205,6 +220,9 @@ func NewHandler(s Store) http.Handler {
 			}
 			defer rc.Close()
 			w.Header().Set("Content-Type", "application/octet-stream")
+			if n := objectSize(rc); n >= 0 {
+				w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+			}
 			io.Copy(w, rc)
 		case http.MethodPut:
 			if err := s.Put(r.Context(), name, r.Body); err != nil {

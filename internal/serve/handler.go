@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/concurrent"
+	"repro/internal/kv"
+)
+
+// HandlerConfig parameterises NewHandler. The zero value gets the
+// documented defaults.
+type HandlerConfig struct {
+	// Coalesce routes point lookups through the wave coalescer; false
+	// answers each request with its own single-lane tagged batch call
+	// (the per-request baseline the serve benchmark compares against).
+	Coalesce bool
+	// MaxBatch caps how many keys one POST /v1/batch may carry
+	// (default 4096). Larger requests get 413.
+	MaxBatch int
+	// MaxInflight bounds how many uncoalesced requests (direct-mode
+	// finds, ranges, explicit batches) execute concurrently
+	// (default 256). Excess arrivals get 429 — the bounded-queue
+	// admission control the coalescer provides for coalesced finds.
+	MaxInflight int
+}
+
+func (c HandlerConfig) withDefaults() HandlerConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	return c
+}
+
+// findResponse is the JSON answer for a point lookup. Keys travel as
+// decimal strings end to end (uint64 keys overflow JSON numbers), ranks
+// and versions as numbers.
+type findResponse struct {
+	Rank    int    `json:"rank"`
+	Version uint64 `json:"version"`
+}
+
+type rangeResponse struct {
+	LoRank  int    `json:"lo_rank"`
+	HiRank  int    `json:"hi_rank"`
+	Count   int    `json:"count"`
+	Version uint64 `json:"version"`
+}
+
+type batchRequest struct {
+	Keys []string `json:"keys"`
+}
+
+type batchResponse struct {
+	Ranks   []int  `json:"ranks"`
+	Version uint64 `json:"version"`
+}
+
+// Handler is the query front end: HTTP/JSON over the lock-free serving
+// index, point lookups optionally coalesced into waves, everything
+// admission-controlled (bounded queue/inflight, typed 429 on overload,
+// 503 while draining).
+//
+// Routes: GET /v1/find?key=K · GET /v1/range?lo=A&hi=B ·
+// POST /v1/batch {"keys":[...]} · GET /healthz · GET /statusz.
+type Handler[K kv.Key] struct {
+	ix  *concurrent.Index[K]
+	co  *Coalescer[K]
+	cfg HandlerConfig
+	mux *http.ServeMux
+
+	inflight chan struct{}
+	draining atomic.Bool
+
+	served   atomic.Uint64
+	rejected atomic.Uint64
+
+	// status, when non-nil, contributes extra fields to /statusz (the
+	// replica's sync status, for shiftserver).
+	status func() map[string]any
+}
+
+// NewHandler builds the query handler over ix. co may be nil when
+// cfg.Coalesce is false; status (optional) adds fields to /statusz.
+func NewHandler[K kv.Key](ix *concurrent.Index[K], co *Coalescer[K], cfg HandlerConfig, status func() map[string]any) *Handler[K] {
+	cfg = cfg.withDefaults()
+	h := &Handler[K]{
+		ix:       ix,
+		co:       co,
+		cfg:      cfg,
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		status:   status,
+	}
+	if cfg.Coalesce && co == nil {
+		h.co = NewCoalescer(ix, CoalescerConfig{})
+	}
+	h.mux = http.NewServeMux()
+	h.mux.HandleFunc("GET /v1/find", h.handleFind)
+	h.mux.HandleFunc("GET /v1/range", h.handleRange)
+	h.mux.HandleFunc("POST /v1/batch", h.handleBatch)
+	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	h.mux.HandleFunc("GET /statusz", h.handleStatusz)
+	return h
+}
+
+// Coalescer exposes the handler's coalescer (nil in direct mode).
+func (h *Handler[K]) Coalescer() *Coalescer[K] { return h.co }
+
+// SetDraining flips the handler into drain mode: every data request is
+// refused with 503 so load balancers fail over while http.Server's
+// Shutdown lets in-flight requests finish. Run wires this as onDrain.
+func (h *Handler[K]) SetDraining(v bool) { h.draining.Store(v) }
+
+// Served and Rejected report the admission counters.
+func (h *Handler[K]) Served() uint64   { return h.served.Load() }
+func (h *Handler[K]) Rejected() uint64 { return h.rejected.Load() }
+
+func (h *Handler[K]) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// admit performs the bounded-inflight admission for uncoalesced work.
+// It returns false after writing the refusal when the server is
+// draining or saturated; on true the caller must defer release().
+func (h *Handler[K]) admit(w http.ResponseWriter) (release func(), ok bool) {
+	if h.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return nil, false
+	}
+	select {
+	case h.inflight <- struct{}{}:
+		return func() { <-h.inflight }, true
+	default:
+		h.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "overloaded: inflight limit reached")
+		return nil, false
+	}
+}
+
+func (h *Handler[K]) handleFind(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey[K](r.URL.Query().Get("key"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var (
+		rank int
+		tag  uint64
+	)
+	if h.co != nil && h.cfg.Coalesce {
+		if h.draining.Load() {
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		rank, tag, err = h.co.Find(r.Context(), key)
+		if err != nil {
+			h.writeAdmissionErr(w, err)
+			return
+		}
+	} else {
+		release, ok := h.admit(w)
+		if !ok {
+			return
+		}
+		var ranks [1]int
+		out, t := h.ix.FindBatchTagged([]K{key}, ranks[:0])
+		release()
+		rank, tag = out[0], t
+	}
+	h.served.Add(1)
+	writeJSON(w, findResponse{Rank: rank, Version: tag})
+}
+
+func (h *Handler[K]) handleRange(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	lo, err := parseKey[K](q.Get("lo"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "lo: "+err.Error())
+		return
+	}
+	hi, err := parseKey[K](q.Get("hi"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "hi: "+err.Error())
+		return
+	}
+	if hi < lo {
+		httpError(w, http.StatusBadRequest, "empty range: hi < lo")
+		return
+	}
+	release, ok := h.admit(w)
+	if !ok {
+		return
+	}
+	// One tagged two-lane batch: both endpoint ranks come from the same
+	// snapshot, so the half-open count is consistent even mid-install.
+	ranks, tag := h.ix.FindBatchTagged([]K{lo, hi}, nil)
+	release()
+	h.served.Add(1)
+	writeJSON(w, rangeResponse{
+		LoRank: ranks[0], HiRank: ranks[1],
+		Count: ranks[1] - ranks[0], Version: tag,
+	})
+}
+
+func (h *Handler[K]) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<24))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad batch body: "+err.Error())
+		return
+	}
+	if len(req.Keys) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Keys) > h.cfg.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Keys), h.cfg.MaxBatch))
+		return
+	}
+	keys := make([]K, len(req.Keys))
+	for i, s := range req.Keys {
+		k, err := parseKey[K](s)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("keys[%d]: %v", i, err))
+			return
+		}
+		keys[i] = k
+	}
+	release, ok := h.admit(w)
+	if !ok {
+		return
+	}
+	ranks, tag := h.ix.FindBatchTagged(keys, nil)
+	release()
+	h.served.Add(1)
+	writeJSON(w, batchResponse{Ranks: ranks, Version: tag})
+}
+
+func (h *Handler[K]) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if h.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *Handler[K]) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	st := map[string]any{
+		"version":  h.ix.Tag(),
+		"keys":     h.ix.Len(),
+		"index":    h.ix.Name(),
+		"pending":  h.ix.Pending(),
+		"served":   h.served.Load(),
+		"rejected": h.rejected.Load(),
+		"draining": h.draining.Load(),
+		"coalesce": h.cfg.Coalesce,
+	}
+	if h.co != nil {
+		cs := h.co.Stats()
+		st["coalescer"] = map[string]any{
+			"requests": cs.Requests,
+			"rejected": cs.Rejected,
+			"waves":    cs.Waves,
+			"batched":  cs.Batched,
+			"max_wave": cs.MaxWave,
+			"queue":    h.co.QueueDepth(),
+		}
+	}
+	if h.status != nil {
+		for k, v := range h.status() {
+			st[k] = v
+		}
+	}
+	writeJSON(w, st)
+}
+
+// writeAdmissionErr maps coalescer admission errors onto status codes.
+func (h *Handler[K]) writeAdmissionErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		h.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Client went away; 499-style. Nothing useful to write, but be
+		// explicit for middleboxes.
+		httpError(w, http.StatusRequestTimeout, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// parseKey parses a decimal key, rejecting values that do not fit K
+// (uint32-keyed indexes refuse 2^32 instead of silently wrapping).
+func parseKey[K kv.Key](s string) (K, error) {
+	if s == "" {
+		return 0, errors.New("missing key")
+	}
+	u, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad key %q: %v", s, err)
+	}
+	k := K(u)
+	if uint64(k) != u {
+		return 0, fmt.Errorf("key %d out of range for %T", u, k)
+	}
+	return k, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing to do but note it via the server's
+		// error log path (connection likely dead).
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

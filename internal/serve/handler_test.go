@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func getJSON[T any](t *testing.T, h http.Handler, url string) (int, T) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out T
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, rec.Body.String(), err)
+		}
+	}
+	return rec.Code, out
+}
+
+func TestHandlerFind(t *testing.T) {
+	ix := newPrimary(t, 20_000)
+	for _, mode := range []bool{false, true} {
+		h := NewHandler(ix, nil, HandlerConfig{Coalesce: mode}, nil)
+		if mode {
+			defer h.Coalescer().Close()
+		}
+		for _, key := range []uint64{0, 1, 77, 139_993, 1 << 40} {
+			code, res := getJSON[findResponse](t, h, fmt.Sprintf("/v1/find?key=%d", key))
+			if code != http.StatusOK {
+				t.Fatalf("coalesce=%v find(%d): status %d", mode, key, code)
+			}
+			if want := ix.Find(key); res.Rank != want {
+				t.Errorf("coalesce=%v find(%d) = %d, want %d", mode, key, res.Rank, want)
+			}
+			if res.Version != ix.Tag() {
+				t.Errorf("coalesce=%v find(%d): version %d, want %d", mode, key, res.Version, ix.Tag())
+			}
+		}
+		if h.Served() == 0 {
+			t.Errorf("coalesce=%v: served counter stuck at 0", mode)
+		}
+		for _, bad := range []string{"/v1/find", "/v1/find?key=", "/v1/find?key=xyz", "/v1/find?key=-1"} {
+			if code, _ := getJSON[findResponse](t, h, bad); code != http.StatusBadRequest {
+				t.Errorf("coalesce=%v GET %s: status %d, want 400", mode, bad, code)
+			}
+		}
+	}
+}
+
+func TestHandlerRange(t *testing.T) {
+	ix := newPrimary(t, 20_000) // keys i*7+1
+	h := NewHandler(ix, nil, HandlerConfig{}, nil)
+
+	code, res := getJSON[rangeResponse](t, h, "/v1/range?lo=1&hi=71")
+	if code != http.StatusOK {
+		t.Fatalf("range: status %d", code)
+	}
+	wantLo, wantHi := ix.Find(1), ix.Find(71)
+	if res.LoRank != wantLo || res.HiRank != wantHi || res.Count != wantHi-wantLo {
+		t.Errorf("range = %+v, want lo %d hi %d", res, wantLo, wantHi)
+	}
+	if res.Version != ix.Tag() {
+		t.Errorf("range: version %d, want %d", res.Version, ix.Tag())
+	}
+	if code, _ := getJSON[rangeResponse](t, h, "/v1/range?lo=9&hi=3"); code != http.StatusBadRequest {
+		t.Errorf("inverted range: status %d, want 400", code)
+	}
+	if code, _ := getJSON[rangeResponse](t, h, "/v1/range?lo=1"); code != http.StatusBadRequest {
+		t.Errorf("missing hi: status %d, want 400", code)
+	}
+}
+
+func postBatch(t *testing.T, h http.Handler, body string) (int, batchResponse) {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/batch", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out batchResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("batch: bad JSON %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec.Code, out
+}
+
+func TestHandlerBatch(t *testing.T) {
+	ix := newPrimary(t, 20_000)
+	h := NewHandler(ix, nil, HandlerConfig{MaxBatch: 3}, nil)
+
+	code, res := postBatch(t, h, `{"keys":["1","500","999999999"]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d", code)
+	}
+	for i, k := range []uint64{1, 500, 999999999} {
+		if want := ix.Find(k); res.Ranks[i] != want {
+			t.Errorf("batch[%d] = %d, want %d", i, res.Ranks[i], want)
+		}
+	}
+	if res.Version != ix.Tag() {
+		t.Errorf("batch: version %d, want %d", res.Version, ix.Tag())
+	}
+	if code, _ := postBatch(t, h, `{"keys":["1","2","3","4"]}`); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversize batch: status %d, want 413", code)
+	}
+	if code, _ := postBatch(t, h, `{"keys":[]}`); code != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", code)
+	}
+	if code, _ := postBatch(t, h, `{"keys":["nope"]}`); code != http.StatusBadRequest {
+		t.Errorf("bad key batch: status %d, want 400", code)
+	}
+	if code, _ := postBatch(t, h, `{`); code != http.StatusBadRequest {
+		t.Errorf("truncated body: status %d, want 400", code)
+	}
+}
+
+// TestHandlerAdmission exercises the typed refusals: 429 with Retry-After
+// when the inflight bound is hit, 503 everywhere once draining.
+func TestHandlerAdmission(t *testing.T) {
+	ix := newPrimary(t, 10_000)
+	h := NewHandler(ix, nil, HandlerConfig{MaxInflight: 1}, nil)
+
+	// White-box: occupy the single inflight slot so the next direct
+	// request is refused.
+	h.inflight <- struct{}{}
+	req := httptest.NewRequest("GET", "/v1/find?key=5", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated: status %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("saturated: missing Retry-After")
+	}
+	if h.Rejected() != 1 {
+		t.Errorf("rejected = %d, want 1", h.Rejected())
+	}
+	<-h.inflight
+	if code, _ := getJSON[findResponse](t, h, "/v1/find?key=5"); code != http.StatusOK {
+		t.Fatalf("after release: status %d", code)
+	}
+
+	h.SetDraining(true)
+	for _, url := range []string{"/v1/find?key=5", "/v1/range?lo=1&hi=9", "/healthz"} {
+		req := httptest.NewRequest("GET", url, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("draining GET %s: status %d, want 503", url, rec.Code)
+		}
+	}
+	h.SetDraining(false)
+	if code, _ := getJSON[findResponse](t, h, "/v1/find?key=5"); code != http.StatusOK {
+		t.Fatalf("drain cleared: status %d", code)
+	}
+}
+
+// TestHandlerCoalescedAdmission maps coalescer refusals onto HTTP codes.
+func TestHandlerCoalescedAdmission(t *testing.T) {
+	ix := newPrimary(t, 10_000)
+	co := NewCoalescer(ix, CoalescerConfig{Queue: 1})
+	h := NewHandler(ix, co, HandlerConfig{Coalesce: true}, nil)
+
+	co.combine.Lock() // as if a wave were in flight
+	co.reqs <- creq[uint64]{key: 1, done: make(chan cres, 1)} // fill the queue
+	req := httptest.NewRequest("GET", "/v1/find?key=5", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("full coalescer queue: status %d, want 429", rec.Code)
+	}
+	co.combine.Unlock()
+
+	co.Close()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("closed coalescer: status %d, want 503", rec.Code)
+	}
+}
+
+func TestHandlerStatusz(t *testing.T) {
+	ix := newPrimary(t, 10_000)
+	h := NewHandler(ix, nil, HandlerConfig{Coalesce: true}, func() map[string]any {
+		return map[string]any{"replica_version": 42}
+	})
+	defer h.Coalescer().Close()
+
+	if code, _ := getJSON[findResponse](t, h, "/v1/find?key=5"); code != http.StatusOK {
+		t.Fatal("warm-up find failed")
+	}
+	code, st := getJSON[map[string]any](t, h, "/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz: status %d", code)
+	}
+	for _, k := range []string{"version", "keys", "served", "rejected", "draining", "coalesce", "coalescer", "replica_version"} {
+		if _, ok := st[k]; !ok {
+			t.Errorf("statusz missing %q (got %v)", k, st)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz: status %d body %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestParseKeyRange(t *testing.T) {
+	if _, err := parseKey[uint32]("4294967296"); err == nil {
+		t.Error("parseKey[uint32](2^32) accepted, want range error")
+	}
+	if k, err := parseKey[uint32]("4294967295"); err != nil || k != 1<<32-1 {
+		t.Errorf("parseKey[uint32](2^32-1) = %d, %v", k, err)
+	}
+	if k, err := parseKey[uint64]("18446744073709551615"); err != nil || k != 1<<64-1 {
+		t.Errorf("parseKey[uint64](max) = %d, %v", k, err)
+	}
+}

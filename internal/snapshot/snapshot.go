@@ -618,19 +618,27 @@ func ReadFixed[T ~int8 | ~int16 | ~int32 | ~int64 | ~uint32 | ~uint64](r io.Read
 	return out, nil
 }
 
-// SaveFile writes a container crash-safely: persist streams into a
-// temporary file in path's directory, which is synced and atomically
-// renamed over path. On any error the temporary file is removed and the
-// previous snapshot at path (if any) is untouched.
-func SaveFile(path, kind string, persist func(*Writer) error) (err error) {
+// WriteFileAtomic publishes path crash-safely: write streams into a
+// dot-prefixed temporary file in path's directory, which is fsynced,
+// closed, and atomically renamed over path; the directory is then synced
+// so the rename itself survives a crash (best effort — not every
+// filesystem supports directory fsync). On any error the temporary file
+// is removed and the previous file at path (if any) is untouched.
+//
+// This is the one atomic-publish implementation shared by snapshot
+// containers (SaveFile) and the replica store (replica.DirStore.Put,
+// which the warm-restart record also rides), so the temp/fsync/rename/
+// dir-sync discipline cannot drift between the paths that all claim
+// "crash-safe".
+func WriteFileAtomic(path string, write func(*os.File) error) (err error) {
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("snapshot: creating temp file: %w", err)
 	}
 	tmp := f.Name()
 	// Cleanup keys off the committed flag, not the error value, so every
-	// exit — error return, a panic inside persist, a failed Sync or Rename
+	// exit — error return, a panic inside write, a failed Sync or Rename
 	// — removes the temp file. A stranded *.tmp in a snapshot directory is
 	// not harmless litter: a store listing that treats directory entries as
 	// candidate artifacts would pick it up, and it is by construction a
@@ -642,19 +650,8 @@ func SaveFile(path, kind string, persist func(*Writer) error) (err error) {
 			os.Remove(tmp)
 		}
 	}()
-	bw := bufio.NewWriterSize(f, 1<<20)
-	sw, err := NewWriter(bw, kind)
-	if err != nil {
+	if err = write(f); err != nil {
 		return err
-	}
-	if err = persist(sw); err != nil {
-		return err
-	}
-	if err = sw.Close(); err != nil {
-		return err
-	}
-	if err = bw.Flush(); err != nil {
-		return fmt.Errorf("snapshot: flushing %s: %w", tmp, err)
 	}
 	if err = f.Sync(); err != nil {
 		return fmt.Errorf("snapshot: syncing %s: %w", tmp, err)
@@ -666,13 +663,34 @@ func SaveFile(path, kind string, persist func(*Writer) error) (err error) {
 		return fmt.Errorf("snapshot: publishing %s: %w", path, err)
 	}
 	committed = true
-	// Sync the directory so the rename itself survives a crash; best
-	// effort — not every filesystem supports directory fsync.
 	if d, derr := os.Open(dir); derr == nil {
 		_ = d.Sync()
 		d.Close()
 	}
 	return nil
+}
+
+// SaveFile writes a container crash-safely through WriteFileAtomic: on
+// any error the temporary file is removed and the previous snapshot at
+// path (if any) is untouched.
+func SaveFile(path, kind string, persist func(*Writer) error) error {
+	return WriteFileAtomic(path, func(f *os.File) error {
+		bw := bufio.NewWriterSize(f, 1<<20)
+		sw, err := NewWriter(bw, kind)
+		if err != nil {
+			return err
+		}
+		if err := persist(sw); err != nil {
+			return err
+		}
+		if err := sw.Close(); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("snapshot: flushing %s: %w", f.Name(), err)
+		}
+		return nil
+	})
 }
 
 // LoadFile opens a container, hands the reader to load, and verifies the
