@@ -28,6 +28,11 @@
 // hardened HTTP server) and prints throughput and p50/p99/p999 latency
 // for coalesced vs per-request dispatch under live publishing, every
 // response oracle-verified by version tag; it writes BENCH_serve.json.
+// The "mmap" pseudo-figure compares restart paths for the page-aligned v2
+// snapshot layout (cold build vs v1 streaming load vs v2 mapped open, per
+// backend), measures cold-shard first-touch latency on a mapped router,
+// sweeps a residency budget over the router's shard spans, and writes
+// BENCH_mmap.json.
 //
 // All CSV output flows through the shared bench.Grid emitter, the same
 // layout cmd/report renders as markdown.
@@ -44,7 +49,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure id: 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router, persist, replica, serve")
+	fig := flag.String("fig", "", "figure id: 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router, persist, replica, serve, mmap")
 	n := flag.Int("n", 0, "dataset size (0 = per-figure default)")
 	q := flag.Int("q", 0, "query count (0 = per-figure default)")
 	seed := flag.Int64("seed", 7, "dataset seed")
@@ -85,8 +90,10 @@ func main() {
 		err = replicaSweep(*n, *q, *seed, jsonOut(*jsonPath, "BENCH_replica.json"))
 	case "serve":
 		err = serveSweep(*n, *q, *seed, jsonOut(*jsonPath, "BENCH_serve.json"))
+	case "mmap":
+		err = mmapSweep(*n, *q, *seed, jsonOut(*jsonPath, "BENCH_mmap.json"))
 	default:
-		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router, persist, replica, serve")
+		fmt.Fprintln(os.Stderr, "figures: -fig must be one of 2a, 2b, 3, 6, 7, 8, 9, L, batch, build, concurrent, router, persist, replica, serve, mmap")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -316,6 +323,31 @@ func serveSweep(n, q int, seed int64, jsonPath string) error {
 		res.N, res.Workers, res.RateQPS, res.Published)
 	fmt.Printf("# coalesced closed-loop throughput %.2fx per-request dispatch\n", res.CoalesceSpeedup)
 	emit(res.Grid())
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+func mmapSweep(n, q int, seed int64, jsonPath string) error {
+	res, err := bench.RunMmap(bench.MmapConfig{N: n, Queries: q, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# mmap sweep: n=%d map_supported=%v (every mapped index probe-verified against its cold-built twin)\n",
+		res.N, res.MapSupported)
+	emit(bench.MmapLoadGrid(res.Loads))
+	fmt.Printf("# cold-shard first touch over %d shards: first pass %.1f ns/q, second pass %.1f ns/q, %d minor faults (memsim predicts +%.0f ns cold)\n",
+		res.Touch.Shards, res.Touch.FirstPassNs, res.Touch.SecondPassNs, res.Touch.MinorFaults, res.Touch.PredictedColdNs)
+	emit(bench.MmapBudgetGrid(res.Budget))
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)
 		if err != nil {

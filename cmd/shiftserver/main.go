@@ -52,9 +52,21 @@ func run() error {
 	queue := flag.Int("queue", 0, "coalescer admission queue bound (0 = 4x wave)")
 	inflight := flag.Int("inflight", 256, "max concurrent uncoalesced requests")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
+	loadMode := flag.String("load", "auto", "artifact load mode: auto (map v2 artifacts when the platform supports it), mmap, or heap")
 	flag.Parse()
 	if *store == "" || *dir == "" {
 		return fmt.Errorf("-store and -dir are required")
+	}
+	var lm replica.LoadMode
+	switch *loadMode {
+	case "auto":
+		lm = replica.LoadAuto
+	case "mmap":
+		lm = replica.LoadMap
+	case "heap":
+		lm = replica.LoadHeap
+	default:
+		return fmt.Errorf("-load %q: want auto, mmap, or heap", *loadMode)
 	}
 	coalesce := false
 	switch *mode {
@@ -69,7 +81,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	r, err := replica.NewReplica[uint64](s, *dir, replica.ReplicaConfig{})
+	r, err := replica.NewReplica[uint64](s, *dir, replica.ReplicaConfig{LoadMode: lm})
 	if err != nil {
 		return err
 	}
@@ -95,7 +107,11 @@ func run() error {
 		}
 	}
 	st := r.Status()
-	fmt.Printf("serving version %d (%d keys, %s)\n", st.Version, r.Index().Len(), r.Index().Name())
+	serving := "heap"
+	if st.Mapped {
+		serving = fmt.Sprintf("mapped, %d bytes", st.MappedBytes)
+	}
+	fmt.Printf("serving version %d (%d keys, %s, %s)\n", st.Version, r.Index().Len(), r.Index().Name(), serving)
 
 	// Background sync keeps the serving snapshots fresh; failures degrade
 	// to last-good (the replica's contract), so the serving path never

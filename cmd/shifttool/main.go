@@ -6,7 +6,7 @@
 //
 //	shifttool -dataset face64 [-n 2000000] [-model im|linear|rs]
 //	          [-mode r|s] [-m 0] [-file keys.bin] [-advise] [-rank]
-//	          [-save index.snap] [-load index.snap]
+//	          [-save index.snap] [-load index.snap] [-mmap]
 //
 // With -file, keys are loaded from a SOSD-format binary file instead of
 // being generated ( -dataset then only selects the key width, e.g. any
@@ -18,6 +18,11 @@
 // path a serving restart takes — validated against its own keys, and
 // summarised. -load ignores the build flags entirely; the key width is
 // recorded in the snapshot and both widths are tried.
+//
+// With -mmap, -save writes the page-aligned v2 layout (DESIGN.md §12)
+// and -load opens the snapshot by mapping it in place — the O(1)
+// warm-start path — reporting the load mode and per-key load cost; a
+// v1 snapshot under -mmap falls back to the streaming load.
 //
 // With -rank, the tool generalises the advisor across the whole backend
 // registry (internal/index): it measures this machine's L(s) curve, asks
@@ -56,21 +61,22 @@ func main() {
 	rank := flag.Bool("rank", false, "rank every registry backend on the dataset: §3.7 estimate vs measured ns")
 	save := flag.String("save", "", "persist the built index as a snapshot file")
 	load := flag.String("load", "", "restore and summarise a snapshot file instead of building")
+	useMmap := flag.Bool("mmap", false, "with -load: map the snapshot in place (v2 layout); with -save: write the mappable v2 layout")
 	flag.Parse()
 
-	if err := run(*ds, *n, *modelName, *mode, *m, *file, *seed, *advise, *rank, *save, *load); err != nil {
+	if err := run(*ds, *n, *modelName, *mode, *m, *file, *seed, *advise, *rank, *save, *load, *useMmap); err != nil {
 		fmt.Fprintln(os.Stderr, "shifttool:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ds string, n int, modelName, mode string, m int, file string, seed int64, advise, rank bool, save, load string) error {
+func run(ds string, n int, modelName, mode string, m int, file string, seed int64, advise, rank bool, save, load string, useMmap bool) error {
 	bits := 64
 	if strings.HasSuffix(ds, "32") {
 		bits = 32
 	}
 	if load != "" {
-		return loadSnapshot(load)
+		return loadSnapshot(load, useMmap)
 	}
 	var keys []uint64
 	var err error
@@ -123,15 +129,20 @@ func run(ds string, n int, modelName, mode string, m int, file string, seed int6
 	buildMs := float64(time.Since(start).Nanoseconds()) / 1e6
 	if save != "" {
 		sstart := time.Now()
-		if err := index.SaveFile[uint64](save, tab); err != nil {
+		saveFn := index.SaveFile[uint64]
+		layout := "v1"
+		if useMmap {
+			saveFn, layout = index.SaveFileV2[uint64], "v2"
+		}
+		if err := saveFn(save, tab); err != nil {
 			return err
 		}
 		st, err := os.Stat(save)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("saved snapshot %s (%s, %.1f ms)\n",
-			save, human(int(st.Size())), float64(time.Since(sstart).Nanoseconds())/1e6)
+		fmt.Printf("saved snapshot %s (%s layout, %s, %.1f ms)\n",
+			save, layout, human(int(st.Size())), float64(time.Since(sstart).Nanoseconds())/1e6)
 	}
 	s := tab.ComputeStats()
 	fmt.Printf("built in %.1f ms (%.1f ns/key, %d workers)\n",
@@ -209,17 +220,41 @@ func rankBackends(keys []uint64, seed int64) error {
 // both widths are tried (shifttool-built snapshots are 64-bit), and on
 // failure both errors are reported so a corrupt 32-bit file is not
 // masked by the 64-bit attempt's width-mismatch message.
-func loadSnapshot(path string) error {
+func loadSnapshot(path string, useMmap bool) error {
+	if useMmap {
+		start := time.Now()
+		ix64, mapped64, err64 := index.LoadFileMapped[uint64](path)
+		if err64 == nil {
+			return summarize(ix64, path, float64(time.Since(start).Nanoseconds())/1e6, loadModeName(mapped64))
+		}
+		start = time.Now()
+		ix32, mapped32, err32 := index.LoadFileMapped[uint32](path)
+		if err32 == nil {
+			return summarize(ix32, path, float64(time.Since(start).Nanoseconds())/1e6, loadModeName(mapped32))
+		}
+		return loadFailure(path, err64, err32)
+	}
 	start := time.Now()
 	ix64, err64 := index.LoadFile[uint64](path)
 	if err64 == nil {
-		return summarize(ix64, path, float64(time.Since(start).Nanoseconds())/1e6)
+		return summarize(ix64, path, float64(time.Since(start).Nanoseconds())/1e6, "heap (streamed)")
 	}
 	start = time.Now()
 	ix32, err32 := index.LoadFile[uint32](path)
 	if err32 == nil {
-		return summarize(ix32, path, float64(time.Since(start).Nanoseconds())/1e6)
+		return summarize(ix32, path, float64(time.Since(start).Nanoseconds())/1e6, "heap (streamed)")
 	}
+	return loadFailure(path, err64, err32)
+}
+
+func loadModeName(mapped bool) string {
+	if mapped {
+		return "mapped (zero-copy)"
+	}
+	return "heap (streamed; snapshot not mappable)"
+}
+
+func loadFailure(path string, err64, err32 error) error {
 	kind, kerr := snapshot.ReadKindFile(path)
 	if kerr != nil {
 		return fmt.Errorf("loading %s: %w", path, err64)
@@ -230,9 +265,14 @@ func loadSnapshot(path string) error {
 
 // summarize prints the restored index and self-validates it against its
 // own keys where the backend exposes them.
-func summarize[K kv.Key](ix index.Index[K], path string, loadMs float64) error {
+func summarize[K kv.Key](ix index.Index[K], path string, loadMs float64, loadMode string) error {
 	fmt.Printf("loaded %s from %s in %.1f ms (%d-bit keys)\n",
 		ix.Name(), path, loadMs, 8*kv.Width[K]())
+	perKey := 0.0
+	if n := ix.Len(); n > 0 {
+		perKey = loadMs * 1e6 / float64(n)
+	}
+	fmt.Printf("  load mode: %s, %.2f ns/key\n", loadMode, perKey)
 	fmt.Printf("  %d keys, index footprint %s\n", ix.Len(), human(ix.SizeBytes()))
 	kp, ok := ix.(interface{ Keys() []K })
 	if !ok {

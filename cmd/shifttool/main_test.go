@@ -8,19 +8,19 @@ import (
 )
 
 func TestRunGenerated(t *testing.T) {
-	if err := run("face64", 20_000, "im", "r", 0, "", 3, false, false, "", ""); err != nil {
+	if err := run("face64", 20_000, "im", "r", 0, "", 3, false, false, "", "", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("wiki64", 20_000, "linear", "s", 500, "", 3, false, false, "", ""); err != nil {
+	if err := run("wiki64", 20_000, "linear", "s", 500, "", 3, false, false, "", "", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("uspr32", 20_000, "rs", "r", 0, "", 3, false, false, "", ""); err != nil {
+	if err := run("uspr32", 20_000, "rs", "r", 0, "", 3, false, false, "", "", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRank(t *testing.T) {
-	if err := run("uden64", 10_000, "im", "r", 0, "", 3, false, true, "", ""); err != nil {
+	if err := run("uden64", 10_000, "im", "r", 0, "", 3, false, true, "", "", false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -32,22 +32,22 @@ func TestRunFromFile(t *testing.T) {
 	if err := dataset.Save(path, keys, 64); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("face64", 0, "im", "r", 0, path, 3, false, false, "", ""); err != nil {
+	if err := run("face64", 0, "im", "r", 0, path, 3, false, false, "", "", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("face64", 1000, "nope", "r", 0, "", 3, false, false, "", ""); err == nil {
+	if err := run("face64", 1000, "nope", "r", 0, "", 3, false, false, "", "", false); err == nil {
 		t.Error("want error for unknown model")
 	}
-	if err := run("face64", 1000, "im", "x", 0, "", 3, false, false, "", ""); err == nil {
+	if err := run("face64", 1000, "im", "x", 0, "", 3, false, false, "", "", false); err == nil {
 		t.Error("want error for unknown mode")
 	}
-	if err := run("nope64", 1000, "im", "r", 0, "", 3, false, false, "", ""); err == nil {
+	if err := run("nope64", 1000, "im", "r", 0, "", 3, false, false, "", "", false); err == nil {
 		t.Error("want error for unknown dataset")
 	}
-	if err := run("face64", 0, "im", "r", 0, "/does/not/exist.bin", 3, false, false, "", ""); err == nil {
+	if err := run("face64", 0, "im", "r", 0, "/does/not/exist.bin", 3, false, false, "", "", false); err == nil {
 		t.Error("want error for missing file")
 	}
 }
@@ -55,10 +55,26 @@ func TestRunErrors(t *testing.T) {
 func TestRunSaveLoad(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "table.snap")
-	if err := run("face64", 20_000, "im", "r", 0, "", 3, false, false, path, ""); err != nil {
+	if err := run("face64", 20_000, "im", "r", 0, "", 3, false, false, path, "", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("face64", 0, "im", "r", 0, "", 3, false, false, "", path); err != nil {
+	if err := run("face64", 0, "im", "r", 0, "", 3, false, false, "", path, false); err != nil {
+		t.Fatal(err)
+	}
+	// v2 save + mapped load, and the cross-pairings: -mmap over a v1
+	// snapshot falls back to the streaming load, and the streaming load
+	// reads a v2 snapshot.
+	v2 := filepath.Join(dir, "table2.snap")
+	if err := run("face64", 20_000, "im", "r", 0, "", 3, false, false, v2, "", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("face64", 0, "im", "r", 0, "", 3, false, false, "", v2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("face64", 0, "im", "r", 0, "", 3, false, false, "", path, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("face64", 0, "im", "r", 0, "", 3, false, false, "", v2, false); err != nil {
 		t.Fatal(err)
 	}
 	// Loading garbage must fail.
@@ -66,7 +82,7 @@ func TestRunSaveLoad(t *testing.T) {
 	if err := dataset.Save(bad, dataset.MustGenerate(dataset.Face, 64, 100, 1), 64); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("face64", 0, "im", "r", 0, "", 3, false, false, "", bad); err == nil {
+	if err := run("face64", 0, "im", "r", 0, "", 3, false, false, "", bad, false); err == nil {
 		t.Error("want error loading a non-snapshot file")
 	}
 }

@@ -1,0 +1,48 @@
+package bench
+
+import "testing"
+
+// TestRunMmapSmoke runs the whole mmap experiment at small N: both
+// backends restart three ways with probe-verified answers, the router
+// first-touch pair is measured, and the budget sweep tiers the shard
+// spans (RunMmap errors out on any verification failure).
+func TestRunMmapSmoke(t *testing.T) {
+	res, err := RunMmap(MmapConfig{N: 60_000, Queries: 2_000, Seed: 5, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loads) != 2 {
+		t.Fatalf("got %d load points, want 2", len(res.Loads))
+	}
+	for _, p := range res.Loads {
+		if p.ColdBuildMs <= 0 || p.HeapLoadMs <= 0 || p.MapLoadMs <= 0 || p.FileMBv2 <= 0 {
+			t.Errorf("%s: implausible point %+v", p.Backend, p)
+		}
+	}
+	if res.Touch.Shards == 0 || res.Touch.FirstPassNs <= 0 || res.Touch.SecondPassNs <= 0 {
+		t.Errorf("implausible touch point %+v", res.Touch)
+	}
+	if len(res.Budget) != 4 {
+		t.Fatalf("got %d budget rungs, want 4", len(res.Budget))
+	}
+	for _, b := range res.Budget {
+		if b.ResidentSpans+b.ColdSpans != res.Touch.Shards {
+			t.Errorf("budget %.2f: %d resident + %d cold != %d shards",
+				b.BudgetFrac, b.ResidentSpans, b.ColdSpans, res.Touch.Shards)
+		}
+	}
+	// A 10% budget must leave some shards cold; the full budget must
+	// leave none.
+	if res.Budget[0].ColdSpans == 0 {
+		t.Error("10% budget left no shard cold")
+	}
+	if last := res.Budget[len(res.Budget)-1]; last.ColdSpans != 0 {
+		t.Errorf("full budget left %d shards cold", last.ColdSpans)
+	}
+	if g := MmapLoadGrid(res.Loads); len(g.Rows) != len(res.Loads) {
+		t.Error("load grid row count mismatch")
+	}
+	if g := MmapBudgetGrid(res.Budget); len(g.Rows) != len(res.Budget) {
+		t.Error("budget grid row count mismatch")
+	}
+}

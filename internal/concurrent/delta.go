@@ -347,4 +347,3 @@ func (ix *Index[K]) InstallDelta(st *State[K], d *Delta[K], tag uint64) error {
 	ix.snap.Store(next)
 	return nil
 }
-

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cdfmodel"
 	"repro/internal/kv"
+	"repro/internal/mapped"
 )
 
 // Mode selects the Shift-Table flavour.
@@ -119,6 +120,14 @@ type Table[K kv.Key] struct {
 	// steady-state compaction reallocates neither query scratches nor
 	// build scratch.
 	buildPool *sync.Pool
+
+	// region, when non-nil, is the mapped snapshot region whose pages
+	// back keys, drift arrays, and counts (mapped.go in this package).
+	// The table holds one reference, released by a runtime cleanup when
+	// the table becomes unreachable — readers reach the bytes only
+	// through a table they hold, so reachability implies the mapping is
+	// live and a snapshot swap can never munmap under an in-flight query.
+	region *mapped.Region
 }
 
 // partitionOf maps a model prediction p ∈ [0, N) to its partition

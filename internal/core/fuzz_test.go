@@ -149,9 +149,32 @@ func FuzzLoad(f *testing.F) {
 		mut2 := append([]byte(nil), cont.Bytes()...)
 		mut2[20] ^= 0x04
 		f.Add(mut2)
+
+		// The v2 (page-aligned, mappable) container: full, truncated
+		// mid-section and mid-footer, and with a flipped byte in the first
+		// page (header/padding territory) so the fuzzer starts at the
+		// geometry validators.
+		var cont2 bytes.Buffer
+		sw2, err := snapshot.NewWriterV2(&cont2, tab.SnapshotKind())
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := tab.PersistSnapshot(sw2); err != nil {
+			f.Fatal(err)
+		}
+		if err := sw2.Close(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(cont2.Bytes())
+		f.Add(cont2.Bytes()[:2*cont2.Len()/3])
+		f.Add(cont2.Bytes()[:cont2.Len()-17])
+		mut3 := append([]byte(nil), cont2.Bytes()...)
+		mut3[40] ^= 0x10
+		f.Add(mut3)
 	}
 	f.Add([]byte{})
 	f.Add([]byte("STSNAP01"))
+	f.Add([]byte("STSNAP02"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Bare layer format against the real keys and model.
@@ -191,6 +214,22 @@ func FuzzLoad(f *testing.F) {
 			_, err := LoadTableSnapshot[uint64](sr)
 			return err
 		})
+		// v2 mapped open: geometry validates eagerly, payload CRCs lazily.
+		// Whatever survives the parse — even with VerifyAll unrun, the
+		// trust level a hostile file meets — must be memory-safe to query:
+		// mis-answers are allowed, faults and out-of-range ranks are not.
+		if m, err := snapshot.OpenMappedBytes(data); err == nil && m.Kind() == SnapshotKindTable {
+			verified := m.VerifyAll() == nil
+			if tab, err := MapTableSnapshot[uint64](m); err == nil {
+				for _, q := range []uint64{0, 1 << 30, ^uint64(0)} {
+					r := tab.Find(q)
+					if r < 0 || r > tab.N() {
+						t.Fatalf("mapped table (verified=%v) Find(%d) = %d out of [0, %d]",
+							verified, q, r, tab.N())
+					}
+				}
+			}
+		}
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cdfmodel"
 	"repro/internal/kv"
+	"repro/internal/mapped"
 	"repro/internal/search"
 )
 
@@ -18,6 +19,11 @@ type ModelIndex[K kv.Key] struct {
 	keys    []K
 	model   cdfmodel.Model[K]
 	meanErr float64 // mean |drift| over the indexed keys, for Eq. 10
+
+	// region backs keys when the index was opened over a mapped snapshot
+	// (mapped.go); nil for heap-built indexes. Same lifetime protocol as
+	// Table.region.
+	region *mapped.Region
 }
 
 // NewModelIndex builds the bare-model index over sorted keys. It measures

@@ -24,7 +24,22 @@ import (
 const (
 	layerMagic   = 0x53485442 // "SHTB"
 	layerVersion = 1
+	// layerVersion2 is the mappable layout (DESIGN.md §12): instead of the
+	// v1 split lo/hi arrays it stores range-mode drifts exactly as the
+	// query path holds them — the fused interleaved [lo₀,hi₀,lo₁,hi₁,…]
+	// array at the common packed width — followed by 8-byte-aligned
+	// partition counts, so a loader over a page-aligned v2 snapshot
+	// section can view both in place with zero copies. Written only
+	// inside v2 snapshot containers; Load reads both versions.
+	layerVersion2 = 2
 )
+
+// Layer v2 body offsets, relative to the layer blob start. The 64-byte
+// header is followed by one widths word (byte 0: the stored entry width;
+// bytes 1–2, range mode only: the split lo/hi widths WriteTo would use),
+// then the drift data, zero padding to an 8-byte boundary, and the
+// int32 partition counts.
+const layerV2DataOff = 8*8 + 8
 
 // WriteTo serialises the layer (not the keys or the model) to w.
 func (t *Table[K]) WriteTo(w io.Writer) (int64, error) {
@@ -73,6 +88,220 @@ func (t *Table[K]) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
+// layerSizeV2 is the exact byte size writeLayerV2 will produce, so the
+// snapshot writer can reserve the section (SectionSized) and the mapped
+// loader can cross-check geometry before viewing anything.
+func (t *Table[K]) layerSizeV2() int64 {
+	var data int64
+	switch t.mode {
+	case ModeRange:
+		data = 2 * int64(t.m) * int64(t.pairs.width)
+	default:
+		data = int64(t.m) * int64(t.shift.width)
+	}
+	return layerV2DataOff + data + pad8(data) + 4*int64(t.m)
+}
+
+// pad8 returns the zero-padding after n bytes of drift data so the int32
+// counts that follow start 8-byte aligned (the data begins at the
+// 8-aligned layerV2DataOff, so alignment is preserved end to end).
+func pad8(n int64) int64 { return (8 - n%8) % 8 }
+
+// writeLayerV2 serialises the layer in the mappable v2 shape: the same
+// 64-byte header as v1 (version field 2), one widths word, then the
+// drift data exactly as the query path holds it — fused interleaved
+// pairs for range mode, the packed shift array for midpoint — zero
+// padding to an 8-byte boundary, and the partition counts. No per-array
+// width prefixes: all widths live in the widths word so every payload
+// offset is computable from the header alone.
+func (t *Table[K]) writeLayerV2(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var width, lo, hi uint8
+	var data int64
+	switch t.mode {
+	case ModeRange:
+		if t.pairs.len() != t.m {
+			return fmt.Errorf("core: drift pair length %d, want %d", t.pairs.len(), t.m)
+		}
+		width, lo, hi = t.pairs.width, t.loBits, t.hiBits
+		data = 2 * int64(t.m) * int64(width)
+	default:
+		if t.shift.len() != t.m {
+			return fmt.Errorf("core: drift array length %d, want %d", t.shift.len(), t.m)
+		}
+		width = t.shift.width
+		data = int64(t.m) * int64(width)
+	}
+	head := []uint64{
+		layerMagic,
+		layerVersion2,
+		uint64(t.mode),
+		uint64(t.n),
+		uint64(t.m),
+		boolU64(t.monotone),
+		keysFingerprint(t.keys),
+		modelFingerprint(t.model),
+		uint64(width) | uint64(lo)<<8 | uint64(hi)<<16,
+	}
+	for _, v := range head {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	var err error
+	switch t.mode {
+	case ModeRange:
+		switch {
+		case t.pairs.w8 != nil:
+			err = binary.Write(bw, binary.LittleEndian, t.pairs.w8)
+		case t.pairs.w16 != nil:
+			err = binary.Write(bw, binary.LittleEndian, t.pairs.w16)
+		case t.pairs.w32 != nil:
+			err = binary.Write(bw, binary.LittleEndian, t.pairs.w32)
+		case t.pairs.w64 != nil:
+			err = binary.Write(bw, binary.LittleEndian, t.pairs.w64)
+		}
+	default:
+		switch {
+		case t.shift.w8 != nil:
+			err = binary.Write(bw, binary.LittleEndian, t.shift.w8)
+		case t.shift.w16 != nil:
+			err = binary.Write(bw, binary.LittleEndian, t.shift.w16)
+		case t.shift.w32 != nil:
+			err = binary.Write(bw, binary.LittleEndian, t.shift.w32)
+		case t.shift.w64 != nil:
+			err = binary.Write(bw, binary.LittleEndian, t.shift.w64)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	var zeros [8]byte
+	if _, err := bw.Write(zeros[:pad8(data)]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.count); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// layerWidths unpacks and validates the v2 widths word against the mode
+// and partition count. Returns the stored entry width plus the split
+// lo/hi widths (range mode only) a future v1 WriteTo would use.
+func layerWidths(word uint64, mode Mode, m int) (width, lo, hi uint8, err error) {
+	if word>>24 != 0 {
+		return 0, 0, 0, fmt.Errorf("core: layer widths word %#x has reserved bytes set", word)
+	}
+	width, lo, hi = uint8(word), uint8(word>>8), uint8(word>>16)
+	okWidth := func(w uint8) bool { return w == 0 || w == 1 || w == 2 || w == 4 || w == 8 }
+	if !okWidth(width) || !okWidth(lo) || !okWidth(hi) {
+		return 0, 0, 0, fmt.Errorf("core: invalid layer entry widths %d/%d/%d", width, lo, hi)
+	}
+	if m == 0 {
+		if width != 0 || lo != 0 || hi != 0 {
+			return 0, 0, 0, fmt.Errorf("core: nonzero entry widths %d/%d/%d for an empty layer", width, lo, hi)
+		}
+		return 0, 0, 0, nil
+	}
+	if width == 0 {
+		return 0, 0, 0, fmt.Errorf("core: entry width 0 for %d partitions", m)
+	}
+	if mode == ModeRange {
+		// The fused array packs both halves at the wider of the two split
+		// widths (fusePairs); anything else cannot round-trip to v1.
+		want := lo
+		if hi > want {
+			want = hi
+		}
+		if lo == 0 || hi == 0 || width != want {
+			return 0, 0, 0, fmt.Errorf("core: range-mode widths %d/%d/%d are inconsistent", width, lo, hi)
+		}
+	} else if lo != 0 || hi != 0 {
+		return 0, 0, 0, fmt.Errorf("core: split widths %d/%d set for midpoint mode", lo, hi)
+	}
+	return width, lo, hi, nil
+}
+
+// loadBodyV2 reads the v2 body (widths word onward) from the stream.
+// The mapped loader parses the same bytes in place; this path serves
+// heap loads of v2 containers (fallback builds, shifttool without -mmap).
+func (t *Table[K]) loadBodyV2(br io.Reader, avail int64) error {
+	var word uint64
+	if err := binary.Read(br, binary.LittleEndian, &word); err != nil {
+		return fmt.Errorf("core: reading layer widths: %w", err)
+	}
+	if avail >= 0 {
+		avail -= 8
+	}
+	width, lo, hi, err := layerWidths(word, t.mode, t.m)
+	if err != nil {
+		return err
+	}
+	var data int64
+	switch t.mode {
+	case ModeRange:
+		t.pairs.width = width
+		t.loBits, t.hiBits = lo, hi
+		data = 2 * int64(t.m) * int64(width)
+		if t.m > 0 {
+			switch width {
+			case 1:
+				t.pairs.w8, err = readSliceChunked[int8](br, 2*t.m, 1, "fused drift entry", avail)
+			case 2:
+				t.pairs.w16, err = readSliceChunked[int16](br, 2*t.m, 2, "fused drift entry", avail)
+			case 4:
+				t.pairs.w32, err = readSliceChunked[int32](br, 2*t.m, 4, "fused drift entry", avail)
+			default:
+				t.pairs.w64, err = readSliceChunked[int64](br, 2*t.m, 8, "fused drift entry", avail)
+			}
+			if err != nil {
+				return fmt.Errorf("core: fused drift array: %w", err)
+			}
+		}
+	default:
+		t.shift.width = width
+		data = int64(t.m) * int64(width)
+		if t.m > 0 {
+			switch width {
+			case 1:
+				t.shift.w8, err = readSliceChunked[int8](br, t.m, 1, "drift entry", avail)
+			case 2:
+				t.shift.w16, err = readSliceChunked[int16](br, t.m, 2, "drift entry", avail)
+			case 4:
+				t.shift.w32, err = readSliceChunked[int32](br, t.m, 4, "drift entry", avail)
+			default:
+				t.shift.w64, err = readSliceChunked[int64](br, t.m, 8, "drift entry", avail)
+			}
+			if err != nil {
+				return fmt.Errorf("core: drift array: %w", err)
+			}
+		}
+	}
+	if avail >= 0 {
+		avail -= data
+	}
+	var padBuf [8]byte
+	pad := pad8(data)
+	if _, err := io.ReadFull(br, padBuf[:pad]); err != nil {
+		return fmt.Errorf("core: reading layer padding: %w", err)
+	}
+	for _, b := range padBuf[:pad] {
+		if b != 0 {
+			return fmt.Errorf("core: nonzero layer padding")
+		}
+	}
+	if avail >= 0 {
+		avail -= pad
+	}
+	counts, err := readCounts(br, t.m, t.n, avail)
+	if err != nil {
+		return err
+	}
+	t.count = counts
+	return nil
+}
+
 // maxLayerFactor bounds M relative to N in loaded layer files. Builds
 // default to M = N and the paper's reduced configurations use M = N/X, so
 // a header claiming a layer orders of magnitude larger than its key set
@@ -109,7 +338,7 @@ func Load[K kv.Key](r io.Reader, keys []K, model cdfmodel.Model[K]) (*Table[K], 
 	if head[0] != layerMagic {
 		return nil, fmt.Errorf("core: not a Shift-Table layer file")
 	}
-	if head[1] != layerVersion {
+	if head[1] != layerVersion && head[1] != layerVersion2 {
 		return nil, fmt.Errorf("core: unsupported layer version %d", head[1])
 	}
 	// Validate every remaining header field before using it: mode drives a
@@ -149,6 +378,12 @@ func Load[K kv.Key](r io.Reader, keys []K, model cdfmodel.Model[K]) (*Table[K], 
 	}
 	if avail >= 0 {
 		avail -= 8 * 8 // header already consumed
+	}
+	if head[1] == layerVersion2 {
+		if err := t.loadBodyV2(br, avail); err != nil {
+			return nil, err
+		}
+		return t, nil
 	}
 	switch t.mode {
 	case ModeRange:

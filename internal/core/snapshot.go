@@ -63,6 +63,16 @@ func (t *Table[K]) PersistModelAndLayer(sw *snapshot.Writer, modelID, layerID ui
 	if err := sw.Bytes(modelID, spec); err != nil {
 		return err
 	}
+	// V2 containers carry the mappable layer blob (fused drifts, aligned
+	// counts); v1 keeps the split-array stream so old files stay
+	// byte-stable. Either version of the blob loads through Load.
+	if sw.Version() == snapshot.Version2 {
+		lw, err := sw.SectionSized(layerID, t.layerSizeV2())
+		if err != nil {
+			return err
+		}
+		return t.writeLayerV2(lw)
+	}
 	lw, err := sw.SectionSized(layerID, t.layerSize())
 	if err != nil {
 		return err

@@ -56,13 +56,25 @@ func Save[K kv.Key](w io.Writer, ix Index[K]) error {
 	return sw.Close()
 }
 
-// SaveFile writes ix crash-safely to path (temp file + atomic rename).
+// SaveFile writes ix crash-safely to path (temp file + atomic rename) in
+// the v1 streaming layout.
 func SaveFile[K kv.Key](path string, ix Index[K]) error {
+	return SaveFileVersion(path, ix, snapshot.Version)
+}
+
+// SaveFileV2 writes ix in the mappable v2 layout (page-aligned sections,
+// per-section CRCs), loadable by both the streaming and mapped paths.
+func SaveFileV2[K kv.Key](path string, ix Index[K]) error {
+	return SaveFileVersion(path, ix, snapshot.Version2)
+}
+
+// SaveFileVersion writes ix in an explicit container version.
+func SaveFileVersion[K kv.Key](path string, ix Index[K], version uint32) error {
 	p, ok := ix.(Persister)
 	if !ok {
 		return fmt.Errorf("index: %s does not implement the Persister capability", ix.Name())
 	}
-	return snapshot.SaveFile(path, p.SnapshotKind(), p.PersistSnapshot)
+	return snapshot.SaveFileAt(path, p.SnapshotKind(), version, p.PersistSnapshot)
 }
 
 // Load reads one snapshot container and restores the index through the
@@ -97,6 +109,43 @@ func LoadFile[K kv.Key](path string) (Index[K], error) {
 	return ix, nil
 }
 
+// LoadFileMapped restores an index by mapping the snapshot in place when
+// it can — a v2 container, a registered mapped loader for its kind, and
+// a layout the host can view — and falls back to the streaming heap load
+// otherwise. The returned flag reports which path served: callers print
+// it (shifttool) or export it (/statusz) so "warm restart was fast"
+// is attributable. A mapped open trusts the container structurally and
+// defers payload CRCs (see core's mapped loaders); the heap fallback
+// keeps the eager full verification.
+func LoadFileMapped[K kv.Key](path string) (Index[K], bool, error) {
+	m, err := snapshot.MapFile(path)
+	if err != nil {
+		ix, herr := LoadFile[K](path)
+		if herr != nil {
+			return nil, false, herr
+		}
+		return ix, false, nil
+	}
+	defer m.Close()
+	fn, ok := mapLoaders.Load(snapLoaderKey{kind: m.Kind(), width: kv.Width[K]()})
+	if !ok {
+		ix, herr := LoadFile[K](path)
+		return ix, false, herr
+	}
+	ix, err := fn.(func(*snapshot.Mapped) (Index[K], error))(m)
+	if err != nil {
+		// A mapped parse rejection (corrupt geometry, misaligned view) is
+		// not necessarily fatal to the file: the streaming loader verifies
+		// end to end and gives the authoritative answer.
+		ix, herr := LoadFile[K](path)
+		if herr != nil {
+			return nil, false, herr
+		}
+		return ix, false, nil
+	}
+	return ix, true, nil
+}
+
 // NewShiftIndex wraps a built (or snapshot-restored) Shift-Table in the
 // registry's IM+ST/RS+ST backend shape, whose SizeBytes reports the
 // Table 2 convention (layer plus host model). internal/router restores
@@ -120,6 +169,7 @@ type snapLoaderKey struct {
 }
 
 var snapLoaders sync.Map // snapLoaderKey -> func(*snapshot.Reader) (Index[K], error)
+var mapLoaders sync.Map  // snapLoaderKey -> func(*snapshot.Mapped) (Index[K], error)
 
 // RegisterSnapshotLoader registers the restore function for a snapshot
 // kind, keyed by kind and key width. Called from package init functions
@@ -127,6 +177,13 @@ var snapLoaders sync.Map // snapLoaderKey -> func(*snapshot.Reader) (Index[K], e
 // own); later registrations for the same key replace earlier ones.
 func RegisterSnapshotLoader[K kv.Key](kind string, fn func(*snapshot.Reader) (Index[K], error)) {
 	snapLoaders.Store(snapLoaderKey{kind: kind, width: kv.Width[K]()}, fn)
+}
+
+// RegisterMappedLoader registers the zero-copy restore function for a
+// snapshot kind; kinds without one fall back to the streaming loader in
+// LoadFileMapped.
+func RegisterMappedLoader[K kv.Key](kind string, fn func(*snapshot.Mapped) (Index[K], error)) {
+	mapLoaders.Store(snapLoaderKey{kind: kind, width: kv.Width[K]()}, fn)
 }
 
 func init() {
@@ -148,6 +205,16 @@ func registerCoreLoaders[K kv.Key]() {
 	})
 	RegisterSnapshotLoader[K](core.SnapshotKindModelIndex, func(sr *snapshot.Reader) (Index[K], error) {
 		return core.LoadModelIndexSnapshot[K](sr)
+	})
+	RegisterMappedLoader[K](core.SnapshotKindTable, func(m *snapshot.Mapped) (Index[K], error) {
+		t, err := core.MapTableSnapshot[K](m)
+		if err != nil {
+			return nil, err
+		}
+		return shiftIndex[K]{t}, nil
+	})
+	RegisterMappedLoader[K](core.SnapshotKindModelIndex, func(m *snapshot.Mapped) (Index[K], error) {
+		return core.MapModelIndexSnapshot[K](m)
 	})
 	core.RegisterModelLoader[K]("RS", func(keys []K, params []byte) (cdfmodel.Model[K], error) {
 		if len(params) != 8 {

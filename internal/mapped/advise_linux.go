@@ -1,0 +1,23 @@
+//go:build linux && !nommap
+
+package mapped
+
+import "syscall"
+
+// adviseWillNeed asks the kernel to read the span ahead; adviseDontNeed
+// invites it to drop the span's clean pages from the page cache. Both are
+// hints — errors are ignored beyond reporting, and correctness never
+// depends on them (a dropped page simply refaults).
+func adviseWillNeed(b []byte) error { return syscall.Madvise(b, syscall.MADV_WILLNEED) }
+
+func adviseDontNeed(b []byte) error { return syscall.Madvise(b, syscall.MADV_DONTNEED) }
+
+// OSFaults returns the process's cumulative minor and major page fault
+// counts (figures use the deltas around a cold-shard probe).
+func OSFaults() (minor, major int64) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0
+	}
+	return ru.Minflt, ru.Majflt
+}

@@ -1,0 +1,14 @@
+//go:build !linux || nommap
+
+package mapped
+
+// madvise is linux-only in this repository (darwin's MADV_WILLNEED exists
+// but the residency experiments all run on linux); elsewhere the hints
+// are no-ops and residency planning degrades to bookkeeping plus explicit
+// page touches.
+func adviseWillNeed(b []byte) error { return nil }
+
+func adviseDontNeed(b []byte) error { return nil }
+
+// OSFaults is unavailable off linux; callers treat zeros as "no counter".
+func OSFaults() (minor, major int64) { return 0, 0 }

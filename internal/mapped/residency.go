@@ -1,0 +1,209 @@
+package mapped
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the tiered residency manager: given a mapped region split
+// into spans (the router's shards, whose key ranges double as paging
+// boundaries), it keeps the hottest spans resident under a byte budget —
+// madvise(WILLNEED) plus an explicit touch pass pins them into the page
+// cache — and lets the rest stay cold, faulting in on demand. The
+// selection is the same greedy knapsack the router already runs when it
+// picks a backend per shard: order spans by observed heat, admit until
+// the budget is spent. Queries report heat through Touch; Plan recomputes
+// the resident set from the accumulated counters.
+
+// Span is one residency unit: a byte range of the region.
+type Span struct {
+	Off int64
+	Len int64
+}
+
+// heatCounter is padded to its own cache line so concurrent query waves
+// bumping different shards' heat do not false-share.
+type heatCounter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Residency manages hot/cold tiers over one region.
+type Residency struct {
+	region *Region
+	spans  []Span
+	budget int64
+
+	heat       []heatCounter
+	coldTouch  atomic.Int64 // touches that landed on a non-resident span
+	touches    atomic.Int64 // all touches
+	mu         sync.Mutex   // guards resident/planned below
+	resident   []atomic.Bool
+	planned    int // spans admitted by the last Plan
+	planBytes  int64
+	planEpochs int64
+}
+
+// ResidencyStats is a point-in-time summary for /statusz and figures.
+type ResidencyStats struct {
+	MappedBytes   int64 `json:"mapped_bytes"`
+	BudgetBytes   int64 `json:"budget_bytes"`
+	ResidentSpans int   `json:"resident_spans"`
+	ColdSpans     int   `json:"cold_spans"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	Touches       int64 `json:"touches"`
+	ColdTouches   int64 `json:"cold_touches"`
+	Plans         int64 `json:"plans"`
+}
+
+// NewResidency validates the spans against the region and returns a
+// manager with everything cold; call Plan (after some traffic, or
+// immediately for a heat-less warm-up that admits spans in order) to
+// establish the first resident set. budget ≤ 0 means unlimited.
+func NewResidency(region *Region, spans []Span, budget int64) (*Residency, error) {
+	if region == nil {
+		return nil, fmt.Errorf("mapped: residency needs a region")
+	}
+	size := int64(region.Len())
+	for i, s := range spans {
+		if s.Off < 0 || s.Len < 0 || s.Off+s.Len > size {
+			return nil, fmt.Errorf("mapped: span %d [%d,+%d) outside the %d-byte region", i, s.Off, s.Len, size)
+		}
+	}
+	return &Residency{
+		region:   region,
+		spans:    append([]Span(nil), spans...),
+		budget:   budget,
+		heat:     make([]heatCounter, len(spans)),
+		resident: make([]atomic.Bool, len(spans)),
+	}, nil
+}
+
+// Spans returns the number of residency units.
+func (m *Residency) Spans() int { return len(m.spans) }
+
+// Resident reports whether span i was admitted by the last Plan.
+func (m *Residency) Resident(i int) bool {
+	if i < 0 || i >= len(m.resident) {
+		return false
+	}
+	return m.resident[i].Load()
+}
+
+// Touch records n queries landing on span i. Cold touches are counted
+// separately — they are the first-touch faults the cost model prices and
+// /statusz reports.
+func (m *Residency) Touch(i int, n int64) {
+	if i < 0 || i >= len(m.heat) || n <= 0 {
+		return
+	}
+	m.heat[i].v.Add(n)
+	m.touches.Add(n)
+	if !m.resident[i].Load() {
+		m.coldTouch.Add(n)
+	}
+}
+
+// Plan recomputes the resident set: spans ordered by accumulated heat
+// (ties broken by span order, so a cold start admits the leading spans),
+// admitted greedily until the byte budget is spent. Newly resident spans
+// are advised WILLNEED and touched page by page so their pages are
+// actually faulted in before the next query wave; newly cold spans are
+// advised DONTNEED (a hint — their pages drop lazily). Returns the
+// number of resident spans.
+func (m *Residency) Plan() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	order := make([]int, len(m.spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return m.heat[order[a]].v.Load() > m.heat[order[b]].v.Load()
+	})
+	var spent int64
+	admitted := make([]bool, len(m.spans))
+	count := 0
+	for _, i := range order {
+		l := m.spans[i].Len
+		if m.budget > 0 && spent+l > m.budget {
+			continue
+		}
+		spent += l
+		admitted[i] = true
+		count++
+	}
+	data := m.region.Bytes()
+	for i := range m.spans {
+		was := m.resident[i].Load()
+		switch {
+		case admitted[i] && !was:
+			m.resident[i].Store(true)
+			b := pageSpan(data, m.spans[i], true)
+			_ = adviseWillNeed(b)
+			touchPages(b)
+		case !admitted[i] && was:
+			m.resident[i].Store(false)
+			_ = adviseDontNeed(pageSpan(data, m.spans[i], false))
+		}
+	}
+	m.planned = count
+	m.planBytes = spent
+	m.planEpochs++
+	return count
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Residency) Stats() ResidencyStats {
+	m.mu.Lock()
+	planned, bytes, plans := m.planned, m.planBytes, m.planEpochs
+	m.mu.Unlock()
+	return ResidencyStats{
+		MappedBytes:   int64(m.region.Len()),
+		BudgetBytes:   m.budget,
+		ResidentSpans: planned,
+		ColdSpans:     len(m.spans) - planned,
+		ResidentBytes: bytes,
+		Touches:       m.touches.Load(),
+		ColdTouches:   m.coldTouch.Load(),
+		Plans:         plans,
+	}
+}
+
+// pageSpan rounds a span to page boundaries: outward for WILLNEED (the
+// edges belong to someone, prefetching them is free) and inward for
+// DONTNEED (dropping a page a neighbouring resident span shares would
+// make that span fault). The result stays inside data.
+func pageSpan(data []byte, s Span, outward bool) []byte {
+	lo, hi := s.Off, s.Off+s.Len
+	if outward {
+		lo -= lo % PageSize
+		if r := hi % PageSize; r != 0 {
+			hi += PageSize - r
+		}
+		if hi > int64(len(data)) {
+			hi = int64(len(data))
+		}
+	} else {
+		if r := lo % PageSize; r != 0 {
+			lo += PageSize - r
+		}
+		hi -= hi % PageSize
+	}
+	if lo >= hi {
+		return nil
+	}
+	return data[lo:hi]
+}
+
+// touchPages reads one byte per page so the kernel faults the span in
+// now, on the plan's clock, instead of on the first query's.
+func touchPages(b []byte) {
+	var sink byte
+	for off := 0; off < len(b); off += PageSize {
+		sink ^= b[off]
+	}
+	_ = sink
+}

@@ -119,8 +119,13 @@ func (p *Publisher[K]) Publish(ctx context.Context) (version uint64, full bool, 
 	spool := filepath.Join(p.cfg.Spool, fmt.Sprintf(".spool-%08d.snap", version))
 	defer os.Remove(spool)
 	if full {
+		// Fulls ship in the mappable v2 layout so replicas install them
+		// by mapping (v1-era replicas still read v2 through the
+		// streaming loader). Deltas stay v1: they are small, parsed and
+		// copied on arrival regardless, and v2's per-section page
+		// padding would dominate their size.
 		name = fmt.Sprintf("full-%08d.snap", version)
-		err = concurrent.SaveStateFile(spool, st)
+		err = concurrent.SaveStateFileV2(spool, st)
 	} else {
 		name = fmt.Sprintf("delta-%08d.snap", version)
 		err = concurrent.SaveDeltaFile(spool, st, concurrent.DeltaInfo{
@@ -206,4 +211,3 @@ func fileSum(path string) (int64, uint32, error) {
 	}
 	return n, h.Sum32(), nil
 }
-

@@ -16,6 +16,8 @@ import (
 
 	"repro/internal/concurrent"
 	"repro/internal/kv"
+	"repro/internal/mapped"
+	snap "repro/internal/snapshot"
 )
 
 // stateName is the replica's local warm-restart record: which version is
@@ -24,6 +26,23 @@ import (
 // wrong with it means a cold start, never a wrong answer.
 const stateName = "REPLICA_STATE"
 
+// LoadMode selects how fetched full artifacts become serving state.
+type LoadMode int
+
+const (
+	// LoadAuto maps v2 artifacts in place when the platform supports
+	// real mappings, and streams otherwise. The default.
+	LoadAuto LoadMode = iota
+	// LoadHeap always uses the streaming heap load (the eager-verify
+	// path; every install re-parses and copies the artifact).
+	LoadHeap
+	// LoadMap always prefers the mapped open, even on platforms where
+	// the region is a heap read behind the same API. Artifacts that
+	// cannot map (v1 layout, corrupt geometry) still fall back to the
+	// streaming load rather than failing the install.
+	LoadMap
+)
+
 // ReplicaConfig parameterises NewReplica.
 type ReplicaConfig struct {
 	// Retry bounds every fetch (zero value = documented defaults).
@@ -31,6 +50,8 @@ type ReplicaConfig struct {
 	// Seed seeds the backoff jitter (0 = fixed default seed; pass
 	// something per-process for fleet decorrelation).
 	Seed int64
+	// LoadMode selects streaming vs mapped installs (default LoadAuto).
+	LoadMode LoadMode
 }
 
 // Replica serves one continuously-refreshed copy of a published index.
@@ -103,6 +124,11 @@ type Status struct {
 	Failures int
 	// LastErr is the most recent Sync failure (nil after a success).
 	LastErr error
+	// Mapped reports whether the serving base table is a mapped view of
+	// its artifact file (vs heap-resident), and MappedBytes the size of
+	// that region.
+	Mapped      bool
+	MappedBytes int64
 }
 
 // Status returns the current health report.
@@ -110,12 +136,39 @@ func (r *Replica[K]) Status() Status {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return Status{
-		Version:  r.version,
-		Latest:   r.latest,
-		Stale:    r.version < r.latest,
-		Failures: r.fails,
-		LastErr:  r.lastErr,
+		Version:     r.version,
+		Latest:      r.latest,
+		Stale:       r.version < r.latest,
+		Failures:    r.fails,
+		LastErr:     r.lastErr,
+		Mapped:      r.ix.Mapped(),
+		MappedBytes: r.ix.MappedBytes(),
 	}
+}
+
+// useMap resolves the configured load mode against the platform.
+func (r *Replica[K]) useMap() bool {
+	switch r.cfg.LoadMode {
+	case LoadHeap:
+		return false
+	case LoadMap:
+		return true
+	default:
+		return mapped.Supported()
+	}
+}
+
+// loadState opens a verified-on-disk full artifact per the load mode.
+// The mapped open performs no second CRC pass: every byte of the file
+// was already checked against the manifest — by fetchArtifact's stream
+// CRC as it spooled, or by fileSum when reusing a leftover copy — and
+// the v2 geometry validation plus lazy section CRCs cover the rest.
+func (r *Replica[K]) loadState(path string) (*concurrent.State[K], error) {
+	if r.useMap() {
+		st, _, err := concurrent.MapStateFile[K](path)
+		return st, err
+	}
+	return concurrent.LoadStateFile[K](path)
 }
 
 // Sync converges the replica to the store's latest version: fetch the
@@ -263,9 +316,11 @@ func (r *Replica[K]) installFull(ctx context.Context, e *Entry) error {
 	if err != nil {
 		return err
 	}
-	// Warm load off the serving path: parse + build (container checksum
-	// re-verified inside) before anything touches the serving index.
-	st, err := concurrent.LoadStateFile[K](path)
+	// Warm load off the serving path: mapped installs view the spooled
+	// (already stream-verified) artifact in place; streaming installs
+	// re-verify the container checksum during the parse. Either way
+	// nothing touches the serving index until the state stands.
+	st, err := r.loadState(path)
 	if err != nil {
 		os.Remove(path)
 		return fmt.Errorf("replica: loading %s: %w", e.File, err)
@@ -353,11 +408,8 @@ func (r *Replica[K]) warmRestart() {
 		return
 	}
 	basePath := filepath.Join(r.dir, baseFile)
-	if sz, sum, err := fileSum(basePath); err != nil || sum != baseCRC || sz <= 0 {
-		return
-	}
-	st, err := concurrent.LoadStateFile[K](basePath)
-	if err != nil {
+	st := r.restoreBase(basePath, baseCRC)
+	if st == nil {
 		return
 	}
 	if err := r.ix.InstallState(st, baseVer); err != nil {
@@ -375,6 +427,39 @@ func (r *Replica[K]) warmRestart() {
 		return
 	}
 	r.version = ver
+}
+
+// restoreBase re-verifies and reopens the recorded base artifact for a
+// warm restart, returning nil when anything disagrees. The mapped path
+// checks the recorded whole-file CRC over the mapped bytes — the same
+// content binding fileSum computes, but one zero-copy pass — and then
+// opens the state in O(1) instead of re-parsing; against a large base
+// that is the difference between touching pages and rebuilding the
+// heap image of the whole file.
+func (r *Replica[K]) restoreBase(basePath string, baseCRC uint32) *concurrent.State[K] {
+	if r.useMap() {
+		if m, err := snap.MapFile(basePath); err == nil {
+			data := m.Region().Bytes()
+			if len(data) > 0 && crc32.Checksum(data, castagnoli) == baseCRC {
+				if st, err := concurrent.MapState[K](m); err == nil {
+					m.Close()
+					return st
+				}
+			}
+			m.Close()
+		}
+		// Not mappable (v1 artifact, bad geometry): fall through to the
+		// streaming path, which verifies and loads both layouts.
+	}
+	sz, sum, err := fileSum(basePath)
+	if err != nil || sum != baseCRC || sz <= 0 {
+		return nil
+	}
+	st, err := concurrent.LoadStateFile[K](basePath)
+	if err != nil {
+		return nil
+	}
+	return st
 }
 
 func parseLocalState(data []byte) (ver, baseVer uint64, baseCRC uint32, baseFile, deltaFile string, err error) {
@@ -472,7 +557,18 @@ func (r *Replica[K]) gc(keep ...string) {
 			continue
 		}
 		if strings.HasPrefix(n, "full-") || strings.HasPrefix(n, "delta-") {
-			os.Remove(filepath.Join(r.dir, n))
+			p := filepath.Join(r.dir, n)
+			// A superseded artifact may still back a live mapping: the
+			// previous state's base table views its bytes, and readers
+			// (or a captured State) can hold that table indefinitely.
+			// Unlinking would be safe on POSIX but strands invisible
+			// disk space and breaks the fallback (non-mmap) region,
+			// which re-reads from the path. Leave it; the sweep after
+			// the next install retries once the region is released.
+			if mapped.PathInUse(p) {
+				continue
+			}
+			os.Remove(p)
 		}
 	}
 }

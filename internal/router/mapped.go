@@ -1,0 +1,166 @@
+package router
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/kv"
+	"repro/internal/mapped"
+	"repro/internal/snapshot"
+)
+
+// This file is the router's zero-copy load path plus the tiered residency
+// hook (DESIGN.md §12). A mapped router views the shared key section in
+// place and restores each shard over its slice of that view: shift-table
+// shards view their layer sections too, bare-model shards rebuild their
+// (parameter-free) models, and rebuild-mode shards build on the heap as
+// before — but even they index mapped key pages, so the big allocation
+// (the keys) never happens. The router's shard boundaries then double as
+// residency spans: SetResidency puts the per-shard key ranges under a
+// byte budget, Find/FindBatch report per-shard heat, and EstimateNs
+// prices queries into cold shards with the memsim fault model.
+
+// mapSnapshot restores a router over a mapped container. The O(n)
+// invariants the streaming loader checks eagerly (keys sorted) are
+// trusted here — see the trust note in core's mapped loaders; the O(1)
+// per-shard plan cross-checks (bound matches first key, no duplicate-run
+// cuts, lengths consistent) are all kept.
+func mapSnapshot[K kv.Key](m *snapshot.Mapped) (*Router[K], error) {
+	if m.Kind() != SnapshotKind {
+		return nil, fmt.Errorf("router: container holds %q, want %q", m.Kind(), SnapshotKind)
+	}
+	m.Rewind()
+	ks, err := m.Expect(secRouterKeys)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := snapshot.MapKeySection[K](ks)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := m.Expect(secRouterPlan)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := decodePlan(ps.Data, len(keys))
+	if err != nil {
+		return nil, err
+	}
+	r := &Router[K]{keys: keys, n: len(keys)}
+	if len(entries) == 0 {
+		if r.n != 0 {
+			return nil, fmt.Errorf("router: snapshot plan has no shards over %d keys", r.n)
+		}
+		return r, nil
+	}
+	nsh := len(entries)
+	r.bounds = make([]K, nsh)
+	r.offs = make([]int, nsh)
+	r.shards = make([]index.Index[K], nsh)
+	r.choices = make([]Choice, nsh)
+	r.keySpans = make([]mapped.Span, nsh)
+	width := int64(kv.Width[K]())
+	for i, e := range entries {
+		lo, hi := e.off, e.off+e.length
+		shardKeys := keys[lo:hi]
+		if uint64(shardKeys[0]) != e.bound {
+			return nil, fmt.Errorf("router: shard %d bound %d does not match key %d at rank %d",
+				i, e.bound, shardKeys[0], lo)
+		}
+		if lo > 0 && keys[lo-1] == shardKeys[0] {
+			return nil, fmt.Errorf("router: shard %d cut at rank %d splits a duplicate run", i, lo)
+		}
+		var ix index.Index[K]
+		var serr error
+		switch e.mode {
+		case shardTable:
+			var tab *core.Table[K]
+			tab, serr = core.MapTableWithKeys(m, shardKeys, secRouterShardModel, secRouterShardLayer)
+			if serr == nil {
+				ix = index.NewShiftIndex(tab)
+			}
+		case shardModelIndex:
+			ix, serr = core.MapModelIndexWithKeys(m, shardKeys, secRouterShardModel)
+		case shardRebuild:
+			ix, serr = index.Build(e.backend, shardKeys)
+		default:
+			serr = fmt.Errorf("unknown shard persistence mode %d", e.mode)
+		}
+		if serr != nil {
+			return nil, fmt.Errorf("router: restoring shard %d (%s): %w", i, e.backend, serr)
+		}
+		if ix.Len() != e.length {
+			return nil, fmt.Errorf("router: shard %d restored with %d keys, plan records %d",
+				i, ix.Len(), e.length)
+		}
+		r.bounds[i] = shardKeys[0]
+		r.offs[i] = lo
+		r.shards[i] = ix
+		r.choices[i] = Choice{
+			Backend:  e.backend,
+			EstNs:    e.estNs,
+			FirstKey: e.bound,
+			Len:      e.length,
+			Measured: e.measured,
+		}
+		// The shard's residency span: its slice of the key section's
+		// payload (8-byte prefix, then keys at the recorded width).
+		r.keySpans[i] = mapped.Span{
+			Off: ks.Off + 8 + int64(lo)*width,
+			Len: int64(e.length) * width,
+		}
+	}
+	if err := m.Done(); err != nil {
+		return nil, err
+	}
+	if region := m.Region(); region != nil {
+		region.Retain()
+		runtime.AddCleanup(r, func(reg *mapped.Region) { reg.Release() }, region)
+		r.region = region
+	}
+	return r, nil
+}
+
+// Mapped reports whether the router serves from a mapped snapshot region.
+func (r *Router[K]) Mapped() bool { return r.region != nil }
+
+// MappedBytes returns the backing region size (0 when heap-resident).
+func (r *Router[K]) MappedBytes() int64 {
+	if r.region == nil {
+		return 0
+	}
+	return int64(r.region.Len())
+}
+
+// SetResidency installs a tiered residency manager over the router's
+// per-shard key spans under a byte budget (≤ 0 = unlimited) and runs the
+// first Plan, which — with no heat yet — admits the leading shards. The
+// manager is consulted by Find/FindBatch (heat) and EstimateNs (cold
+// pricing); call Residency().Plan() periodically to re-tier under
+// observed traffic. Only mapped routers can tier.
+func (r *Router[K]) SetResidency(budget int64) (*mapped.Residency, error) {
+	if r.region == nil {
+		return nil, fmt.Errorf("router: residency needs a mapped router")
+	}
+	res, err := mapped.NewResidency(r.region, r.keySpans, budget)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan()
+	r.res = res
+	return res, nil
+}
+
+// Residency returns the installed residency manager, nil when untiered.
+func (r *Router[K]) Residency() *mapped.Residency { return r.res }
+
+func init() {
+	index.RegisterMappedLoader[uint64](SnapshotKind, func(m *snapshot.Mapped) (index.Index[uint64], error) {
+		return mapSnapshot[uint64](m)
+	})
+	index.RegisterMappedLoader[uint32](SnapshotKind, func(m *snapshot.Mapped) (index.Index[uint32], error) {
+		return mapSnapshot[uint32](m)
+	})
+}

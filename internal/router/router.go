@@ -25,6 +25,8 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/kv"
+	"repro/internal/mapped"
+	"repro/internal/memsim"
 	"repro/internal/search"
 )
 
@@ -107,6 +109,13 @@ type Router[K kv.Key] struct {
 	shards  []index.Index[K]
 	choices []Choice
 	n       int
+
+	// Mapped-snapshot state (mapped.go): the backing region, the
+	// per-shard key spans (residency units), and the optional tiered
+	// residency manager. All nil/empty for heap-built routers.
+	region   *mapped.Region
+	keySpans []mapped.Span
+	res      *mapped.Residency
 }
 
 // New builds the router: shard the key space (never splitting a duplicate
@@ -299,6 +308,9 @@ func (r *Router[K]) Find(q K) int {
 		return 0
 	}
 	s := r.routeOf(q)
+	if r.res != nil {
+		r.res.Touch(s, 1)
+	}
 	return r.offs[s] + r.shards[s].Find(q)
 }
 
@@ -365,6 +377,9 @@ func (r *Router[K]) FindBatch(qs []K, out []int) []int {
 		if lo == hi {
 			continue
 		}
+		if r.res != nil {
+			r.res.Touch(s, int64(hi-lo))
+		}
 		res = index.FindBatch(r.shards[s], scatterQ[lo:hi], res)
 		off := r.offs[s]
 		for j, v := range res {
@@ -419,6 +434,11 @@ func (r *Router[K]) EstimateNs(l func(s int) float64) float64 {
 			ns = ce.EstimateNs(l)
 		} else {
 			ns = r.choices[i].EstNs
+		}
+		// Under a residency budget, queries into a cold shard pay page
+		// faults the cache model does not see (DESIGN.md §12).
+		if r.res != nil && !r.res.Resident(i) {
+			ns += memsim.ColdQueryNs()
 		}
 		acc += ns * float64(s.Len())
 	}

@@ -5,8 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/mapped"
 )
 
 func getJSON[T any](t *testing.T, h http.Handler, url string) (int, T) {
@@ -167,7 +171,7 @@ func TestHandlerCoalescedAdmission(t *testing.T) {
 	co := NewCoalescer(ix, CoalescerConfig{Queue: 1})
 	h := NewHandler(ix, co, HandlerConfig{Coalesce: true}, nil)
 
-	co.combine.Lock() // as if a wave were in flight
+	co.combine.Lock()                                         // as if a wave were in flight
 	co.reqs <- creq[uint64]{key: 1, done: make(chan cres, 1)} // fill the queue
 	req := httptest.NewRequest("GET", "/v1/find?key=5", nil)
 	rec := httptest.NewRecorder()
@@ -199,15 +203,76 @@ func TestHandlerStatusz(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("statusz: status %d", code)
 	}
-	for _, k := range []string{"version", "keys", "served", "rejected", "draining", "coalesce", "coalescer", "replica_version"} {
+	for _, k := range []string{"version", "keys", "served", "rejected", "draining", "coalesce", "coalescer", "replica_version", "mmap"} {
 		if _, ok := st[k]; !ok {
 			t.Errorf("statusz missing %q (got %v)", k, st)
 		}
+	}
+	mm, ok := st["mmap"].(map[string]any)
+	if !ok {
+		t.Fatalf("statusz mmap block is %T", st["mmap"])
+	}
+	for _, k := range []string{"supported", "mapped", "mapped_bytes", "minor_faults", "major_faults"} {
+		if _, ok := mm[k]; !ok {
+			t.Errorf("statusz mmap block missing %q (got %v)", k, mm)
+		}
+	}
+	if mm["mapped"] != false {
+		t.Errorf("heap-built primary reports mapped=%v", mm["mapped"])
+	}
+	if _, ok := mm["resident_spans"]; ok {
+		t.Errorf("residency stats present with no manager attached")
 	}
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
 		t.Fatalf("healthz: status %d body %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestHandlerStatuszResidency attaches a residency manager and checks
+// the tier stats surface in the mmap block.
+func TestHandlerStatuszResidency(t *testing.T) {
+	ix := newPrimary(t, 1_000)
+	h := NewHandler(ix, nil, HandlerConfig{}, nil)
+
+	path := filepath.Join(t.TempDir(), "region.bin")
+	if err := os.WriteFile(path, make([]byte, 16384), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	region, err := mapped.Map(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer region.Release()
+	res, err := mapped.NewResidency(region, []mapped.Span{{Off: 0, Len: 8192}, {Off: 8192, Len: 8192}}, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Touch(0, 3) // everything starts cold: 3 cold touches
+	res.Plan()      // span 0 is hottest and fits the budget; span 1 stays cold
+	res.Touch(1, 1) // one more cold touch
+	h.SetResidency(res)
+
+	code, st := getJSON[map[string]any](t, h, "/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz: status %d", code)
+	}
+	mm, ok := st["mmap"].(map[string]any)
+	if !ok {
+		t.Fatalf("statusz mmap block is %T", st["mmap"])
+	}
+	if got := mm["resident_spans"]; got != float64(1) {
+		t.Errorf("resident_spans = %v, want 1", got)
+	}
+	if got := mm["cold_spans"]; got != float64(1) {
+		t.Errorf("cold_spans = %v, want 1", got)
+	}
+	if got := mm["cold_touches"]; got != float64(4) {
+		t.Errorf("cold_touches = %v, want 4", got)
+	}
+	if got := mm["budget_bytes"]; got != float64(8192) {
+		t.Errorf("budget_bytes = %v, want 8192", got)
 	}
 }
 

@@ -41,6 +41,37 @@
 // should be used until Close has verified the checksum; the loaders in
 // core/router/updatable/concurrent follow that rule.
 //
+// # Container layout (version 2)
+//
+// Version 2 (DESIGN.md §12) is the mappable layout: the same header and
+// strictly-ordered section sequence, but each section's payload starts at
+// a page-aligned (4 KiB) offset — the 16-byte section header is followed
+// by zero padding up to the next page boundary — and the container ends
+// with a table of contents recording, per section, its payload offset,
+// length and CRC-32C, plus a fixed-size footer:
+//
+//	magic    8 bytes  "STSNAP02"
+//	version  u32      2
+//	kindLen  u32      ≤ 64
+//	kind     bytes    backend kind
+//	section* —        id u32, reserved u32, len u64,
+//	                  zero padding to the next 4 KiB boundary, payload
+//	end      16 bytes a zero section header
+//	toc      n×24 B   id u32, crc u32 (CRC-32C of the payload),
+//	                  payload offset u64, payload length u64
+//	footer   32 bytes tocOff u64, tocCount u32,
+//	                  tocCRC u32 (CRC-32C of toc ‖ tocOff ‖ tocCount),
+//	                  contCRC u32 (CRC-32C of magic..tocCRC),
+//	                  reserved u32 (0), endMagic "STSNEND2"
+//
+// The page alignment lets a loader view the bulk payloads (keys, fused
+// drift pairs) in place over an mmap of the file; the per-section CRCs
+// let it verify lazily — footer, TOC and structure eagerly in O(sections),
+// payload checksums on demand — which is what makes a mapped warm start
+// O(1) in key count (see Mapped in mapped.go). The streaming Reader reads
+// both versions; v2 files written here start at file offset 0, which is
+// what makes the recorded offsets page-aligned in the mapping.
+//
 // # Crash safety
 //
 // SaveFile writes to a temporary file in the target directory, syncs it,
@@ -51,6 +82,7 @@ package snapshot
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -63,8 +95,13 @@ import (
 	"repro/internal/kv"
 )
 
-// Version is the container format version this package writes and accepts.
-const Version = 1
+// Version is the streaming container format version; Version2 is the
+// page-aligned mappable layout. NewWriter writes v1, NewWriterV2 writes
+// v2, and NewReader accepts both.
+const (
+	Version  = 1
+	Version2 = 2
+)
 
 // ErrVersionUnsupported reports version skew: an artifact (snapshot
 // container, replication manifest, or replica state file) declares a format
@@ -90,7 +127,28 @@ const maxSmallSection = 1 << 20
 // an allocation larger than the input that backs it.
 const readChunk = 1 << 20
 
-var magic = [8]byte{'S', 'T', 'S', 'N', 'A', 'P', '0', '1'}
+var (
+	magic    = [8]byte{'S', 'T', 'S', 'N', 'A', 'P', '0', '1'}
+	magic2   = [8]byte{'S', 'T', 'S', 'N', 'A', 'P', '0', '2'}
+	endMagic = [8]byte{'S', 'T', 'S', 'N', 'E', 'N', 'D', '2'}
+)
+
+// pageAlign is the v2 payload alignment: 4 KiB, the page size of every
+// platform this repository targets, so a payload offset in the file is a
+// page-aligned address in a mapping of it.
+const (
+	pageAlign    = 4096
+	tocEntrySize = 24
+	footerSize   = 32
+)
+
+// tocEntry is one v2 table-of-contents record.
+type tocEntry struct {
+	id  uint32
+	crc uint32
+	off uint64
+	len uint64
+}
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -99,23 +157,49 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // SectionSized, and Close it; errors are sticky.
 type Writer struct {
 	dst   io.Writer
-	w     io.Writer // dst teed into crc
+	w     io.Writer // dst teed into crc (and the offset counter)
 	crc   hash.Hash32
 	sized *sizedWriter // open sized section, if any
 	err   error
+
+	// v2 state: the layout version, the absolute offset written so far
+	// (pad computation and TOC offsets), the per-section payload CRC, and
+	// the table of contents accumulated for the footer.
+	v2     bool
+	off    int64
+	secCRC hash.Hash32
+	toc    []tocEntry
 }
 
-// NewWriter writes the container header for the given backend kind.
+// NewWriter writes the v1 (streaming) container header for the given
+// backend kind.
 func NewWriter(dst io.Writer, kind string) (*Writer, error) {
+	return newWriter(dst, kind, false)
+}
+
+// NewWriterV2 writes the v2 (page-aligned, mappable) container header.
+// The container must start at offset 0 of its file — the recorded
+// payload offsets are file offsets, and their page alignment is what the
+// mapped loader relies on.
+func NewWriterV2(dst io.Writer, kind string) (*Writer, error) {
+	return newWriter(dst, kind, true)
+}
+
+func newWriter(dst io.Writer, kind string, v2 bool) (*Writer, error) {
 	if kind == "" || len(kind) > MaxKindLen {
 		return nil, fmt.Errorf("snapshot: invalid kind %q (must be 1..%d bytes)", kind, MaxKindLen)
 	}
-	sw := &Writer{dst: dst, crc: crc32.New(crcTable)}
-	sw.w = io.MultiWriter(dst, sw.crc)
-	if _, err := sw.w.Write(magic[:]); err != nil {
+	sw := &Writer{dst: dst, crc: crc32.New(crcTable), v2: v2}
+	sw.w = io.MultiWriter(dst, sw.crc, offCounter{&sw.off})
+	m, ver := magic, uint32(Version)
+	if v2 {
+		m, ver = magic2, Version2
+		sw.secCRC = crc32.New(crcTable)
+	}
+	if _, err := sw.w.Write(m[:]); err != nil {
 		return nil, fmt.Errorf("snapshot: writing magic: %w", err)
 	}
-	if err := writeU32(sw.w, Version); err != nil {
+	if err := writeU32(sw.w, ver); err != nil {
 		return nil, fmt.Errorf("snapshot: writing version: %w", err)
 	}
 	if err := writeU32(sw.w, uint32(len(kind))); err != nil {
@@ -125,6 +209,24 @@ func NewWriter(dst io.Writer, kind string) (*Writer, error) {
 		return nil, fmt.Errorf("snapshot: writing kind: %w", err)
 	}
 	return sw, nil
+}
+
+// Version returns the layout version being written (1 or 2). Payload
+// encoders branch on it where the two layouts differ (WriteKeySection,
+// the core layer format).
+func (sw *Writer) Version() uint32 {
+	if sw.v2 {
+		return Version2
+	}
+	return Version
+}
+
+// offCounter tracks the absolute container offset through the write tee.
+type offCounter struct{ n *int64 }
+
+func (o offCounter) Write(p []byte) (int, error) {
+	*o.n += int64(len(p))
+	return len(p), nil
 }
 
 // Bytes writes one complete section with the given payload. Intended for
@@ -160,12 +262,16 @@ func (sw *Writer) SectionSized(id uint32, size int64) (io.Writer, error) {
 	if err := sw.sectionHeader(id, uint64(size)); err != nil {
 		return nil, sw.fail(err)
 	}
-	sw.sized = &sizedWriter{sw: sw, id: id, left: size}
+	sw.sized = &sizedWriter{sw: sw, id: id, size: size, left: size, payloadOff: sw.off}
+	if sw.v2 {
+		sw.secCRC.Reset()
+	}
 	return sw.sized, nil
 }
 
 // Close finishes the container: closes any open section, writes the end
-// marker and the checksum. It does not close the underlying writer.
+// marker and the checksum (v1) or the TOC and footer (v2). It does not
+// close the underlying writer.
 func (sw *Writer) Close() error {
 	if sw.err != nil {
 		return sw.err
@@ -176,11 +282,44 @@ func (sw *Writer) Close() error {
 	if err := sw.sectionHeader(0, 0); err != nil {
 		return sw.fail(err)
 	}
+	if sw.v2 {
+		return sw.closeV2()
+	}
 	sum := uint64(sw.crc.Sum32())
 	// The checksum itself is written to the destination only — it is not
 	// part of the checksummed range.
 	if err := binary.Write(sw.dst, binary.LittleEndian, sum); err != nil {
 		return sw.fail(fmt.Errorf("snapshot: writing checksum: %w", err))
+	}
+	sw.err = fmt.Errorf("snapshot: writer closed")
+	return nil
+}
+
+// closeV2 writes the v2 tail: the TOC, then the footer. Everything up to
+// and including tocCRC flows through the container CRC tee; contCRC,
+// the reserved word and the end magic are outside the checksummed range.
+func (sw *Writer) closeV2() error {
+	tocOff := uint64(sw.off)
+	buf := make([]byte, 0, len(sw.toc)*tocEntrySize+16)
+	for _, e := range sw.toc {
+		buf = binary.LittleEndian.AppendUint32(buf, e.id)
+		buf = binary.LittleEndian.AppendUint32(buf, e.crc)
+		buf = binary.LittleEndian.AppendUint64(buf, e.off)
+		buf = binary.LittleEndian.AppendUint64(buf, e.len)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, tocOff)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sw.toc)))
+	tocCRC := crc32.Checksum(buf, crcTable)
+	buf = binary.LittleEndian.AppendUint32(buf, tocCRC)
+	if _, err := sw.w.Write(buf); err != nil {
+		return sw.fail(fmt.Errorf("snapshot: writing table of contents: %w", err))
+	}
+	tail := make([]byte, 0, 16)
+	tail = binary.LittleEndian.AppendUint32(tail, sw.crc.Sum32())
+	tail = binary.LittleEndian.AppendUint32(tail, 0) // reserved
+	tail = append(tail, endMagic[:]...)
+	if _, err := sw.dst.Write(tail); err != nil {
+		return sw.fail(fmt.Errorf("snapshot: writing footer: %w", err))
 	}
 	sw.err = fmt.Errorf("snapshot: writer closed")
 	return nil
@@ -196,7 +335,25 @@ func (sw *Writer) sectionHeader(id uint32, size uint64) error {
 	if err := binary.Write(sw.w, binary.LittleEndian, size); err != nil {
 		return fmt.Errorf("snapshot: writing section length: %w", err)
 	}
+	if sw.v2 && id != 0 {
+		// Zero padding up to the next page boundary, so the payload that
+		// follows is page-aligned in the file (and thus in a mapping).
+		if pad := int(padTo(sw.off, pageAlign)); pad > 0 {
+			if _, err := sw.w.Write(make([]byte, pad)); err != nil {
+				return fmt.Errorf("snapshot: writing section padding: %w", err)
+			}
+		}
+	}
 	return nil
+}
+
+// padTo returns the number of padding bytes from off to the next
+// multiple of align (0 when already aligned).
+func padTo(off int64, align int64) int64 {
+	if r := off % align; r != 0 {
+		return align - r
+	}
+	return 0
 }
 
 func (sw *Writer) closeSection() error {
@@ -207,6 +364,14 @@ func (sw *Writer) closeSection() error {
 	sw.sized = nil
 	if s.left != 0 {
 		return sw.fail(fmt.Errorf("snapshot: section %d short by %d bytes of its declared size", s.id, s.left))
+	}
+	if sw.v2 {
+		sw.toc = append(sw.toc, tocEntry{
+			id:  s.id,
+			crc: sw.secCRC.Sum32(),
+			off: uint64(s.payloadOff),
+			len: uint64(s.size),
+		})
 	}
 	return nil
 }
@@ -220,9 +385,11 @@ func (sw *Writer) fail(err error) error {
 
 // sizedWriter enforces a section's declared payload length.
 type sizedWriter struct {
-	sw   *Writer
-	id   uint32
-	left int64
+	sw         *Writer
+	id         uint32
+	size       int64
+	left       int64
+	payloadOff int64
 }
 
 func (s *sizedWriter) Write(p []byte) (int, error) {
@@ -238,6 +405,9 @@ func (s *sizedWriter) Write(p []byte) (int, error) {
 	}
 	n, err := s.sw.w.Write(p)
 	s.left -= int64(n)
+	if s.sw.v2 {
+		s.sw.secCRC.Write(p[:n])
+	}
 	if err != nil {
 		return n, s.sw.fail(fmt.Errorf("snapshot: writing section %d: %w", s.id, err))
 	}
@@ -256,6 +426,14 @@ type Reader struct {
 	cur       *Section
 	done      bool
 	err       error
+
+	// v2 state: the layout version, the absolute offset consumed so far
+	// (pad verification), the per-section payload CRC, and the entries
+	// walked so far — Close cross-checks them against the stored TOC.
+	v2     bool
+	off    int64
+	secCRC hash.Hash32
+	walked []tocEntry
 }
 
 // NewReader parses the container header. total is the input length in
@@ -268,15 +446,25 @@ func NewReader(r io.Reader, total int64) (*Reader, error) {
 	if err := sr.readFull(m[:]); err != nil {
 		return nil, fmt.Errorf("snapshot: reading magic: %w", err)
 	}
-	if m != magic {
+	switch m {
+	case magic:
+	case magic2:
+		sr.v2 = true
+		sr.secCRC = crc32.New(crcTable)
+	default:
 		return nil, fmt.Errorf("snapshot: not a snapshot container (bad magic)")
 	}
 	ver, err := sr.readU32()
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: reading version: %w", err)
 	}
-	if ver != Version {
-		return nil, fmt.Errorf("snapshot: container version %d, this build reads %d: %w", ver, Version, ErrVersionUnsupported)
+	want := uint32(Version)
+	if sr.v2 {
+		want = Version2
+	}
+	if ver != want {
+		return nil, fmt.Errorf("snapshot: container version %d under %q magic, this build reads %d and %d: %w",
+			ver, m[:], Version, Version2, ErrVersionUnsupported)
 	}
 	kindLen, err := sr.readU32()
 	if err != nil {
@@ -296,14 +484,28 @@ func NewReader(r io.Reader, total int64) (*Reader, error) {
 // Kind returns the backend kind recorded in the header.
 func (sr *Reader) Kind() string { return sr.kind }
 
+// Version returns the layout version being read (1 or 2).
+func (sr *Reader) Version() uint32 {
+	if sr.v2 {
+		return Version2
+	}
+	return Version
+}
+
 // Section is one length-prefixed payload. It implements io.Reader over
 // exactly Len bytes.
 type Section struct {
-	ID  uint32
-	Len int64
-	sr  *Reader
-	off int64 // bytes already read
+	ID         uint32
+	Len        int64
+	sr         *Reader
+	off        int64 // bytes already read
+	payloadOff int64 // absolute container offset of the payload (v2)
 }
+
+// V2 reports whether the section comes from a v2 container — payload
+// encodings that differ between the layouts (key sections, the core
+// layer blob) branch on it.
+func (s *Section) V2() bool { return s.sr.v2 }
 
 // Next returns the next section, draining any unread remainder of the
 // current one first. At the end marker it returns (nil, io.EOF).
@@ -317,6 +519,16 @@ func (sr *Reader) Next() (*Section, error) {
 	if sr.cur != nil && sr.cur.off != sr.cur.Len {
 		return nil, sr.fail(fmt.Errorf("snapshot: section %d has %d unread payload bytes",
 			sr.cur.ID, sr.cur.Len-sr.cur.off))
+	}
+	if sr.v2 && sr.cur != nil {
+		// The section just drained completely; bank its identity and
+		// payload CRC for the TOC cross-check at Close.
+		sr.walked = append(sr.walked, tocEntry{
+			id:  sr.cur.ID,
+			crc: sr.secCRC.Sum32(),
+			off: uint64(sr.cur.payloadOff),
+			len: uint64(sr.cur.Len),
+		})
 	}
 	sr.cur = nil
 	id, err := sr.readU32()
@@ -340,12 +552,39 @@ func (sr *Reader) Next() (*Section, error) {
 	if size > 1<<62 {
 		return nil, sr.fail(fmt.Errorf("snapshot: section %d length %d is not credible", id, size))
 	}
+	if sr.v2 {
+		if err := sr.skipPadding(id); err != nil {
+			return nil, err
+		}
+		sr.secCRC.Reset()
+	}
 	if sr.sized && int64(size) > sr.remaining {
 		return nil, sr.fail(fmt.Errorf("snapshot: section %d length %d exceeds remaining input %d",
 			id, size, sr.remaining))
 	}
-	sr.cur = &Section{ID: id, Len: int64(size), sr: sr}
+	sr.cur = &Section{ID: id, Len: int64(size), sr: sr, payloadOff: sr.off}
 	return sr.cur, nil
+}
+
+// skipPadding consumes the v2 alignment padding between a section header
+// and its payload, requiring every byte to be zero — nonzero padding is
+// either corruption or data smuggled outside any section's CRC, and both
+// are rejected.
+func (sr *Reader) skipPadding(id uint32) error {
+	pad := padTo(sr.off, pageAlign)
+	if pad == 0 {
+		return nil
+	}
+	buf := make([]byte, pad)
+	if err := sr.readFull(buf); err != nil {
+		return sr.fail(fmt.Errorf("snapshot: section %d padding truncated: %w", id, err))
+	}
+	for i, b := range buf {
+		if b != 0 {
+			return sr.fail(fmt.Errorf("snapshot: section %d has nonzero padding at byte %d", id, i))
+		}
+	}
+	return nil
 }
 
 // Expect returns the next section and fails unless its id matches.
@@ -376,6 +615,9 @@ func (s *Section) Read(p []byte) (int, error) {
 	}
 	n, err := s.sr.read(p)
 	s.off += int64(n)
+	if s.sr.v2 && n > 0 {
+		s.sr.secCRC.Write(p[:n])
+	}
 	if err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
@@ -434,6 +676,9 @@ func (sr *Reader) Close() error {
 			return err
 		}
 	}
+	if sr.v2 {
+		return sr.closeV2()
+	}
 	want := uint64(sr.crc.Sum32())
 	var stored uint64
 	// The stored checksum is outside the checksummed range: read it from
@@ -449,11 +694,70 @@ func (sr *Reader) Close() error {
 	return nil
 }
 
+// closeV2 verifies the v2 tail: the stored TOC must match the sections
+// actually walked (ids, offsets, lengths and payload CRCs), the TOC CRC
+// and container CRC must match, and the footer must be well-formed. The
+// streaming path thus verifies strictly more than v1 did — every payload
+// is covered twice, by its section CRC and by the container CRC.
+func (sr *Reader) closeV2() error {
+	tocStart := uint64(sr.off)
+	buf := make([]byte, len(sr.walked)*tocEntrySize+12)
+	if err := sr.readFull(buf); err != nil {
+		return sr.fail(fmt.Errorf("snapshot: reading table of contents: %w", err))
+	}
+	for i, w := range sr.walked {
+		e := buf[i*tocEntrySize:]
+		stored := tocEntry{
+			id:  binary.LittleEndian.Uint32(e),
+			crc: binary.LittleEndian.Uint32(e[4:]),
+			off: binary.LittleEndian.Uint64(e[8:]),
+			len: binary.LittleEndian.Uint64(e[16:]),
+		}
+		if stored != w {
+			return sr.fail(fmt.Errorf("snapshot: TOC entry %d (id %d, crc %08x, off %d, len %d) does not match the section walked (id %d, crc %08x, off %d, len %d)",
+				i, stored.id, stored.crc, stored.off, stored.len, w.id, w.crc, w.off, w.len))
+		}
+	}
+	foot := buf[len(sr.walked)*tocEntrySize:]
+	if got := binary.LittleEndian.Uint64(foot); got != tocStart {
+		return sr.fail(fmt.Errorf("snapshot: footer records TOC at %d, sections ended at %d", got, tocStart))
+	}
+	if got := binary.LittleEndian.Uint32(foot[8:]); got != uint32(len(sr.walked)) {
+		return sr.fail(fmt.Errorf("snapshot: footer records %d sections, walked %d", got, len(sr.walked)))
+	}
+	wantTocCRC := crc32.Checksum(buf, crcTable)
+	storedTocCRC, err := sr.readU32()
+	if err != nil {
+		return sr.fail(fmt.Errorf("snapshot: reading TOC checksum: %w", err))
+	}
+	if storedTocCRC != wantTocCRC {
+		return sr.fail(fmt.Errorf("snapshot: TOC checksum mismatch (stored %08x, computed %08x)", storedTocCRC, wantTocCRC))
+	}
+	want := sr.crc.Sum32()
+	var tail [16]byte
+	if _, err := io.ReadFull(sr.raw, tail[:]); err != nil {
+		return sr.fail(fmt.Errorf("snapshot: reading footer: %w", err))
+	}
+	if stored := binary.LittleEndian.Uint32(tail[:]); stored != want {
+		return sr.fail(fmt.Errorf("snapshot: checksum mismatch (stored %08x, computed %08x): corrupt or truncated container",
+			stored, want))
+	}
+	if reserved := binary.LittleEndian.Uint32(tail[4:]); reserved != 0 {
+		return sr.fail(fmt.Errorf("snapshot: footer reserved word is %08x, want 0", reserved))
+	}
+	if !bytes.Equal(tail[8:], endMagic[:]) {
+		return sr.fail(fmt.Errorf("snapshot: footer end magic %q, want %q", tail[8:], endMagic[:]))
+	}
+	sr.err = fmt.Errorf("snapshot: reader closed")
+	return nil
+}
+
 // read pulls bytes through the hashing tee and the remaining-input budget.
 func (sr *Reader) read(p []byte) (int, error) {
 	n, err := sr.raw.Read(p)
 	if n > 0 {
 		sr.crc.Write(p[:n])
+		sr.off += int64(n)
 		if sr.sized {
 			sr.remaining -= int64(n)
 		}
@@ -496,15 +800,27 @@ func (f readerFunc) Read(p []byte) (int, error) { return f(p) }
 
 // WriteKeySection writes a sorted key slice as one section: a u32 key
 // width followed by the keys little-endian at that width, streamed in
-// chunks so no full-size staging copy is made.
+// chunks so no full-size staging copy is made. In a v2 container the
+// width prefix is followed by four zero bytes, so the key data sits at
+// payload offset 8 — 8-byte aligned from the page-aligned payload start,
+// which is what lets the mapped loader view it in place.
 func WriteKeySection[K kv.Key](sw *Writer, id uint32, keys []K) error {
 	width := kv.Width[K]()
-	w, err := sw.SectionSized(id, 4+int64(len(keys))*int64(width))
+	prefix := int64(4)
+	if sw.v2 {
+		prefix = 8
+	}
+	w, err := sw.SectionSized(id, prefix+int64(len(keys))*int64(width))
 	if err != nil {
 		return err
 	}
 	if err := writeU32(w, uint32(width)); err != nil {
 		return err
+	}
+	if sw.v2 {
+		if err := writeU32(w, 0); err != nil { // alignment pad
+			return err
+		}
 	}
 	const chunk = 64 << 10
 	for off := 0; off < len(keys); off += chunk {
@@ -525,17 +841,26 @@ func WriteKeySection[K kv.Key](sw *Writer, id uint32, keys []K) error {
 // beyond what the input itself bounds.
 func ReadKeySection[K kv.Key](s *Section, maxKeys int64) ([]K, error) {
 	width := int64(kv.Width[K]())
-	if s.Len < 4 {
+	prefix := int64(4)
+	if s.V2() {
+		prefix = 8
+	}
+	if s.Len < prefix {
 		return nil, fmt.Errorf("snapshot: key section %d too short (%d bytes)", s.ID, s.Len)
 	}
-	var wb [4]byte
-	if _, err := io.ReadFull(s, wb[:]); err != nil {
+	var wb [8]byte
+	if _, err := io.ReadFull(s, wb[:prefix]); err != nil {
 		return nil, err
 	}
 	if got := int64(binary.LittleEndian.Uint32(wb[:])); got != width {
 		return nil, fmt.Errorf("snapshot: key section %d has %d-byte keys, this index uses %d-byte keys", s.ID, got, width)
 	}
-	body := s.Len - 4
+	if s.V2() {
+		if pad := binary.LittleEndian.Uint32(wb[4:8]); pad != 0 {
+			return nil, fmt.Errorf("snapshot: key section %d has nonzero alignment pad %08x", s.ID, pad)
+		}
+	}
+	body := s.Len - prefix
 	if body%width != 0 {
 		return nil, fmt.Errorf("snapshot: key section %d payload %d bytes is not a multiple of the %d-byte key width",
 			s.ID, body, width)
@@ -674,9 +999,26 @@ func WriteFileAtomic(path string, write func(*os.File) error) (err error) {
 // any error the temporary file is removed and the previous snapshot at
 // path (if any) is untouched.
 func SaveFile(path, kind string, persist func(*Writer) error) error {
+	return saveFileVersion(path, kind, persist, false)
+}
+
+// SaveFileV2 is SaveFile in the v2 (page-aligned, mappable) layout.
+func SaveFileV2(path, kind string, persist func(*Writer) error) error {
+	return saveFileVersion(path, kind, persist, true)
+}
+
+// SaveFileAt writes the chosen layout version: Version2 for v2, anything
+// else (conventionally Version) for the v1 streaming layout. Callers
+// that thread a configured version through (the replica publisher) use
+// this instead of branching themselves.
+func SaveFileAt(path, kind string, version uint32, persist func(*Writer) error) error {
+	return saveFileVersion(path, kind, persist, version == Version2)
+}
+
+func saveFileVersion(path, kind string, persist func(*Writer) error, v2 bool) error {
 	return WriteFileAtomic(path, func(f *os.File) error {
 		bw := bufio.NewWriterSize(f, 1<<20)
-		sw, err := NewWriter(bw, kind)
+		sw, err := newWriter(bw, kind, v2)
 		if err != nil {
 			return err
 		}

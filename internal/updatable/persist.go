@@ -88,8 +88,45 @@ func LoadView[K kv.Key](sr *snapshot.Reader) (*Index[K], error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg, deadCount, err := decodeMeta(meta)
+	if err != nil {
+		return nil, err
+	}
+
+	table, err := core.LoadTableSnapshot[K](sr)
+	if err != nil {
+		return nil, err
+	}
+
+	ds, err := sr.Expect(secUpdDead)
+	if err != nil {
+		return nil, err
+	}
+	n := table.N()
+	want := int64((n + 7) / 8)
+	if ds.Len != want {
+		return nil, fmt.Errorf("updatable: tombstone bitmap is %d bytes, want %d for %d keys", ds.Len, want, n)
+	}
+	bitmap, err := ds.Bytes(want + 1)
+	if err != nil {
+		return nil, err
+	}
+
+	dls, err := sr.Expect(secUpdDelta)
+	if err != nil {
+		return nil, err
+	}
+	delta, err := snapshot.ReadKeySection[K](dls, 0)
+	if err != nil {
+		return nil, err
+	}
+	return assembleView(cfg, deadCount, table, bitmap, delta)
+}
+
+// decodeMeta parses and bounds the 36-byte meta section.
+func decodeMeta(meta []byte) (Config, uint64, error) {
 	if len(meta) != 36 {
-		return nil, fmt.Errorf("updatable: meta section is %d bytes, want 36", len(meta))
+		return Config{}, 0, fmt.Errorf("updatable: meta section is %d bytes, want 36", len(meta))
 	}
 	mode := binary.LittleEndian.Uint32(meta)
 	layerM := binary.LittleEndian.Uint64(meta[4:])
@@ -97,17 +134,26 @@ func LoadView[K kv.Key](sr *snapshot.Reader) (*Index[K], error) {
 	maxDelta := binary.LittleEndian.Uint64(meta[20:])
 	deadCount := binary.LittleEndian.Uint64(meta[28:])
 	if mode != uint32(core.ModeRange) && mode != uint32(core.ModeMidpoint) {
-		return nil, fmt.Errorf("updatable: invalid layer mode %d in snapshot meta", mode)
+		return Config{}, 0, fmt.Errorf("updatable: invalid layer mode %d in snapshot meta", mode)
 	}
 	const maxI64 = uint64(1<<63 - 1)
 	if layerM > maxI64 || stride > maxI64 || maxDelta > maxI64 {
-		return nil, fmt.Errorf("updatable: snapshot meta field out of range")
+		return Config{}, 0, fmt.Errorf("updatable: snapshot meta field out of range")
 	}
+	return Config{
+		MaxDelta: int(maxDelta),
+		Layer: core.Config{
+			Mode:         core.Mode(mode),
+			M:            int(layerM),
+			SampleStride: int(stride),
+		},
+	}, deadCount, nil
+}
 
-	table, err := core.LoadTableSnapshot[K](sr)
-	if err != nil {
-		return nil, err
-	}
+// assembleView validates the cross-section invariants and assembles the
+// live index — the half of loading shared by the streaming and mapped
+// paths. delta must already be heap-backed: writes mutate it in place.
+func assembleView[K kv.Key](cfg Config, deadCount uint64, table *core.Table[K], bitmap []byte, delta []K) (*Index[K], error) {
 	base := table.Keys()
 	n := len(base)
 	if deadCount > uint64(n) {
@@ -119,21 +165,8 @@ func LoadView[K kv.Key](sr *snapshot.Reader) (*Index[K], error) {
 	// shrink it; nothing legitimate inflates it by orders of magnitude).
 	// A hostile value would otherwise load fine and crash the first
 	// compaction instead.
-	if layerM > 64*uint64(n+1) {
-		return nil, fmt.Errorf("updatable: snapshot layer config M=%d is not credible for %d base keys", layerM, n)
-	}
-
-	ds, err := sr.Expect(secUpdDead)
-	if err != nil {
-		return nil, err
-	}
-	want := int64((n + 7) / 8)
-	if ds.Len != want {
-		return nil, fmt.Errorf("updatable: tombstone bitmap is %d bytes, want %d for %d keys", ds.Len, want, n)
-	}
-	bitmap, err := ds.Bytes(want + 1)
-	if err != nil {
-		return nil, err
+	if uint64(cfg.Layer.M) > 64*uint64(n+1) {
+		return nil, fmt.Errorf("updatable: snapshot layer config M=%d is not credible for %d base keys", cfg.Layer.M, n)
 	}
 	dead := make([]bool, n)
 	popcount := 0
@@ -149,31 +182,13 @@ func LoadView[K kv.Key](sr *snapshot.Reader) (*Index[K], error) {
 	if uint64(popcount) != deadCount {
 		return nil, fmt.Errorf("updatable: tombstone bitmap holds %d tombstones, meta records %d", popcount, deadCount)
 	}
+	if !kv.IsSorted(delta) {
+		return nil, fmt.Errorf("updatable: snapshot delta buffer is not sorted")
+	}
 	// The Fenwick tree is derived state: one O(n) bulk construction from
 	// the bitmap, not deadCount O(log n) point updates on the restart hot
 	// path.
 	tree := fenwick.FromBools(dead)
-
-	dls, err := sr.Expect(secUpdDelta)
-	if err != nil {
-		return nil, err
-	}
-	delta, err := snapshot.ReadKeySection[K](dls, 0)
-	if err != nil {
-		return nil, err
-	}
-	if !kv.IsSorted(delta) {
-		return nil, fmt.Errorf("updatable: snapshot delta buffer is not sorted")
-	}
-
-	cfg := Config{
-		MaxDelta: int(maxDelta),
-		Layer: core.Config{
-			Mode:         core.Mode(mode),
-			M:            int(layerM),
-			SampleStride: int(stride),
-		},
-	}
 	ix := &Index[K]{cfg: cfg}
 	ix.v = &View[K]{
 		base:      base,
