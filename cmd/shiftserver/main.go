@@ -11,12 +11,29 @@
 //	shiftserver -store DIR|URL -dir REPLICADIR [-addr :8422]
 //	            [-watch 150ms] [-mode coalesce|direct] [-wave 256]
 //	            [-maxwait 0s] [-queue 1024] [-inflight 256] [-drain 10s]
+//	            [-admin] [-max-format N] [-wait-ready=true]
+//	shiftserver -fleet URL1,URL2,... [-addr :8421] [-probe 100ms]
 //
 // The server refuses to start until a first version is installed (or
 // warm-restarted from -dir), so it never serves an empty index. Every
 // response carries the snapshot version tag that produced it, which
 // shiftload -verify correlates against the per-version oracles the
 // publisher wrote (shiftrepl publish -oracle).
+//
+// With -wait-ready=false the server listens immediately and reports
+// "starting" on /healthz until the first version installs — the shape a
+// fleet-managed backend wants, where the front tier routes around a
+// member that is still warming. -admin enables POST /admin/drain and
+// /admin/undrain, the levers the rolling-upgrade driver uses.
+// -max-format caps the container format this replica will load directly
+// (older formats are accepted; newer published formats are bridged by a
+// local transcode, DESIGN.md §13) — it models an old-binary fleet member
+// during a mixed-version window.
+//
+// With -fleet, the binary is instead the front tier (internal/fleet):
+// it health-checks the listed backends, proxies /v1/* around draining
+// or dead ones with transparent failover, and exposes the fleet-level
+// /healthz and /statusz.
 package main
 
 import (
@@ -30,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/replica"
 	"repro/internal/serve"
 )
@@ -53,7 +71,15 @@ func run() error {
 	inflight := flag.Int("inflight", 256, "max concurrent uncoalesced requests")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 	loadMode := flag.String("load", "auto", "artifact load mode: auto (map v2 artifacts when the platform supports it), mmap, or heap")
+	admin := flag.Bool("admin", false, "enable POST /admin/drain and /admin/undrain")
+	maxFormat := flag.Uint("max-format", 0, "highest container format to load directly; newer published formats are bridged by a local transcode (0 = any readable)")
+	waitReady := flag.Bool("wait-ready", true, "block until a first version installs before listening (false: listen immediately, /healthz reports starting)")
+	fleetURLs := flag.String("fleet", "", "run as the fleet front tier over these comma-separated backend URLs instead of serving a replica")
+	probe := flag.Duration("probe", 100*time.Millisecond, "with -fleet: backend health-check interval")
 	flag.Parse()
+	if *fleetURLs != "" {
+		return runFleet(*fleetURLs, *addr, *probe, *drain)
+	}
 	if *store == "" || *dir == "" {
 		return fmt.Errorf("-store and -dir are required")
 	}
@@ -81,7 +107,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	r, err := replica.NewReplica[uint64](s, *dir, replica.ReplicaConfig{LoadMode: lm})
+	r, err := replica.NewReplica[uint64](s, *dir, replica.ReplicaConfig{LoadMode: lm, MaxFormat: uint32(*maxFormat)})
 	if err != nil {
 		return err
 	}
@@ -90,28 +116,42 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Never serve an empty index: sync until a first version installs
-	// (warm restart counts), surfacing degradation while we wait.
-	for r.Index().Tag() == 0 {
-		if err := r.Sync(ctx); err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
+	if *waitReady {
+		// Never serve an empty index: sync until a first version installs
+		// (warm restart counts), surfacing degradation while we wait.
+		for r.Index().Tag() == 0 {
+			if err := r.Sync(ctx); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				fmt.Fprintf(os.Stderr, "shiftserver: waiting for first version: %v\n", err)
+				select {
+				case <-time.After(*watch):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+				continue
 			}
-			fmt.Fprintf(os.Stderr, "shiftserver: waiting for first version: %v\n", err)
-			select {
-			case <-time.After(*watch):
-			case <-ctx.Done():
-				return ctx.Err()
-			}
-			continue
 		}
+	} else if err := r.Sync(ctx); err != nil && ctx.Err() == nil {
+		// One opportunistic sync so an already-published store serves
+		// from the first request; otherwise the background loop brings
+		// the first version in while /healthz reports "starting" and the
+		// fleet routes around us.
+		fmt.Fprintf(os.Stderr, "shiftserver: starting before first version: %v\n", err)
 	}
-	st := r.Status()
-	serving := "heap"
-	if st.Mapped {
-		serving = fmt.Sprintf("mapped, %d bytes", st.MappedBytes)
+	if r.Index().Tag() != 0 {
+		st := r.Status()
+		serving := "heap"
+		if st.Mapped {
+			serving = fmt.Sprintf("mapped, %d bytes", st.MappedBytes)
+		}
+		detail := ""
+		if st.Transcoded {
+			detail = fmt.Sprintf(", bridged to format %d", st.Format)
+		}
+		fmt.Printf("serving version %d (%d keys, %s, %s%s)\n", st.Version, r.Index().Len(), r.Index().Name(), serving, detail)
 	}
-	fmt.Printf("serving version %d (%d keys, %s, %s)\n", st.Version, r.Index().Len(), r.Index().Name(), serving)
 
 	// Background sync keeps the serving snapshots fresh; failures degrade
 	// to last-good (the replica's contract), so the serving path never
@@ -139,6 +179,8 @@ func run() error {
 	}
 	h := serve.NewHandler(r.Index(), co, serve.HandlerConfig{
 		Coalesce: coalesce, MaxInflight: *inflight,
+		Admin: *admin,
+		Ready: func() bool { return r.Index().Tag() != 0 },
 	}, func() map[string]any {
 		st := r.Status()
 		m := map[string]any{
@@ -146,6 +188,11 @@ func run() error {
 			"replica_latest":  st.Latest,
 			"replica_stale":   st.Stale,
 			"sync_failures":   st.Failures,
+			"format":          st.Format,
+			"transcoded":      st.Transcoded,
+		}
+		if st.LastDecision != "" {
+			m["format_decision"] = st.LastDecision
 		}
 		if st.LastErr != nil {
 			m["sync_last_error"] = st.LastErr.Error()
@@ -170,6 +217,41 @@ func run() error {
 	}
 	if err == nil {
 		fmt.Printf("shut down cleanly: served %d, rejected %d\n", h.Served(), h.Rejected())
+	}
+	return err
+}
+
+// runFleet serves the front tier: health-check the backends, proxy
+// /v1/* around draining or dead ones. The pool is an http.Handler, so
+// the serving scaffolding (timeouts, graceful drain) is shared with the
+// replica mode.
+func runFleet(urls, addr string, probe, drain time.Duration) error {
+	var backends []string
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			backends = append(backends, u)
+		}
+	}
+	p, err := fleet.NewPool(backends, fleet.PoolConfig{Probe: probe})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := serve.NewHTTPServer(addr, p, serve.ServerConfig{})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening on %s (fleet over %d backends)\n", ln.Addr(), len(backends))
+	err = serve.RunListener(ctx, srv, ln, drain, func() {
+		fmt.Println("draining: finishing in-flight proxied requests")
+	})
+	if err == nil {
+		fmt.Printf("shut down cleanly: proxied %d, retries %d, failures %d\n", p.Proxied(), p.Retries(), p.Failures())
 	}
 	return err
 }

@@ -24,6 +24,15 @@
 // warm-start path — reporting the load mode and per-key load cost; a
 // v1 snapshot under -mmap falls back to the streaming load.
 //
+// With -transcode, the tool rewrites an existing snapshot between
+// container formats (DESIGN.md §13): -transcode in.snap -out out.snap
+// -to 2 produces the page-aligned v2 layout from a v1 file (or the
+// reverse with -to 1), re-deriving every section checksum, without
+// rebuilding the index. This is the offline half of a rolling format
+// upgrade: a fleet member that cannot read a published format yet can
+// be fed a transcoded artifact byte-identical to what the publisher's
+// own dual-format window would have emitted.
+//
 // With -rank, the tool generalises the advisor across the whole backend
 // registry (internal/index): it measures this machine's L(s) curve, asks
 // every backend's CostEstimator capability for its §3.7 estimate over the
@@ -62,8 +71,18 @@ func main() {
 	save := flag.String("save", "", "persist the built index as a snapshot file")
 	load := flag.String("load", "", "restore and summarise a snapshot file instead of building")
 	useMmap := flag.Bool("mmap", false, "with -load: map the snapshot in place (v2 layout); with -save: write the mappable v2 layout")
+	transcode := flag.String("transcode", "", "rewrite a snapshot between container formats (needs -out and -to)")
+	out := flag.String("out", "", "with -transcode: output snapshot path")
+	to := flag.Int("to", 0, "with -transcode: target container format (1 or 2)")
 	flag.Parse()
 
+	if *transcode != "" {
+		if err := runTranscode(*transcode, *out, *to); err != nil {
+			fmt.Fprintln(os.Stderr, "shifttool:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*ds, *n, *modelName, *mode, *m, *file, *seed, *advise, *rank, *save, *load, *useMmap); err != nil {
 		fmt.Fprintln(os.Stderr, "shifttool:", err)
 		os.Exit(1)
@@ -290,6 +309,34 @@ func summarize[K kv.Key](ix index.Index[K], path string, loadMs float64, loadMod
 		probes++
 	}
 	fmt.Printf("  self-validation: %d strided lower-bound probes OK\n", probes)
+	return nil
+}
+
+// runTranscode rewrites src between container formats: section payloads
+// pass through untouched (ranks cannot change), framing and checksums
+// are re-derived. The result is verified readable before reporting.
+func runTranscode(src, dst string, to int) error {
+	if dst == "" {
+		return fmt.Errorf("-transcode needs -out")
+	}
+	if to != int(snapshot.Version) && to != int(snapshot.Version2) {
+		return fmt.Errorf("-to %d: supported container formats are %d and %d", to, snapshot.Version, snapshot.Version2)
+	}
+	from, err := snapshot.SniffVersion(src)
+	if err != nil {
+		return fmt.Errorf("sniffing %s: %w", src, err)
+	}
+	start := time.Now()
+	if err := snapshot.TranscodeFile(src, dst, uint32(to)); err != nil {
+		return err
+	}
+	ms := float64(time.Since(start).Nanoseconds()) / 1e6
+	st, err := os.Stat(dst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transcoded %s (format %d) -> %s (format %d) in %.1f ms, %s\n",
+		src, from, dst, to, ms, human(int(st.Size())))
 	return nil
 }
 

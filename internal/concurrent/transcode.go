@@ -1,0 +1,28 @@
+package concurrent
+
+import snap "repro/internal/snapshot"
+
+// Transcode schemas for the concurrent kinds (DESIGN.md §13). A full
+// state container embeds the complete updatable sequence — which itself
+// embeds shift-table ids 1..3 — plus this package's meta section and the
+// repeated per-generation insert/delete key pairs. Deltas carry only the
+// delta meta and generation pairs. Metas are fixed little-endian words,
+// identical in both container layouts.
+func init() {
+	snap.RegisterTranscodeSchema(SnapshotKind, map[uint32]snap.Role{
+		1:          snap.RoleKeys,   // embedded shift-table keys
+		2:          snap.RoleOpaque, // embedded model spec
+		3:          snap.RoleLayer,  // embedded layer blob
+		10:         snap.RoleOpaque, // embedded updatable meta
+		11:         snap.RoleOpaque, // embedded dead bitmap
+		12:         snap.RoleKeys,   // embedded delta-key overlay
+		secConMeta: snap.RoleOpaque,
+		secConIns:  snap.RoleKeys,
+		secConDels: snap.RoleKeys,
+	})
+	snap.RegisterTranscodeSchema(DeltaKind, map[uint32]snap.Role{
+		secDeltaMeta: snap.RoleOpaque,
+		secConIns:    snap.RoleKeys,
+		secConDels:   snap.RoleKeys,
+	})
+}

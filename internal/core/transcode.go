@@ -1,0 +1,354 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/snapshot"
+)
+
+// This file is the core side of container transcoding (DESIGN.md §13).
+// The layer blob is the only payload this package owns whose encoding
+// differs between container layouts — v1 stores range-mode drifts as two
+// split arrays at their own widths, v2 stores the fused interleaved array
+// plus a widths word — so rewriting a container across versions means
+// rewriting the blob between those shapes. The transform is lossless by
+// construction: the v2 widths word records the exact split widths a v1
+// writer would use, so v1→v2→v1 and v2→v1→v2 reproduce the original blob
+// byte for byte (the property the transcode tests pin down, and what
+// makes format rollback trustworthy).
+//
+// The input is an untrusted artifact section: every header field is
+// validated against the blob's own length before it drives an allocation
+// or an offset, exactly as Load does, and a narrowing that would lose
+// bits (a corrupt fused array claiming split widths it doesn't fit)
+// fails instead of truncating.
+
+func init() {
+	snapshot.RegisterTranscodeSchema(SnapshotKindTable, map[uint32]snapshot.Role{
+		secTableKeys:  snapshot.RoleKeys,
+		secTableModel: snapshot.RoleOpaque,
+		secTableLayer: snapshot.RoleLayer,
+	})
+	snapshot.RegisterTranscodeSchema(SnapshotKindModelIndex, map[uint32]snapshot.Role{
+		secTableKeys:  snapshot.RoleKeys,
+		secTableModel: snapshot.RoleOpaque,
+	})
+	snapshot.RegisterLayerTranscoder(TranscodeLayer)
+}
+
+// TranscodeLayer rewrites one serialized layer blob into the layout of
+// the target container version (toV2 selects layerVersion2). A blob
+// already in the target layout is validated and returned unchanged —
+// never mutated — so repeated transcoding is idempotent.
+func TranscodeLayer(src []byte, toV2 bool) ([]byte, error) {
+	if len(src) < 8*8 {
+		return nil, fmt.Errorf("core: layer blob truncated (%d bytes)", len(src))
+	}
+	var head [8]uint64
+	for i := range head {
+		head[i] = binary.LittleEndian.Uint64(src[8*i:])
+	}
+	if head[0] != layerMagic {
+		return nil, fmt.Errorf("core: not a Shift-Table layer blob")
+	}
+	if head[2] != uint64(ModeRange) && head[2] != uint64(ModeMidpoint) {
+		return nil, fmt.Errorf("core: invalid mode %d in layer header", head[2])
+	}
+	mode := Mode(head[2])
+	if head[5] > 1 {
+		return nil, fmt.Errorf("core: invalid monotone flag %d in layer header", head[5])
+	}
+	n, mRaw := head[3], head[4]
+	if (n == 0) != (mRaw == 0) {
+		return nil, fmt.Errorf("core: layer header claims %d partitions over %d keys", mRaw, n)
+	}
+	// The counts alone need 4m bytes, so any genuine m is bounded by the
+	// blob's own length — checked before the uint64→int conversion.
+	if mRaw > uint64(len(src)/4) {
+		return nil, fmt.Errorf("core: layer header claims %d partitions in a %d-byte blob", mRaw, len(src))
+	}
+	m := int(mRaw)
+	switch head[1] {
+	case layerVersion:
+		p, err := parseLayerV1(src, mode, m, n)
+		if err != nil {
+			return nil, err
+		}
+		if !toV2 {
+			return src, nil
+		}
+		return buildLayerV2(head, p), nil
+	case layerVersion2:
+		p, err := parseLayerV2(src, mode, m, n)
+		if err != nil {
+			return nil, err
+		}
+		if toV2 {
+			return src, nil
+		}
+		return buildLayerV1(head, p)
+	default:
+		return nil, fmt.Errorf("core: unsupported layer version %d", head[1])
+	}
+}
+
+// layerParts is a parsed layer body: raw drift bytes plus the widths that
+// interpret them. For range mode, exactly one of (loArr, hiArr) / fused
+// is populated depending on the source layout; counts is always the raw
+// 4m-byte int32 array.
+type layerParts struct {
+	mode   Mode
+	m      int
+	width  uint8 // fused/midpoint entry width (max(lo, hi) for range)
+	lo, hi uint8 // split widths, range mode only
+	loArr  []byte
+	hiArr  []byte
+	fused  []byte
+	arr    []byte // midpoint entries
+	counts []byte
+}
+
+// parseLayerV1 validates and slices a v1 body: split drift arrays (each
+// prefixed by a u64 width-in-bits word) or the midpoint array, then the
+// counts, with the total required to match the blob length exactly.
+func parseLayerV1(src []byte, mode Mode, m int, n uint64) (*layerParts, error) {
+	p := &layerParts{mode: mode, m: m}
+	off := int64(8 * 8)
+	readArr := func(what string) ([]byte, uint8, error) {
+		if int64(len(src)) < off+8 {
+			return nil, 0, fmt.Errorf("core: layer blob truncated reading %s width", what)
+		}
+		bits := binary.LittleEndian.Uint64(src[off:])
+		off += 8
+		switch bits {
+		case 0:
+			if m != 0 {
+				return nil, 0, fmt.Errorf("core: invalid %s entry width 0 for %d partitions", what, m)
+			}
+			return nil, 0, nil
+		case 8, 16, 32, 64:
+			if m == 0 {
+				return nil, 0, fmt.Errorf("core: %s entry width %d for an empty layer", what, bits)
+			}
+		default:
+			return nil, 0, fmt.Errorf("core: invalid %s entry width %d", what, bits)
+		}
+		w := uint8(bits / 8)
+		size := int64(m) * int64(w)
+		if int64(len(src)) < off+size {
+			return nil, 0, fmt.Errorf("core: layer blob truncated reading %s entries", what)
+		}
+		arr := src[off : off+size]
+		off += size
+		return arr, w, nil
+	}
+	var err error
+	switch mode {
+	case ModeRange:
+		if p.loArr, p.lo, err = readArr("lo drift"); err != nil {
+			return nil, err
+		}
+		if p.hiArr, p.hi, err = readArr("hi drift"); err != nil {
+			return nil, err
+		}
+		p.width = max(p.lo, p.hi)
+	default:
+		if p.arr, p.width, err = readArr("drift"); err != nil {
+			return nil, err
+		}
+	}
+	if p.counts, err = sliceLayerCounts(src, off, m, n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseLayerV2 validates and slices a v2 body: the widths word, the
+// fused (or midpoint) entries, zero padding to 8 bytes, then the counts,
+// again with an exact total-length match.
+func parseLayerV2(src []byte, mode Mode, m int, n uint64) (*layerParts, error) {
+	if int64(len(src)) < layerV2DataOff {
+		return nil, fmt.Errorf("core: v2 layer blob truncated (%d bytes)", len(src))
+	}
+	word := binary.LittleEndian.Uint64(src[8*8:])
+	width, lo, hi, err := layerWidths(word, mode, m)
+	if err != nil {
+		return nil, err
+	}
+	p := &layerParts{mode: mode, m: m, width: width, lo: lo, hi: hi}
+	entries := int64(m)
+	if mode == ModeRange {
+		entries = 2 * int64(m)
+	}
+	data := entries * int64(width)
+	off := int64(layerV2DataOff)
+	if int64(len(src)) < off+data {
+		return nil, fmt.Errorf("core: v2 layer blob truncated reading drift entries")
+	}
+	if mode == ModeRange {
+		p.fused = src[off : off+data]
+	} else {
+		p.arr = src[off : off+data]
+	}
+	off += data
+	pad := pad8(data)
+	if int64(len(src)) < off+pad {
+		return nil, fmt.Errorf("core: v2 layer blob truncated reading padding")
+	}
+	for _, b := range src[off : off+pad] {
+		if b != 0 {
+			return nil, fmt.Errorf("core: nonzero layer padding")
+		}
+	}
+	off += pad
+	if p.counts, err = sliceLayerCounts(src, off, m, n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// sliceLayerCounts takes the trailing 4m count bytes, requires them to
+// end exactly at the blob's end, and applies the same non-negative /
+// sum ≤ n validation the loaders do — garbage must not transcode.
+func sliceLayerCounts(src []byte, off int64, m int, n uint64) ([]byte, error) {
+	size := 4 * int64(m)
+	if int64(len(src)) != off+size {
+		return nil, fmt.Errorf("core: layer blob is %d bytes, counts end at %d", len(src), off+size)
+	}
+	counts := src[off:]
+	var sum uint64
+	for k := 0; k < m; k++ {
+		c := int32(binary.LittleEndian.Uint32(counts[4*k:]))
+		if c < 0 {
+			return nil, fmt.Errorf("core: negative cardinality %d for partition %d", c, k)
+		}
+		sum += uint64(c)
+		if sum > n {
+			return nil, fmt.Errorf("core: partition cardinalities sum past the %d indexed keys", n)
+		}
+	}
+	return counts, nil
+}
+
+// buildLayerV2 assembles the v2 blob from a parsed v1 body. Widening the
+// split halves to the fused width is sign extension — always exact — and
+// the widths word records the original split widths, so buildLayerV1 can
+// reverse this losslessly.
+func buildLayerV2(head [8]uint64, p *layerParts) []byte {
+	entries := int64(p.m)
+	if p.mode == ModeRange {
+		entries = 2 * int64(p.m)
+	}
+	data := entries * int64(p.width)
+	out := make([]byte, layerV2DataOff+data+pad8(data)+4*int64(p.m))
+	head[1] = layerVersion2
+	for i, v := range head {
+		binary.LittleEndian.PutUint64(out[8*i:], v)
+	}
+	word := uint64(p.width)
+	if p.mode == ModeRange {
+		word |= uint64(p.lo)<<8 | uint64(p.hi)<<16
+	}
+	binary.LittleEndian.PutUint64(out[8*8:], word)
+	body := out[layerV2DataOff:]
+	if p.mode == ModeRange {
+		for k := 0; k < p.m; k++ {
+			putLayerEntry(body, 2*k, p.width, layerEntry(p.loArr, k, p.lo))
+			putLayerEntry(body, 2*k+1, p.width, layerEntry(p.hiArr, k, p.hi))
+		}
+	} else {
+		copy(body, p.arr)
+	}
+	copy(out[layerV2DataOff+data+pad8(data):], p.counts)
+	return out
+}
+
+// buildLayerV1 assembles the v1 blob from a parsed v2 body, narrowing
+// the fused entries back to their recorded split widths. A fused value
+// that does not fit its split width means the widths word lied — the
+// blob is corrupt, and the transcode fails rather than truncate.
+func buildLayerV1(head [8]uint64, p *layerParts) ([]byte, error) {
+	m64 := int64(p.m)
+	var size int64 = 8*8 + 4*m64
+	if p.mode == ModeRange {
+		size += (8 + m64*int64(p.lo)) + (8 + m64*int64(p.hi))
+	} else {
+		size += 8 + m64*int64(p.width)
+	}
+	out := make([]byte, size)
+	head[1] = layerVersion
+	for i, v := range head {
+		binary.LittleEndian.PutUint64(out[8*i:], v)
+	}
+	off := int64(8 * 8)
+	if p.mode == ModeRange {
+		for _, half := range []struct {
+			w  uint8
+			hi bool
+		}{{p.lo, false}, {p.hi, true}} {
+			binary.LittleEndian.PutUint64(out[off:], uint64(half.w)*8)
+			off += 8
+			arr := out[off:]
+			for k := 0; k < p.m; k++ {
+				idx := 2 * k
+				if half.hi {
+					idx++
+				}
+				v := layerEntry(p.fused, idx, p.width)
+				if !putLayerEntry(arr, k, half.w, v) {
+					return nil, fmt.Errorf("core: fused drift %d does not fit the recorded %d-byte split width", v, half.w)
+				}
+			}
+			off += m64 * int64(half.w)
+		}
+	} else {
+		binary.LittleEndian.PutUint64(out[off:], uint64(p.width)*8)
+		off += 8
+		copy(out[off:], p.arr)
+		off += m64 * int64(p.width)
+	}
+	copy(out[off:], p.counts)
+	return out, nil
+}
+
+// layerEntry reads entry k of a packed signed array at the given width,
+// sign-extended to int64.
+func layerEntry(b []byte, k int, width uint8) int64 {
+	switch width {
+	case 1:
+		return int64(int8(b[k]))
+	case 2:
+		return int64(int16(binary.LittleEndian.Uint16(b[2*k:])))
+	case 4:
+		return int64(int32(binary.LittleEndian.Uint32(b[4*k:])))
+	default:
+		return int64(binary.LittleEndian.Uint64(b[8*k:]))
+	}
+}
+
+// putLayerEntry writes v as entry k of a packed signed array at the given
+// width, reporting whether v fits that width.
+func putLayerEntry(b []byte, k int, width uint8, v int64) bool {
+	switch width {
+	case 1:
+		if v < math.MinInt8 || v > math.MaxInt8 {
+			return false
+		}
+		b[k] = byte(int8(v))
+	case 2:
+		if v < math.MinInt16 || v > math.MaxInt16 {
+			return false
+		}
+		binary.LittleEndian.PutUint16(b[2*k:], uint16(int16(v)))
+	case 4:
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return false
+		}
+		binary.LittleEndian.PutUint32(b[4*k:], uint32(int32(v)))
+	default:
+		binary.LittleEndian.PutUint64(b[8*k:], uint64(v))
+	}
+	return true
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bytes"
+
+	"math/rand"
+	"testing"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/dataset"
+	"repro/internal/snapshot"
+)
+
+// transcodeTables builds the table zoo the transcode properties are
+// checked over: both modes, reduced M (wider per-partition drifts), and
+// several datasets so the packed widths actually vary.
+func transcodeTables(tb testing.TB) []*Table[uint64] {
+	tb.Helper()
+	var tabs []*Table[uint64]
+	for _, name := range []dataset.Name{dataset.Face, dataset.Wiki, dataset.UDen} {
+		keys := dataset.MustGenerate(name, 64, 20_000, 5)
+		model := cdfmodel.NewInterpolation(keys)
+		for _, cfg := range []Config{
+			{Mode: ModeRange},
+			{Mode: ModeMidpoint},
+			{Mode: ModeRange, M: 777},
+			{Mode: ModeMidpoint, M: 333},
+		} {
+			tab, err := Build(keys, model, cfg)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			tabs = append(tabs, tab)
+		}
+	}
+	return tabs
+}
+
+// layerBytes serialises one table's layer in the requested blob layout.
+func layerBytes(tb testing.TB, tab *Table[uint64], v2 bool) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if v2 {
+		if err := tab.writeLayerV2(&buf); err != nil {
+			tb.Fatal(err)
+		}
+	} else {
+		if _, err := tab.WriteTo(&buf); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestTranscodeLayerMatchesNativeWriters pins the core property: the
+// transcoded blob is byte-identical to what the native writer of the
+// target version produces, in both directions, and round trips are
+// stable.
+func TestTranscodeLayerMatchesNativeWriters(t *testing.T) {
+	for i, tab := range transcodeTables(t) {
+		v1 := layerBytes(t, tab, false)
+		v2 := layerBytes(t, tab, true)
+
+		up, err := TranscodeLayer(v1, true)
+		if err != nil {
+			t.Fatalf("table %d: v1→v2: %v", i, err)
+		}
+		if !bytes.Equal(up, v2) {
+			t.Errorf("table %d: transcoded v2 blob differs from native writeLayerV2", i)
+		}
+		down, err := TranscodeLayer(v2, false)
+		if err != nil {
+			t.Fatalf("table %d: v2→v1: %v", i, err)
+		}
+		if !bytes.Equal(down, v1) {
+			t.Errorf("table %d: transcoded v1 blob differs from native WriteTo", i)
+		}
+		// Same-version transcodes validate and pass through.
+		if same, err := TranscodeLayer(v1, false); err != nil || !bytes.Equal(same, v1) {
+			t.Errorf("table %d: v1→v1 pass-through: %v", i, err)
+		}
+		if same, err := TranscodeLayer(v2, true); err != nil || !bytes.Equal(same, v2) {
+			t.Errorf("table %d: v2→v2 pass-through: %v", i, err)
+		}
+	}
+}
+
+// saveTableAt serialises a full shift-table container at the given
+// container version.
+func saveTableAt(tb testing.TB, tab *Table[uint64], version uint32) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	var sw *snapshot.Writer
+	var err error
+	if version == snapshot.Version2 {
+		sw, err = snapshot.NewWriterV2(&buf, tab.SnapshotKind())
+	} else {
+		sw, err = snapshot.NewWriter(&buf, tab.SnapshotKind())
+	}
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := tab.PersistSnapshot(sw); err != nil {
+		tb.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func transcodeContainer(tb testing.TB, src []byte, to uint32) []byte {
+	tb.Helper()
+	var out bytes.Buffer
+	if err := snapshot.Transcode(bytes.NewReader(src), int64(len(src)), &out, to); err != nil {
+		tb.Fatalf("transcode container to v%d: %v", to, err)
+	}
+	return out.Bytes()
+}
+
+func loadTableBytes(tb testing.TB, data []byte) *Table[uint64] {
+	tb.Helper()
+	sr, err := snapshot.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tab, err := LoadTableSnapshot[uint64](sr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := sr.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return tab
+}
+
+// TestTranscodeContainerRankIdentical is the end-to-end property the
+// rolling upgrade rests on: a whole shift-table container transcoded
+// v1→v2 (and back) answers every query with the identical rank, whether
+// the transcoded copy is stream-loaded or mapped in place.
+func TestTranscodeContainerRankIdentical(t *testing.T) {
+	for i, tab := range transcodeTables(t) {
+		v1 := saveTableAt(t, tab, snapshot.Version)
+		native2 := saveTableAt(t, tab, snapshot.Version2)
+
+		up := transcodeContainer(t, v1, snapshot.Version2)
+		if !bytes.Equal(up, native2) {
+			t.Errorf("table %d: transcoded container differs from a natively written v2 container", i)
+		}
+		if down := transcodeContainer(t, up, snapshot.Version); !bytes.Equal(down, v1) {
+			t.Errorf("table %d: container round trip is not byte-stable", i)
+		}
+
+		streamed := loadTableBytes(t, up)
+		m, err := snapshot.OpenMappedBytes(up)
+		if err != nil {
+			t.Fatalf("table %d: transcoded container is not mappable: %v", i, err)
+		}
+		if err := m.VerifyAll(); err != nil {
+			t.Fatalf("table %d: transcoded section CRCs: %v", i, err)
+		}
+		mapped, err := MapTableSnapshot[uint64](m)
+		if err != nil {
+			t.Fatalf("table %d: mapping transcoded table: %v", i, err)
+		}
+
+		rng := rand.New(rand.NewSource(int64(i) + 9))
+		hi := tab.keys[len(tab.keys)-1] + 3
+		for q := 0; q < 2000; q++ {
+			k := rng.Uint64() % hi
+			want := tab.Find(k)
+			if got := streamed.Find(k); got != want {
+				t.Fatalf("table %d: streamed Find(%d) = %d, want %d", i, k, got, want)
+			}
+			if got := mapped.Find(k); got != want {
+				t.Fatalf("table %d: mapped Find(%d) = %d, want %d", i, k, got, want)
+			}
+		}
+	}
+}
+
+// TestTranscodeLayerRejectsCorruption walks single-byte corruption and
+// truncation over real blobs: the transcoder may only ever error — no
+// panics, and no silently re-encoded garbage that the strict validators
+// would have caught.
+func TestTranscodeLayerRejectsCorruption(t *testing.T) {
+	tabs := transcodeTables(t)
+	tab := tabs[0]
+	for _, v2 := range []bool{false, true} {
+		blob := layerBytes(t, tab, v2)
+		for cut := 0; cut < len(blob); cut += 13 {
+			if _, err := TranscodeLayer(blob[:cut], !v2); err == nil {
+				t.Errorf("v2=%v: truncation at %d transcoded cleanly", v2, cut)
+			}
+		}
+	}
+}
+
+func FuzzTranscodeLayer(f *testing.F) {
+	keys := dataset.MustGenerate(dataset.Face, 64, 3_000, 5)
+	model := cdfmodel.NewInterpolation(keys)
+	for _, cfg := range []Config{{Mode: ModeRange}, {Mode: ModeMidpoint}, {Mode: ModeRange, M: 99}} {
+		tab, err := Build(keys, model, cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(layerBytes(f, tab, false))
+		f.Add(layerBytes(f, tab, true))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, toV2 := range []bool{false, true} {
+			out, err := TranscodeLayer(data, toV2)
+			if err != nil {
+				continue
+			}
+			// Anything accepted must be stable under a second transcode in
+			// the same direction and reversible back to itself.
+			again, err := TranscodeLayer(out, toV2)
+			if err != nil || !bytes.Equal(again, out) {
+				t.Fatalf("toV2=%v: accepted output not idempotent: %v", toV2, err)
+			}
+			back, err := TranscodeLayer(out, !toV2)
+			if err != nil {
+				t.Fatalf("toV2=%v: accepted output failed the reverse transcode: %v", toV2, err)
+			}
+			roundTrip, err := TranscodeLayer(back, toV2)
+			if err != nil || !bytes.Equal(roundTrip, out) {
+				t.Fatalf("toV2=%v: round trip is not byte-stable: %v", toV2, err)
+			}
+		}
+	})
+}
+
+// BenchmarkTranscodeContainer measures the section-by-section rewrite a
+// replica performs when bridging a format-skewed artifact.
+func BenchmarkTranscodeContainer(b *testing.B) {
+	keys := dataset.MustGenerate(dataset.Face, 64, 200_000, 5)
+	tab, err := Build(keys, cdfmodel.NewInterpolation(keys), Config{Mode: ModeRange})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := saveTableAt(b, tab, snapshot.Version)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out bytes.Buffer
+		out.Grow(len(src) * 2)
+		if err := snapshot.Transcode(bytes.NewReader(src), int64(len(src)), &out, snapshot.Version2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -77,9 +77,25 @@ func Map(path string) (*Region, error) {
 	if st.Size() > int64(maxInt) {
 		return nil, fmt.Errorf("mapped: %s is %d bytes, larger than the address space", path, st.Size())
 	}
+	if testHookBeforeMap != nil {
+		testHookBeforeMap(path)
+	}
 	data, real, err := mapFile(f, int(st.Size()))
 	if err != nil {
 		return nil, fmt.Errorf("mapped: mapping %s: %w", path, err)
+	}
+	// Re-stat through the same still-open fd and refuse if the size moved
+	// between the stat and the mapping (a writer truncating or appending
+	// concurrently). Without this check a shrunk file turns later page
+	// faults into SIGBUS — a crash the verifier can never catch, because
+	// every byte currently mapped still checksums clean.
+	if st2, err := f.Stat(); err != nil || st2.Size() != st.Size() {
+		unmap(data, real)
+		if err != nil {
+			return nil, fmt.Errorf("mapped: re-stat %s: %w", path, err)
+		}
+		return nil, fmt.Errorf("mapped: %s changed size from %d to %d bytes while being mapped (concurrent writer)",
+			path, st.Size(), st2.Size())
 	}
 	r := &Region{data: data, path: abs, real: real}
 	r.refs.Store(1)
@@ -170,6 +186,10 @@ func PathInUse(path string) bool {
 }
 
 const maxInt = int(^uint(0) >> 1)
+
+// testHookBeforeMap, when set by a test, runs between the size stat and
+// the mapping — the window the re-stat check closes.
+var testHookBeforeMap func(path string)
 
 // hostLittleEndian reports the byte order views require: the v2 layout
 // stores all integers little-endian, and an in-place view is only a

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -205,5 +206,60 @@ func TestResidencyReplanFollowsHeat(t *testing.T) {
 	}
 	if got := res.Stats().Plans; got != 2 {
 		t.Fatalf("Plans = %d, want 2", got)
+	}
+}
+
+// TestMapRefusesConcurrentResize closes the stat→mmap TOCTOU window: a
+// file whose size changes between the initial stat and the mapping must
+// be refused, never returned as a region whose length disagrees with
+// the bytes on disk (a shrink would turn later faults into SIGBUS).
+func TestMapRefusesConcurrentResize(t *testing.T) {
+	for _, dir := range []struct {
+		name   string
+		resize func(path string, t *testing.T)
+	}{
+		{"truncated", func(path string, t *testing.T) {
+			if err := os.Truncate(path, PageSize); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"grown", func(path string, t *testing.T) {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(make([]byte, PageSize)); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "region.bin")
+			if err := os.WriteFile(path, make([]byte, 3*PageSize), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			testHookBeforeMap = func(p string) { dir.resize(path, t) }
+			defer func() { testHookBeforeMap = nil }()
+			r, err := Map(path)
+			if err == nil {
+				r.Release()
+				t.Fatal("Map returned a region over a concurrently-resized file")
+			}
+			if !strings.Contains(err.Error(), "changed size") {
+				t.Fatalf("refusal does not name the race: %v", err)
+			}
+			// The path must not be left registered by the aborted map.
+			if PathInUse(path) {
+				t.Fatal("aborted Map left the path registered")
+			}
+			// And with the writer gone the same path maps cleanly.
+			testHookBeforeMap = nil
+			r, err = Map(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Release()
+		})
 	}
 }

@@ -52,6 +52,12 @@ type ReplicaConfig struct {
 	Seed int64
 	// LoadMode selects streaming vs mapped installs (default LoadAuto).
 	LoadMode LoadMode
+	// MaxFormat caps the container format this replica serves from
+	// (0 = anything this build reads). Setting 1 models an old-format
+	// member of a mixed-version fleet: it prefers the manifest's v1 alt
+	// and bridges v2-only artifacts down locally instead of failing the
+	// sync — the version-skew half of a rolling upgrade (DESIGN.md §13).
+	MaxFormat uint32
 }
 
 // Replica serves one continuously-refreshed copy of a published index.
@@ -71,11 +77,21 @@ type Replica[K kv.Key] struct {
 	rnd     *rand.Rand
 	version uint64 // installed version (0 = none)
 	baseVer uint64 // installed base full version
-	baseCRC uint32 // content binding of the base artifact
+	baseCRC uint32 // identity of the base: the manifest primary's CRC, what deltas bind to
 	base    *concurrent.State[K]
 	latest  uint64 // newest version a verified manifest announced
 	fails   int    // consecutive failed Syncs
 	lastErr error
+
+	// The local artifact actually serving the base. Its bytes (and so its
+	// CRC) differ from the identity above whenever an alt was picked or a
+	// local transcode bridged the format gap.
+	baseFile       string
+	baseFileCRC    uint32
+	baseFormat     uint32 // container format of baseFile (0 = unknown)
+	baseTranscoded bool   // baseFile was produced by a local transcode
+	transcodes     int    // local transcodes performed over this replica's lifetime
+	lastDecision   string // human-readable record of the last install's format choice
 }
 
 // NewReplica builds a replica fetching from store, keeping its local
@@ -129,6 +145,18 @@ type Status struct {
 	// that region.
 	Mapped      bool
 	MappedBytes int64
+	// Format is the container format of the local artifact serving the
+	// base (0 = nothing installed or format unknown), and Transcoded
+	// whether that artifact was produced by a local format bridge rather
+	// than fetched as-is. Transcodes counts local bridges over the
+	// replica's lifetime; LastDecision records, in words, how the last
+	// install chose its format (fetched primary / fetched alt /
+	// transcoded) — the audit trail a rolling upgrade reads to confirm
+	// the skew path it expected is the one that ran.
+	Format       uint32
+	Transcoded   bool
+	Transcodes   int
+	LastDecision string
 }
 
 // Status returns the current health report.
@@ -136,13 +164,17 @@ func (r *Replica[K]) Status() Status {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return Status{
-		Version:     r.version,
-		Latest:      r.latest,
-		Stale:       r.version < r.latest,
-		Failures:    r.fails,
-		LastErr:     r.lastErr,
-		Mapped:      r.ix.Mapped(),
-		MappedBytes: r.ix.MappedBytes(),
+		Version:      r.version,
+		Latest:       r.latest,
+		Stale:        r.version < r.latest,
+		Failures:     r.fails,
+		LastErr:      r.lastErr,
+		Mapped:       r.ix.Mapped(),
+		MappedBytes:  r.ix.MappedBytes(),
+		Format:       r.baseFormat,
+		Transcoded:   r.baseTranscoded,
+		Transcodes:   r.transcodes,
+		LastDecision: r.lastDecision,
 	}
 }
 
@@ -194,6 +226,13 @@ func (r *Replica[K]) sync(ctx context.Context) error {
 	m, err := r.fetchManifest(ctx)
 	if err != nil {
 		return err
+	}
+	if m.FormatMin > snap.Version2 {
+		// Even the oldest format the store still publishes is newer than
+		// anything this build reads or transcodes. Nothing to bridge —
+		// this replica needs a binary upgrade, and says so typed.
+		return fmt.Errorf("replica: store publishes container formats %d..%d, this build reads up to %d: %w",
+			m.FormatMin, m.FormatMax, snap.Version2, snap.ErrVersionUnsupported)
 	}
 	r.latest = m.Latest
 	if m.Latest <= r.version {
@@ -256,15 +295,15 @@ func (r *Replica[K]) fetchManifest(ctx context.Context) (*Manifest, error) {
 // verified spool file is renamed to its final local name; a short,
 // corrupt, or oversized stream fails the attempt (and retries). Returns
 // the local path.
-func (r *Replica[K]) fetchArtifact(ctx context.Context, e *Entry) (string, error) {
-	final := filepath.Join(r.dir, e.File)
+func (r *Replica[K]) fetchArtifact(ctx context.Context, file string, size int64, crc uint32) (string, error) {
+	final := filepath.Join(r.dir, file)
 	// A verified local copy from a previous (possibly killed) run is as
 	// good as a fetch: content addressing by size+CRC.
-	if sz, sum, err := fileSum(final); err == nil && sz == e.Size && sum == e.CRC {
+	if sz, sum, err := fileSum(final); err == nil && sz == size && sum == crc {
 		return final, nil
 	}
 	err := r.cfg.Retry.do(ctx, r.rnd, func(ctx context.Context) error {
-		rc, err := r.store.Get(ctx, e.File)
+		rc, err := r.store.Get(ctx, file)
 		if err != nil {
 			return err
 		}
@@ -281,16 +320,16 @@ func (r *Replica[K]) fetchArtifact(ctx context.Context, e *Entry) (string, error
 			}
 		}()
 		h := crc32.New(castagnoli)
-		n, err := io.Copy(io.MultiWriter(tmp, h), io.LimitReader(rc, e.Size+1))
+		n, err := io.Copy(io.MultiWriter(tmp, h), io.LimitReader(rc, size+1))
 		if err != nil {
-			return fmt.Errorf("replica: fetching %s: %w", e.File, err)
+			return fmt.Errorf("replica: fetching %s: %w", file, err)
 		}
-		if n != e.Size {
-			return fmt.Errorf("replica: %s is %d bytes, manifest records %d", e.File, n, e.Size)
+		if n != size {
+			return fmt.Errorf("replica: %s is %d bytes, manifest records %d", file, n, size)
 		}
-		if h.Sum32() != e.CRC {
+		if h.Sum32() != crc {
 			return fmt.Errorf("replica: %s checksum mismatch: manifest records %08x, stream sums to %08x",
-				e.File, e.CRC, h.Sum32())
+				file, crc, h.Sum32())
 		}
 		if err := tmp.Sync(); err != nil {
 			return err
@@ -310,42 +349,138 @@ func (r *Replica[K]) fetchArtifact(ctx context.Context, e *Entry) (string, error
 	return final, nil
 }
 
-// installFull fetches, verifies, and swaps in a full snapshot.
+// desiredFormat resolves the container format this replica wants its
+// base artifact in: 0 means no preference (the streaming load reads
+// every supported layout, so whatever the store has is fine).
+func (r *Replica[K]) desiredFormat() uint32 {
+	if r.cfg.MaxFormat != 0 && r.cfg.MaxFormat < snap.Version2 {
+		return snap.Version
+	}
+	if r.useMap() {
+		return snap.Version2
+	}
+	return 0
+}
+
+// artifactPlan is one fetchable rendition of a full snapshot.
+type artifactPlan struct {
+	file   string
+	size   int64
+	crc    uint32
+	format uint32 // 0 = unrecorded (pre-format manifest); sniffed after fetch
+	alt    bool
+}
+
+// planFull picks which rendition of the full to fetch: the one already
+// in the desired format when the manifest lists it (primary or alt — the
+// dual-format window), otherwise the best rendition this build can read
+// at all, otherwise the primary (and installFull bridges or fails from
+// there).
+func (r *Replica[K]) planFull(e *Entry, desired uint32) artifactPlan {
+	primary := artifactPlan{file: e.File, size: e.Size, crc: e.CRC, format: e.Format}
+	if desired != 0 && e.Format == desired {
+		return primary
+	}
+	for _, a := range e.Alts {
+		if desired != 0 && a.Format == desired {
+			return artifactPlan{file: a.File, size: a.Size, crc: a.CRC, format: a.Format, alt: true}
+		}
+	}
+	// No exact match. If the primary is a format this build cannot even
+	// parse, a readable alt is the only bridgeable starting point.
+	if e.Format > snap.Version2 {
+		for _, a := range e.Alts {
+			if a.Format != 0 && a.Format <= snap.Version2 {
+				return artifactPlan{file: a.File, size: a.Size, crc: a.CRC, format: a.Format, alt: true}
+			}
+		}
+	}
+	return primary
+}
+
+// installFull fetches the best-format rendition of a full snapshot,
+// bridges it locally when the store has no rendition in the desired
+// format, verifies, and swaps it in. The skew-tolerance contract: as
+// long as any listed rendition is in a format this build reads, the sync
+// succeeds — a "wrong"-format artifact is upgraded (or downgraded) in
+// place, never refused.
 func (r *Replica[K]) installFull(ctx context.Context, e *Entry) error {
-	path, err := r.fetchArtifact(ctx, e)
+	desired := r.desiredFormat()
+	plan := r.planFull(e, desired)
+	path, err := r.fetchArtifact(ctx, plan.file, plan.size, plan.crc)
 	if err != nil {
 		return err
+	}
+	format := plan.format
+	if format == 0 {
+		// Pre-format manifest entry: learn the layout from the bytes.
+		if v, err := snap.SniffVersion(path); err == nil {
+			format = v
+		}
+	}
+	installPath, installFile, fileCRC := path, plan.file, plan.crc
+	srcFormat := format
+	transcoded := false
+	if desired != 0 && format != 0 && format != desired {
+		// Version-skew bridge: rewrite the fetched rendition into the
+		// format this replica serves from, next to it, under the same
+		// naming scheme the publisher's alts use (the bytes are identical
+		// by the transcode round-trip guarantee, so the names can share).
+		xfile := fmt.Sprintf("full-%08d.f%d.snap", e.Version, desired)
+		xpath := filepath.Join(r.dir, xfile)
+		if err := snap.TranscodeFile(path, xpath, desired); err != nil {
+			return fmt.Errorf("replica: bridging %s from format %d to %d: %w", plan.file, format, desired, err)
+		}
+		_, xsum, err := fileSum(xpath)
+		if err != nil {
+			return err
+		}
+		installPath, installFile, fileCRC = xpath, xfile, xsum
+		format, transcoded = desired, true
 	}
 	// Warm load off the serving path: mapped installs view the spooled
 	// (already stream-verified) artifact in place; streaming installs
 	// re-verify the container checksum during the parse. Either way
 	// nothing touches the serving index until the state stands.
-	st, err := r.loadState(path)
+	st, err := r.loadState(installPath)
 	if err != nil {
-		os.Remove(path)
-		return fmt.Errorf("replica: loading %s: %w", e.File, err)
+		os.Remove(installPath)
+		return fmt.Errorf("replica: loading %s: %w", installFile, err)
 	}
 	if got := st.ModelFingerprint(); got != e.Fingerprint {
-		os.Remove(path)
-		return fmt.Errorf("replica: %s model fingerprint %016x, manifest records %016x", e.File, got, e.Fingerprint)
+		os.Remove(installPath)
+		return fmt.Errorf("replica: %s model fingerprint %016x, manifest records %016x", installFile, got, e.Fingerprint)
 	}
 	if got := uint64(st.Len()); got != e.Keys {
-		os.Remove(path)
-		return fmt.Errorf("replica: %s holds %d live keys, manifest records %d", e.File, got, e.Keys)
+		os.Remove(installPath)
+		return fmt.Errorf("replica: %s holds %d live keys, manifest records %d", installFile, got, e.Keys)
 	}
 	if err := r.ix.InstallState(st, e.Version); err != nil {
 		return err
 	}
+	// Identity vs bytes: baseCRC stays the manifest primary's CRC — the
+	// binding deltas carry — while baseFileCRC records the local file
+	// actually serving, which differs across an alt or a bridge.
 	r.version, r.baseVer, r.baseCRC, r.base = e.Version, e.Version, e.CRC, st
-	r.persistLocalState(e.File, "")
-	r.gc(e.File, "")
+	r.baseFile, r.baseFileCRC, r.baseFormat, r.baseTranscoded = installFile, fileCRC, format, transcoded
+	switch {
+	case transcoded:
+		r.transcodes++
+		r.lastDecision = fmt.Sprintf("fetched %s (format %d), transcoded locally to format %d", plan.file, srcFormat, desired)
+	case plan.alt:
+		r.lastDecision = fmt.Sprintf("fetched alt %s (format %d)", plan.file, format)
+	default:
+		r.lastDecision = fmt.Sprintf("fetched primary %s (format %d)", plan.file, format)
+	}
+	r.persistLocalState("")
+	r.gc(installFile, plan.file)
 	return nil
 }
 
 // applyDelta fetches, verifies, and applies a generation-stack delta
 // over the installed base.
 func (r *Replica[K]) applyDelta(ctx context.Context, m *Manifest, e *Entry) error {
-	path, err := r.fetchArtifact(ctx, e)
+	path, err := r.fetchArtifact(ctx, e.File, e.Size, e.CRC)
 	if err != nil {
 		return err
 	}
@@ -367,28 +502,31 @@ func (r *Replica[K]) applyDelta(ctx context.Context, m *Manifest, e *Entry) erro
 		return err
 	}
 	r.version = e.Version
-	base := m.Lookup(r.baseVer)
-	baseFile := ""
-	if base != nil {
-		baseFile = base.File
-	}
-	r.persistLocalState(baseFile, e.File)
-	r.gc(baseFile, e.File)
+	r.persistLocalState(e.File)
+	r.gc(r.baseFile, e.File)
 	return nil
 }
 
 // persistLocalState writes the warm-restart record (atomic rename; best
-// effort — a failure only costs the next process a cold start).
-func (r *Replica[K]) persistLocalState(baseFile, deltaFile string) {
+// effort — a failure only costs the next process a cold start). The base
+// line records the identity CRC (what deltas bind to); the local line
+// records the serving file's own CRC and format, which diverge whenever
+// an alt or a local transcode served the install.
+func (r *Replica[K]) persistLocalState(deltaFile string) {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "shift-replica-state 1\n")
+	fmt.Fprintf(&b, "shift-replica-state 2\n")
 	fmt.Fprintf(&b, "version %d\n", r.version)
-	fmt.Fprintf(&b, "base %d %08x %s\n", r.baseVer, r.baseCRC, baseFile)
+	fmt.Fprintf(&b, "base %d %08x %s\n", r.baseVer, r.baseCRC, r.baseFile)
+	x := 0
+	if r.baseTranscoded {
+		x = 1
+	}
+	fmt.Fprintf(&b, "local %08x %d %d\n", r.baseFileCRC, r.baseFormat, x)
 	if deltaFile != "" {
 		fmt.Fprintf(&b, "delta %s\n", deltaFile)
 	}
 	fmt.Fprintf(&b, "crc32c %08x\n", crc32.Checksum(b.Bytes(), castagnoli))
-	if baseFile == "" {
+	if r.baseFile == "" {
 		return
 	}
 	_ = DirStore{Dir: r.dir}.Put(context.Background(), stateName, bytes.NewReader(b.Bytes()))
@@ -403,30 +541,36 @@ func (r *Replica[K]) warmRestart() {
 	if err != nil {
 		return
 	}
-	ver, baseVer, baseCRC, baseFile, deltaFile, err := parseLocalState(data)
-	if err != nil || baseFile == "" {
+	ls, err := parseLocalState(data)
+	if err != nil || ls.baseFile == "" {
 		return
 	}
-	basePath := filepath.Join(r.dir, baseFile)
-	st := r.restoreBase(basePath, baseCRC)
+	basePath := filepath.Join(r.dir, ls.baseFile)
+	// Verify against the file's own CRC — the bytes on disk — not the
+	// identity CRC, which names the manifest primary the install was
+	// derived from and only matches the file when no alt or transcode
+	// intervened. (A v1 record carries no local line; then they coincide.)
+	st := r.restoreBase(basePath, ls.fileCRC)
 	if st == nil {
 		return
 	}
-	if err := r.ix.InstallState(st, baseVer); err != nil {
+	if err := r.ix.InstallState(st, ls.baseVer); err != nil {
 		return
 	}
-	r.version, r.baseVer, r.baseCRC, r.base = baseVer, baseVer, baseCRC, st
-	if deltaFile == "" || ver == baseVer {
+	r.version, r.baseVer, r.baseCRC, r.base = ls.baseVer, ls.baseVer, ls.baseCRC, st
+	r.baseFile, r.baseFileCRC, r.baseFormat, r.baseTranscoded = ls.baseFile, ls.fileCRC, ls.format, ls.transcoded
+	r.lastDecision = fmt.Sprintf("warm restart from %s (format %d)", ls.baseFile, ls.format)
+	if ls.deltaFile == "" || ls.ver == ls.baseVer {
 		return
 	}
-	d, err := concurrent.LoadDeltaFile[K](filepath.Join(r.dir, deltaFile))
-	if err != nil || d.Info.Version != ver || d.Info.Base != baseVer || d.Info.BaseCRC != baseCRC {
+	d, err := concurrent.LoadDeltaFile[K](filepath.Join(r.dir, ls.deltaFile))
+	if err != nil || d.Info.Version != ls.ver || d.Info.Base != ls.baseVer || d.Info.BaseCRC != ls.baseCRC {
 		return // base alone serves; next Sync re-fetches the delta
 	}
-	if err := r.ix.InstallDelta(r.base, d, ver); err != nil {
+	if err := r.ix.InstallDelta(r.base, d, ls.ver); err != nil {
 		return
 	}
-	r.version = ver
+	r.version = ls.ver
 }
 
 // restoreBase re-verifies and reopens the recorded base artifact for a
@@ -462,59 +606,103 @@ func (r *Replica[K]) restoreBase(basePath string, baseCRC uint32) *concurrent.St
 	return st
 }
 
-func parseLocalState(data []byte) (ver, baseVer uint64, baseCRC uint32, baseFile, deltaFile string, err error) {
+// localState is the parsed warm-restart record. fileCRC and format come
+// from the v2 local line; a v1 record (written before the format bridge
+// existed) has neither, so fileCRC defaults to the identity baseCRC —
+// correct for v1-era installs, which always served the primary as-is.
+type localState struct {
+	ver, baseVer uint64
+	baseCRC      uint32 // identity: the manifest primary's CRC
+	fileCRC      uint32 // CRC of the local base file itself
+	format       uint32
+	transcoded   bool
+	baseFile     string
+	deltaFile    string
+}
+
+func parseLocalState(data []byte) (localState, error) {
+	var ls localState
 	tail := bytes.LastIndex(data, []byte("crc32c "))
 	if tail < 0 {
-		return 0, 0, 0, "", "", fmt.Errorf("no checksum line")
+		return ls, fmt.Errorf("no checksum line")
 	}
 	var want uint32
 	if _, err := fmt.Sscanf(string(data[tail:]), "crc32c %08x\n", &want); err != nil {
-		return 0, 0, 0, "", "", err
+		return ls, err
 	}
 	if crc32.Checksum(data[:tail], castagnoli) != want {
-		return 0, 0, 0, "", "", fmt.Errorf("checksum mismatch")
+		return ls, fmt.Errorf("checksum mismatch")
 	}
+	stateVer := 0
+	haveLocal := false
 	sc := bufio.NewScanner(bytes.NewReader(data[:tail]))
 	for sc.Scan() {
 		f := strings.Fields(sc.Text())
 		if len(f) == 0 {
 			continue
 		}
+		var err error
 		switch f[0] {
 		case "shift-replica-state":
-			if len(f) != 2 || f[1] != "1" {
-				return 0, 0, 0, "", "", fmt.Errorf("unsupported state version")
+			if len(f) != 2 || (f[1] != "1" && f[1] != "2") {
+				return ls, fmt.Errorf("unsupported state version")
 			}
+			stateVer, _ = strconv.Atoi(f[1])
 		case "version":
 			if len(f) != 2 {
-				return 0, 0, 0, "", "", fmt.Errorf("malformed version line")
+				return ls, fmt.Errorf("malformed version line")
 			}
-			if ver, err = strconv.ParseUint(f[1], 10, 64); err != nil {
-				return 0, 0, 0, "", "", err
+			if ls.ver, err = strconv.ParseUint(f[1], 10, 64); err != nil {
+				return ls, err
 			}
 		case "base":
 			if len(f) != 4 || !validName(f[3]) {
-				return 0, 0, 0, "", "", fmt.Errorf("malformed base line")
+				return ls, fmt.Errorf("malformed base line")
 			}
-			if baseVer, err = strconv.ParseUint(f[1], 10, 64); err != nil {
-				return 0, 0, 0, "", "", err
+			if ls.baseVer, err = strconv.ParseUint(f[1], 10, 64); err != nil {
+				return ls, err
 			}
 			c, cerr := strconv.ParseUint(f[2], 16, 32)
 			if cerr != nil {
-				return 0, 0, 0, "", "", cerr
+				return ls, cerr
 			}
-			baseCRC = uint32(c)
-			baseFile = f[3]
+			ls.baseCRC = uint32(c)
+			ls.baseFile = f[3]
+		case "local":
+			if stateVer < 2 || len(f) != 4 {
+				return ls, fmt.Errorf("malformed local line")
+			}
+			c, cerr := strconv.ParseUint(f[1], 16, 32)
+			if cerr != nil {
+				return ls, cerr
+			}
+			ls.fileCRC = uint32(c)
+			fv, ferr := strconv.ParseUint(f[2], 10, 32)
+			if ferr != nil {
+				return ls, ferr
+			}
+			ls.format = uint32(fv)
+			switch f[3] {
+			case "0":
+			case "1":
+				ls.transcoded = true
+			default:
+				return ls, fmt.Errorf("malformed local line")
+			}
+			haveLocal = true
 		case "delta":
 			if len(f) != 2 || !validName(f[1]) {
-				return 0, 0, 0, "", "", fmt.Errorf("malformed delta line")
+				return ls, fmt.Errorf("malformed delta line")
 			}
-			deltaFile = f[1]
+			ls.deltaFile = f[1]
 		default:
-			return 0, 0, 0, "", "", fmt.Errorf("unknown directive %q", f[0])
+			return ls, fmt.Errorf("unknown directive %q", f[0])
 		}
 	}
-	return ver, baseVer, baseCRC, baseFile, deltaFile, sc.Err()
+	if !haveLocal {
+		ls.fileCRC = ls.baseCRC
+	}
+	return ls, sc.Err()
 }
 
 // sweepTemps removes fetch/put temporaries a killed predecessor left in

@@ -155,7 +155,7 @@ func TestTruncatedTransferIsTransportError(t *testing.T) {
 	}
 	defer r.Close()
 
-	_, err = r.fetchArtifact(context.Background(), e)
+	_, err = r.fetchArtifact(context.Background(), e.File, e.Size, e.CRC)
 	if err == nil {
 		t.Fatal("fetchArtifact accepted a truncated transfer")
 	}

@@ -1,0 +1,311 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/snapshot"
+)
+
+// countArtifacts reports how many final-named snapshot files sit in dir.
+func countArtifacts(t *testing.T, dir string) (fulls, deltas, temps int) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		n := e.Name()
+		switch {
+		case strings.HasPrefix(n, "full-"):
+			fulls++
+		case strings.HasPrefix(n, "delta-"):
+			deltas++
+		case strings.HasPrefix(n, ".fetch-") || strings.Contains(n, ".tmp-"):
+			temps++
+		}
+	}
+	return
+}
+
+// TestSyncSkewBridging is the tentpole property at the replica level: a
+// replica whose preferred container format disagrees with what the store
+// publishes still converges on every sync — via the manifest's alt when
+// the dual-format window is open, via a local transcode otherwise — and
+// never surfaces ErrVersionUnsupported as long as one listed rendition
+// is readable. Deltas must keep applying over the bridged base, because
+// the identity CRC they bind to names the primary artifact, not the
+// local bytes.
+func TestSyncSkewBridging(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name           string
+		pubFormats     []uint32
+		replica        ReplicaConfig
+		wantFormat     uint32
+		wantTranscoded bool
+		wantDecision   string
+	}{
+		{
+			name:           "old replica, v2-only store: bridge down",
+			pubFormats:     []uint32{snapshot.Version2},
+			replica:        ReplicaConfig{MaxFormat: 1},
+			wantFormat:     snapshot.Version,
+			wantTranscoded: true,
+			wantDecision:   "transcoded locally to format 1",
+		},
+		{
+			name:           "old replica, dual-format window: fetch the alt",
+			pubFormats:     []uint32{snapshot.Version2, snapshot.Version},
+			replica:        ReplicaConfig{MaxFormat: 1},
+			wantFormat:     snapshot.Version,
+			wantTranscoded: false,
+			wantDecision:   "fetched alt",
+		},
+		{
+			name:           "new replica, v1-only store: bridge up",
+			pubFormats:     []uint32{snapshot.Version},
+			replica:        ReplicaConfig{LoadMode: LoadMap},
+			wantFormat:     snapshot.Version2,
+			wantTranscoded: true,
+			wantDecision:   "transcoded locally to format 2",
+		},
+		{
+			name:           "matched formats: fetch the primary as-is",
+			pubFormats:     []uint32{snapshot.Version2},
+			replica:        ReplicaConfig{LoadMode: LoadMap},
+			wantFormat:     snapshot.Version2,
+			wantTranscoded: false,
+			wantDecision:   "fetched primary",
+		},
+		{
+			name:           "heap replica takes any format without bridging",
+			pubFormats:     []uint32{snapshot.Version},
+			replica:        ReplicaConfig{LoadMode: LoadHeap},
+			wantFormat:     snapshot.Version,
+			wantTranscoded: false,
+			wantDecision:   "fetched primary",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			store := DirStore{Dir: t.TempDir()}
+			primary := newPrimary(t, seqKeys(4000, 53))
+			pub, err := NewPublisher(ctx, store, primary, PublisherConfig{
+				Spool: t.TempDir(), Formats: tc.pubFormats,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := pub.Publish(ctx); err != nil {
+				t.Fatal(err)
+			}
+
+			cfg := tc.replica
+			cfg.Retry = fastRetry
+			dir := t.TempDir()
+			r, err := NewReplica[uint64](store, dir, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if err := r.Sync(ctx); err != nil {
+				t.Fatalf("skewed sync: %v", err)
+			}
+			checkServing(t, r, primary.Published(), 1)
+			st := r.Status()
+			if st.Format != tc.wantFormat || st.Transcoded != tc.wantTranscoded {
+				t.Fatalf("status format=%d transcoded=%v, want %d/%v (%s)",
+					st.Format, st.Transcoded, tc.wantFormat, tc.wantTranscoded, st.LastDecision)
+			}
+			if !strings.Contains(st.LastDecision, tc.wantDecision) {
+				t.Fatalf("decision %q does not record %q", st.LastDecision, tc.wantDecision)
+			}
+
+			// A delta over the (possibly bridged) base must still bind: the
+			// replica's identity CRC is the manifest primary's, whatever
+			// bytes serve locally.
+			for i := 0; i < 700; i++ {
+				primary.Insert(uint64(i)*17 + 9)
+			}
+			if v, full, err := pub.Publish(ctx); err != nil || full || v != 2 {
+				t.Fatalf("delta publish: v=%d full=%v err=%v", v, full, err)
+			}
+			if err := r.Sync(ctx); err != nil {
+				t.Fatalf("delta sync over bridged base: %v", err)
+			}
+			checkServing(t, r, primary.Published(), 2)
+			if st := r.Status(); st.LastErr != nil || st.Failures != 0 {
+				t.Fatalf("post-delta status: %+v", st)
+			}
+		})
+	}
+}
+
+// TestWarmRestartBridgedBase pins the v2 local-state record: a replica
+// that installed a locally transcoded base warm-restarts from it — the
+// file CRC it verifies is the transcoded file's, distinct from the
+// identity CRC deltas bind to — without touching the store.
+func TestWarmRestartBridgedBase(t *testing.T) {
+	ctx := context.Background()
+	store := DirStore{Dir: t.TempDir()}
+	primary := newPrimary(t, seqKeys(3000, 41))
+	pub, err := NewPublisher(ctx, store, primary, PublisherConfig{Spool: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pub.Publish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Ride a delta on top so the restart exercises base+delta replay.
+	for i := 0; i < 300; i++ {
+		primary.Insert(uint64(i)*29 + 11)
+	}
+	if _, _, err := pub.Publish(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	r, err := NewReplica[uint64](store, dir, ReplicaConfig{Retry: fastRetry, MaxFormat: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Status(); !st.Transcoded || st.Format != snapshot.Version {
+		t.Fatalf("pre-restart status: %+v", st)
+	}
+	r.Close()
+
+	// RefuseStore: the warm restart must be served entirely from dir.
+	r2, err := NewReplica[uint64](RefuseStore{}, dir, ReplicaConfig{Retry: fastRetry, MaxFormat: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	checkServing(t, r2, primary.Published(), 2)
+	st := r2.Status()
+	if st.Version != 2 || !st.Transcoded || st.Format != snapshot.Version {
+		t.Fatalf("warm restart status: %+v", st)
+	}
+	if !strings.Contains(st.LastDecision, "warm restart") {
+		t.Fatalf("decision after restart: %q", st.LastDecision)
+	}
+}
+
+// TestSyncNeverRefusesBridgeableManifest: a manifest declaring a format
+// range that merely *includes* versions this build cannot write is fine;
+// refusal is reserved for a range whose floor is beyond what this build
+// can even read. (The refusal path is exercised with a hand-built
+// manifest because this publisher cannot write future formats.)
+func TestSyncNeverRefusesBridgeableManifest(t *testing.T) {
+	ctx := context.Background()
+	store := DirStore{Dir: t.TempDir()}
+	primary := newPrimary(t, seqKeys(2000, 37))
+	pub, err := NewPublisher(ctx, store, primary, PublisherConfig{
+		Spool: t.TempDir(), Formats: []uint32{snapshot.Version2, snapshot.Version},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pub.Publish(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReplica[uint64](store, t.TempDir(), ReplicaConfig{Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Now rewrite the manifest to declare formats 3..4: every rendition
+	// is unreadable, so the sync must refuse typed — and not retry.
+	m := pub.Manifest()
+	m.FormatMin, m.FormatMax = 3, 4
+	for i := range m.Entries {
+		if !m.Entries[i].Delta {
+			m.Entries[i].Format = 3
+			for j := range m.Entries[i].Alts {
+				m.Entries[i].Alts[j].Format = 4
+			}
+		}
+	}
+	m.Latest++ // force the replica past the already-installed check
+	m.Entries[len(m.Entries)-1].Version = m.Latest
+	if err := store.Put(ctx, ManifestName, bytes.NewReader(m.Encode())); err != nil {
+		t.Fatal(err)
+	}
+	err = r.Sync(ctx)
+	if !errors.Is(err, snapshot.ErrVersionUnsupported) {
+		t.Fatalf("all-future formats: err = %v, want ErrVersionUnsupported", err)
+	}
+	checkServing(t, r, primary.Published(), 1) // last-good keeps serving
+}
+
+// TestSyncCancelDuringSpool is the torn-spool satellite: cancelling a
+// Sync mid-artifact-copy must leave no .fetch- temporaries and no
+// partial final-named files, and a fresh NewReplica over the same dir
+// sweeps whatever a killed predecessor could have left.
+func TestSyncCancelDuringSpool(t *testing.T) {
+	ctx := context.Background()
+	fs := NewFaultStore(DirStore{Dir: t.TempDir()})
+	primary := newPrimary(t, seqKeys(4000, 61))
+	pub, err := NewPublisher(ctx, Store(fs), primary, PublisherConfig{Spool: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pub.Publish(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall the artifact stream mid-body forever; cancel the sync while
+	// it hangs inside the spool copy.
+	fs.Inject(Fault{Name: "full-00000001.snap", Kind: FaultStall, Offset: 4096, Delay: time.Hour, Count: -1})
+	dir := t.TempDir()
+	r, err := NewReplica[uint64](fs, dir, ReplicaConfig{Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if err := r.Sync(cctx); err == nil {
+		t.Fatal("sync succeeded through a stalled transfer")
+	}
+	fulls, deltas, temps := countArtifacts(t, dir)
+	if fulls != 0 || deltas != 0 || temps != 0 {
+		t.Fatalf("cancelled spool left fulls=%d deltas=%d temps=%d in %s", fulls, deltas, temps, dir)
+	}
+
+	// A SIGKILLed predecessor cannot run cleanup deferreds: plant the
+	// remnants one would leave and verify construction sweeps them.
+	for _, n := range []string{".fetch-123456", ".REPLICA_STATE.tmp-42", ".put-7"} {
+		if err := os.WriteFile(filepath.Join(dir, n), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.Clear()
+	r2, err := NewReplica[uint64](fs, dir, ReplicaConfig{Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, _, temps := countArtifacts(t, dir); temps != 0 {
+		t.Fatalf("NewReplica left %d temp remnants", temps)
+	}
+	// And the swept replica still converges.
+	if err := r2.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	checkServing(t, r2, primary.Published(), 1)
+}

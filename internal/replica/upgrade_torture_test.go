@@ -1,0 +1,312 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/concurrent"
+	snap "repro/internal/snapshot"
+)
+
+// Mixed-version torture: the kill/restart harness from torture_test.go,
+// run across a rolling snapshot-format upgrade. The publisher walks the
+// upgrade's format epochs — v1-only, the dual-format window, v2-only —
+// while child incarnations alternate between an "old binary" (MaxFormat
+// 1, must bridge published v2 artifacts down by local transcode) and a
+// current one (bridges v1 up when it wants to map). SIGKILLs land while
+// both formats are live in the store and the replica dir holds bases
+// the next incarnation's format preference disagrees with. The bar is
+// the same as the plain torture plus one more clause: no incarnation
+// may ever hit ErrVersionUnsupported — every skew in this window is
+// bridgeable, and a refusal would mean the fleet lost a member to a
+// format it could have transcoded.
+
+// upgradeEpochs are the publisher format configurations of a rolling
+// format upgrade, in order; publish rounds walk them front to back.
+var upgradeEpochs = [][]uint32{
+	{snap.Version},                // old fleet: v1 only
+	{snap.Version2, snap.Version}, // dual-format window
+	{snap.Version2},               // upgraded fleet: v2 only
+}
+
+// upgradeTorturePrimary is torturePrimary with a format-epoch schedule:
+// every epochLen publish rounds the current publisher is replaced by one
+// emitting the next epoch's formats (a new publisher resumes from the
+// store's manifest and publishes a full next, so each epoch boundary
+// lands a full snapshot in the new primary format).
+func upgradeTorturePrimary(t testing.TB, store Store, orc *oracle, epochLen int) func(ctx context.Context, round int) {
+	keys := make([]uint64, 30_000)
+	for i := range keys {
+		keys[i] = uint64(i) * 17
+	}
+	primary, err := concurrent.New(keys, concurrent.Config{
+		Policy: concurrent.CompactionPolicy{Kind: concurrent.Manual},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(primary.Close)
+	spool := t.TempDir()
+	qs := tortureQueries()
+
+	var pub *Publisher[uint64]
+	epoch := -1
+	ensurePublisher := func(ctx context.Context, round int) {
+		want := round / epochLen
+		if want >= len(upgradeEpochs) {
+			want = len(upgradeEpochs) - 1
+		}
+		if want == epoch {
+			return
+		}
+		p, err := NewPublisher(ctx, store, primary, PublisherConfig{
+			Spool: spool, Formats: upgradeEpochs[want],
+		})
+		if err != nil {
+			t.Fatalf("publisher for epoch %d: %v", want, err)
+		}
+		pub, epoch = p, want
+	}
+
+	return func(ctx context.Context, round int) {
+		ensurePublisher(ctx, round)
+		if round > 0 {
+			rnd := rand.New(rand.NewSource(int64(round) * 131))
+			for i := 0; i < 500; i++ {
+				primary.Insert(rnd.Uint64() % 600_000)
+			}
+			for i := 0; i < 120; i++ {
+				primary.Delete(uint64(rnd.Intn(30_000)) * 17)
+			}
+		}
+		st := primary.Published()
+		orc.put(pub.Version()+1, hashRanks(expectRanks(st, qs)))
+		if _, _, err := pub.Publish(ctx); err != nil {
+			t.Errorf("publish round %d: %v", round, err)
+		}
+	}
+}
+
+// Environment keys for the mixed-version child.
+const (
+	envUpTortureChild     = "SHIFT_REPLICA_UPTORTURE_CHILD"
+	envUpTortureStore     = "SHIFT_REPLICA_UPTORTURE_STORE"
+	envUpTortureDir       = "SHIFT_REPLICA_UPTORTURE_DIR"
+	envUpTortureLog       = "SHIFT_REPLICA_UPTORTURE_LOG"
+	envUpTortureMaxFormat = "SHIFT_REPLICA_UPTORTURE_MAXFORMAT"
+)
+
+// TestUpgradeTortureChild is the subprocess body: the torture child with
+// a format cap from the environment. Besides the (version, result-hash)
+// lines it logs "UNSUPPORTED <err>" if a sync ever fails with
+// ErrVersionUnsupported — the parent fails the run on any such line.
+func TestUpgradeTortureChild(t *testing.T) {
+	if os.Getenv(envUpTortureChild) != "1" {
+		t.Skip("upgrade torture child entry point; spawned by TestUpgradeTortureKillRestart")
+	}
+	maxFormat, _ := strconv.ParseUint(os.Getenv(envUpTortureMaxFormat), 10, 32)
+	store := DirStore{Dir: os.Getenv(envUpTortureStore)}
+	r, err := NewReplica[uint64](store, os.Getenv(envUpTortureDir), ReplicaConfig{
+		MaxFormat: uint32(maxFormat),
+		Retry: RetryPolicy{
+			Attempts: 3, Base: time.Millisecond, Max: 5 * time.Millisecond, Timeout: 200 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logf, err := os.OpenFile(os.Getenv(envUpTortureLog), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := tortureQueries()
+	ctx := context.Background()
+	var out []int
+	for {
+		sctx, cancel := context.WithTimeout(ctx, 300*time.Millisecond)
+		if err := r.Sync(sctx); err != nil && errors.Is(err, snap.ErrVersionUnsupported) {
+			fmt.Fprintf(logf, "UNSUPPORTED %v\n", err)
+		}
+		cancel()
+		for i := 0; i < 20; i++ {
+			res, tag := r.Index().FindBatchTagged(qs, out)
+			out = res
+			if tag != 0 {
+				fmt.Fprintf(logf, "%d %016x\n", tag, hashRanks(res))
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestUpgradeTortureKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess torture skipped in -short mode")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skip("no test binary path available")
+	}
+
+	storeDir := t.TempDir()
+	replicaDir := t.TempDir()
+	logPath := filepath.Join(t.TempDir(), "served.log")
+	orc := &oracle{m: map[uint64]uint64{}}
+	store := DirStore{Dir: storeDir}
+
+	// 27 kills over 27 publish rounds, 9 per format epoch: the middle
+	// third runs with both formats live in the store, and every epoch
+	// boundary leaves the replica dir holding a base whose format the
+	// next incarnation may want to disagree with.
+	const kills = 27
+	publish := upgradeTorturePrimary(t, store, orc, kills/len(upgradeEpochs))
+	ctx := context.Background()
+	publish(ctx, 0) // version 1, epoch 0 (v1-only)
+
+	spawn := func(maxFormat uint32) *exec.Cmd {
+		cmd := exec.Command(exe, "-test.run", "^TestUpgradeTortureChild$")
+		cmd.Env = append(os.Environ(),
+			envUpTortureChild+"=1",
+			envUpTortureStore+"="+storeDir,
+			envUpTortureDir+"="+replicaDir,
+			envUpTortureLog+"="+logPath,
+			envUpTortureMaxFormat+"="+strconv.FormatUint(uint64(maxFormat), 10),
+		)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+
+	rnd := rand.New(rand.NewSource(6160))
+	round := 1
+	for k := 0; k < kills; k++ {
+		// Alternate old-binary (format cap 1) and current incarnations
+		// over the same replica dir — a binary upgrade in place, with
+		// each incarnation warm-restarting whatever base the previous
+		// one (of the other vintage) left behind.
+		maxFormat := uint32(0)
+		if k%2 == 0 {
+			maxFormat = 1
+		}
+		cmd := spawn(maxFormat)
+		publish(ctx, round)
+		round++
+		time.Sleep(time.Duration(rnd.Intn(45)+3) * time.Millisecond)
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		cmd.Wait()
+	}
+
+	// The store's artifact set must actually be mixed-format by now:
+	// fulls from both the v1 and v2 epochs still present.
+	fulls := map[uint32]int{}
+	ents, err := os.ReadDir(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasPrefix(e.Name(), "full-") {
+			continue
+		}
+		v, err := snap.SniffVersion(filepath.Join(storeDir, e.Name()))
+		if err != nil {
+			t.Fatalf("sniffing %s: %v", e.Name(), err)
+		}
+		fulls[v]++
+	}
+	if fulls[snap.Version] == 0 || fulls[snap.Version2] == 0 {
+		t.Fatalf("store is not mixed-format during the window: fulls by format = %v", fulls)
+	}
+
+	// Convergence: a final current-vintage child must reach the latest
+	// version (published by the v2-only epoch).
+	publish(ctx, round)
+	final := spawn(0)
+	defer func() {
+		final.Process.Kill()
+		final.Wait()
+	}()
+	var latest uint64
+	for v := range orc.m {
+		if v > latest {
+			latest = v
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	converged := false
+	for time.Now().Before(deadline) && !converged {
+		time.Sleep(50 * time.Millisecond)
+		data, err := os.ReadFile(logPath)
+		if err != nil {
+			continue
+		}
+		if strings.Contains(string(data), fmt.Sprintf("\n%d ", latest)) ||
+			strings.HasPrefix(string(data), fmt.Sprintf("%d ", latest)) {
+			converged = true
+		}
+	}
+	if !converged {
+		t.Fatalf("replica never served latest version %d after %d mixed-version kills", latest, kills)
+	}
+
+	// Every line from every incarnation — either vintage, over any mix
+	// of direct, alt, and locally-transcoded bases — matches the oracle,
+	// and no incarnation ever refused a bridgeable manifest.
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines, versions := 0, map[uint64]bool{}
+	for sc.Scan() {
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "UNSUPPORTED") {
+			t.Fatalf("a child refused a bridgeable manifest: %s", text)
+		}
+		parts := strings.Fields(text)
+		if len(parts) != 2 {
+			t.Fatalf("malformed log line %q (torn append?)", text)
+		}
+		v, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			t.Fatalf("log line %q: %v", text, err)
+		}
+		h, err := strconv.ParseUint(parts[1], 16, 64)
+		if err != nil {
+			t.Fatalf("log line %q: %v", text, err)
+		}
+		want, ok := orc.get(v)
+		if !ok {
+			t.Fatalf("replica served version %d which was never published", v)
+		}
+		if h != want {
+			t.Fatalf("replica served corrupt results for version %d: hash %016x, oracle %016x", v, h, want)
+		}
+		lines++
+		versions[v] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("replica logged no served queries at all")
+	}
+	t.Logf("upgrade torture: %d kills across format epochs %v, %d verified query batches over %d distinct versions (latest %d)",
+		kills, upgradeEpochs, lines, len(versions), latest)
+}

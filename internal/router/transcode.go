@@ -1,0 +1,16 @@
+package router
+
+import "repro/internal/snapshot"
+
+// Transcode schema for the router kind (DESIGN.md §13): the shared key
+// section and the per-shard layer sections are the only version-sensitive
+// payloads; the partition plan and model specs are byte-identical in both
+// container layouts.
+func init() {
+	snapshot.RegisterTranscodeSchema(SnapshotKind, map[uint32]snapshot.Role{
+		secRouterKeys:       snapshot.RoleKeys,
+		secRouterPlan:       snapshot.RoleOpaque,
+		secRouterShardModel: snapshot.RoleOpaque,
+		secRouterShardLayer: snapshot.RoleLayer,
+	})
+}

@@ -29,6 +29,17 @@ type HandlerConfig struct {
 	// (default 256). Excess arrivals get 429 — the bounded-queue
 	// admission control the coalescer provides for coalesced finds.
 	MaxInflight int
+	// Admin enables the POST /admin/drain and /admin/undrain endpoints,
+	// letting a fleet controller take this backend out of (and back into)
+	// rotation remotely during a rolling upgrade. Off by default: a
+	// backend not managed by a fleet has no business exposing them.
+	Admin bool
+	// Ready, when set, gates /healthz readiness: until it returns true
+	// the probe answers 503 {"status":"starting"} so load balancers keep
+	// the backend out of rotation. A replica-backed server passes
+	// "first version installed"; nil means ready from the start (a
+	// primary serving its own index has no install to wait for).
+	Ready func() bool
 }
 
 func (c HandlerConfig) withDefaults() HandlerConfig {
@@ -113,6 +124,10 @@ func NewHandler[K kv.Key](ix *concurrent.Index[K], co *Coalescer[K], cfg Handler
 	h.mux.HandleFunc("POST /v1/batch", h.handleBatch)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
 	h.mux.HandleFunc("GET /statusz", h.handleStatusz)
+	if cfg.Admin {
+		h.mux.HandleFunc("POST /admin/drain", h.handleAdminDrain(true))
+		h.mux.HandleFunc("POST /admin/undrain", h.handleAdminDrain(false))
+	}
 	return h
 }
 
@@ -256,13 +271,38 @@ func (h *Handler[K]) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, batchResponse{Ranks: ranks, Version: tag})
 }
 
+// healthzResponse is the machine-readable probe answer the fleet tier
+// parses: status is exactly one of "ready", "starting", "draining".
+type healthzResponse struct {
+	Status  string `json:"status"`
+	Reason  string `json:"reason,omitempty"`
+	Version uint64 `json:"version"`
+}
+
 func (h *Handler[K]) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if h.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
+	resp := healthzResponse{Status: "ready", Version: h.ix.Tag()}
+	switch {
+	case h.draining.Load():
+		resp.Status, resp.Reason = "draining", "refusing new work; in-flight requests finishing"
+	case h.cfg.Ready != nil && !h.cfg.Ready():
+		resp.Status, resp.Reason = "starting", "no version installed yet"
+	default:
+		writeJSON(w, resp)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleAdminDrain flips drain mode remotely — the lever the fleet
+// roller pulls before (and after) upgrading a backend. Idempotent; the
+// response reports the resulting state.
+func (h *Handler[K]) handleAdminDrain(v bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h.SetDraining(v)
+		writeJSON(w, map[string]any{"draining": v})
+	}
 }
 
 func (h *Handler[K]) handleStatusz(w http.ResponseWriter, r *http.Request) {

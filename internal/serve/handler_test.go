@@ -225,7 +225,7 @@ func TestHandlerStatusz(t *testing.T) {
 	}
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
-	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ready"`) {
 		t.Fatalf("healthz: status %d body %q", rec.Code, rec.Body.String())
 	}
 }
@@ -285,5 +285,81 @@ func TestParseKeyRange(t *testing.T) {
 	}
 	if k, err := parseKey[uint64]("18446744073709551615"); err != nil || k != 1<<64-1 {
 		t.Errorf("parseKey[uint64](max) = %d, %v", k, err)
+	}
+}
+
+// TestHandlerHealthzStates walks the probe through its three states —
+// starting (readiness gate not yet satisfied), ready, draining — and
+// checks each answer is machine-readable JSON with the right status code
+// (503 for anything a load balancer must route around).
+func TestHandlerHealthzStates(t *testing.T) {
+	ix := newPrimary(t, 1_000)
+	ready := false
+	h := NewHandler(ix, nil, HandlerConfig{Ready: func() bool { return ready }}, nil)
+
+	probe := func() (int, healthzResponse) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		var out healthzResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("healthz body %q: %v", rec.Body.String(), err)
+		}
+		return rec.Code, out
+	}
+
+	if code, res := probe(); code != http.StatusServiceUnavailable || res.Status != "starting" || res.Reason == "" {
+		t.Fatalf("before first install: %d %+v", code, res)
+	}
+	ready = true
+	if code, res := probe(); code != http.StatusOK || res.Status != "ready" {
+		t.Fatalf("after install: %d %+v", code, res)
+	}
+	h.SetDraining(true)
+	if code, res := probe(); code != http.StatusServiceUnavailable || res.Status != "draining" || res.Reason == "" {
+		t.Fatalf("draining: %d %+v", code, res)
+	}
+	h.SetDraining(false)
+	if code, res := probe(); code != http.StatusOK || res.Status != "ready" {
+		t.Fatalf("undrained: %d %+v", code, res)
+	}
+}
+
+// TestHandlerAdminDrain exercises the fleet controller's lever: the
+// admin endpoints flip drain mode (refusing data requests with 503),
+// are idempotent, and do not exist unless enabled.
+func TestHandlerAdminDrain(t *testing.T) {
+	ix := newPrimary(t, 1_000)
+	h := NewHandler(ix, nil, HandlerConfig{Admin: true}, nil)
+
+	post := func(url string) int {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", url, nil))
+		return rec.Code
+	}
+
+	if code := post("/admin/drain"); code != http.StatusOK {
+		t.Fatalf("drain: status %d", code)
+	}
+	if code, _ := getJSON[findResponse](t, h, "/v1/find?key=5"); code != http.StatusServiceUnavailable {
+		t.Fatalf("find while admin-drained: status %d, want 503", code)
+	}
+	if code := post("/admin/drain"); code != http.StatusOK {
+		t.Fatalf("second drain: status %d", code)
+	}
+	if code := post("/admin/undrain"); code != http.StatusOK {
+		t.Fatalf("undrain: status %d", code)
+	}
+	if code, _ := getJSON[findResponse](t, h, "/v1/find?key=5"); code != http.StatusOK {
+		t.Fatalf("find after undrain: status %d", code)
+	}
+
+	// Admin off: the endpoints must not be routable.
+	plain := NewHandler(ix, nil, HandlerConfig{}, nil)
+	rec := httptest.NewRecorder()
+	plain.ServeHTTP(rec, httptest.NewRequest("POST", "/admin/drain", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("admin endpoint routable without Admin: status %d", rec.Code)
 	}
 }

@@ -1,0 +1,285 @@
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// This file implements container transcoding (DESIGN.md §13): rewriting a
+// snapshot between the v1 streaming layout and the v2 mappable layout,
+// section by section, with every CRC re-derived for the target layout.
+// Transcoding is what turns format skew from a refusal into a bridge — a
+// replica that fetches an artifact in the "wrong" format upgrades (or
+// downgrades, for rollback) its local copy instead of failing sync, and a
+// fleet can roll between formats one replica at a time with no flag day.
+//
+// Most section payloads are identical bytes in both layouts and copy
+// verbatim. Exactly two payload encodings differ between the versions and
+// need rewriting:
+//
+//   - key sections (WriteKeySection): a 4-byte width prefix in v1, an
+//     8-byte width+pad prefix in v2 — handled generically here;
+//   - the core layer blob: split lo/hi drift arrays in v1 vs the fused
+//     interleaved array plus widths word in v2 — handled by a transcoder
+//     internal/core registers (this package cannot import core).
+//
+// Which sections of a container are which is declared per backend kind
+// through RegisterTranscodeSchema; a kind without a schema, or a section
+// id outside its schema, refuses to transcode rather than guessing — an
+// unknown section could be version-sensitive, and a silent copy would
+// corrupt it undetectably (its CRC would be freshly computed over the
+// wrong bytes).
+//
+// The whole source container is consumed and checksum-verified (Reader.
+// Close) before Transcode reports success, so TranscodeFile never
+// publishes a destination derived from a corrupt source. Round trips are
+// byte-stable: v1→v2→v1 and v2→v1→v2 reproduce the original container
+// bit for bit, which is what makes format rollback trustworthy.
+
+// Role classifies one section id of a kind for transcoding.
+type Role int
+
+const (
+	// RoleOpaque payloads are byte-identical in both layouts and copy
+	// verbatim.
+	RoleOpaque Role = iota
+	// RoleKeys payloads use the WriteKeySection encoding, whose width
+	// prefix is 4 bytes in v1 and 8 in v2.
+	RoleKeys
+	// RoleLayer payloads are core layer blobs, rewritten by the
+	// transcoder internal/core registers.
+	RoleLayer
+)
+
+var (
+	schemaMu   sync.RWMutex
+	schemas    = map[string]map[uint32]Role{}
+	layerXcode func(payload []byte, toV2 bool) ([]byte, error)
+)
+
+// RegisterTranscodeSchema declares the section roles of one backend kind.
+// Called from package init functions by the kind's owner (core, router,
+// updatable, concurrent); later registrations replace earlier ones.
+func RegisterTranscodeSchema(kind string, roles map[uint32]Role) {
+	cp := make(map[uint32]Role, len(roles))
+	for id, r := range roles {
+		cp[id] = r
+	}
+	schemaMu.Lock()
+	schemas[kind] = cp
+	schemaMu.Unlock()
+}
+
+// RegisterLayerTranscoder installs the RoleLayer payload rewriter.
+// internal/core registers its layer-blob transform here; transcoding a
+// container with a layer section fails cleanly when nothing is registered
+// (a binary that does not link core cannot understand the blob).
+func RegisterLayerTranscoder(fn func(payload []byte, toV2 bool) ([]byte, error)) {
+	schemaMu.Lock()
+	layerXcode = fn
+	schemaMu.Unlock()
+}
+
+func transcodeSchema(kind string) (map[uint32]Role, bool) {
+	schemaMu.RLock()
+	defer schemaMu.RUnlock()
+	s, ok := schemas[kind]
+	return s, ok
+}
+
+func layerTranscoder() func([]byte, bool) ([]byte, error) {
+	schemaMu.RLock()
+	defer schemaMu.RUnlock()
+	return layerXcode
+}
+
+// maxTranscodeLayer bounds the in-memory staging of one layer blob during
+// transcoding. Layer blobs are ~10 bytes per partition; this admits
+// ~100M-partition layers while refusing a hostile length that would
+// balloon the process.
+const maxTranscodeLayer = 1 << 31
+
+// Transcode reads one container from r (total = input size in bytes, or
+// -1 when unknown) and rewrites it at toVersion into w. The source is
+// fully verified — its container checksum must pass — before Transcode
+// returns nil; on error the bytes already written to w must be discarded.
+// Transcoding to the source's own version is a valid (rewriting) no-op.
+func Transcode(r io.Reader, total int64, w io.Writer, toVersion uint32) error {
+	if toVersion != Version && toVersion != Version2 {
+		return fmt.Errorf("snapshot: cannot transcode to container version %d, this build writes %d and %d: %w",
+			toVersion, Version, Version2, ErrVersionUnsupported)
+	}
+	sr, err := NewReader(r, total)
+	if err != nil {
+		return err
+	}
+	roles, ok := transcodeSchema(sr.Kind())
+	if !ok {
+		return fmt.Errorf("snapshot: no transcode schema registered for kind %q", sr.Kind())
+	}
+	sw, err := newWriter(w, sr.Kind(), toVersion == Version2)
+	if err != nil {
+		return err
+	}
+	for {
+		s, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		role, ok := roles[s.ID]
+		if !ok {
+			return fmt.Errorf("snapshot: kind %q has no transcode role for section %d (version-sensitivity unknown)",
+				sr.Kind(), s.ID)
+		}
+		switch role {
+		case RoleOpaque:
+			dst, err := sw.SectionSized(s.ID, s.Len)
+			if err != nil {
+				return err
+			}
+			if _, err := io.Copy(dst, s); err != nil {
+				return err
+			}
+		case RoleKeys:
+			if err := transcodeKeySection(sw, s); err != nil {
+				return err
+			}
+		case RoleLayer:
+			fn := layerTranscoder()
+			if fn == nil {
+				return fmt.Errorf("snapshot: no layer transcoder registered (link internal/core)")
+			}
+			payload, err := s.Bytes(maxTranscodeLayer)
+			if err != nil {
+				return err
+			}
+			out, err := fn(payload, toVersion == Version2)
+			if err != nil {
+				return fmt.Errorf("snapshot: transcoding layer section %d: %w", s.ID, err)
+			}
+			dst, err := sw.SectionSized(s.ID, int64(len(out)))
+			if err != nil {
+				return err
+			}
+			if _, err := dst.Write(out); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("snapshot: kind %q section %d has invalid role %d", sr.Kind(), s.ID, role)
+		}
+	}
+	// Verify the source before finalising the destination: a corrupt
+	// source must never yield a destination whose own checksums pass.
+	if err := sr.Close(); err != nil {
+		return err
+	}
+	return sw.Close()
+}
+
+// transcodeKeySection rewrites one WriteKeySection payload: the width
+// prefix grows from 4 to 8 bytes (v1→v2) or shrinks back (v2→v1); the
+// key bytes stream through unchanged.
+func transcodeKeySection(sw *Writer, s *Section) error {
+	srcPrefix := int64(4)
+	if s.V2() {
+		srcPrefix = 8
+	}
+	dstPrefix := int64(4)
+	if sw.v2 {
+		dstPrefix = 8
+	}
+	if s.Len < srcPrefix {
+		return fmt.Errorf("snapshot: key section %d too short (%d bytes)", s.ID, s.Len)
+	}
+	var wb [8]byte
+	if _, err := io.ReadFull(s, wb[:srcPrefix]); err != nil {
+		return err
+	}
+	width := binary.LittleEndian.Uint32(wb[:4])
+	switch width {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("snapshot: key section %d has invalid key width %d", s.ID, width)
+	}
+	if s.V2() {
+		if pad := binary.LittleEndian.Uint32(wb[4:8]); pad != 0 {
+			return fmt.Errorf("snapshot: key section %d has nonzero alignment pad %08x", s.ID, pad)
+		}
+	}
+	body := s.Len - srcPrefix
+	if body%int64(width) != 0 {
+		return fmt.Errorf("snapshot: key section %d payload %d bytes is not a multiple of the %d-byte key width",
+			s.ID, body, width)
+	}
+	dst, err := sw.SectionSized(s.ID, dstPrefix+body)
+	if err != nil {
+		return err
+	}
+	if err := writeU32(dst, width); err != nil {
+		return err
+	}
+	if sw.v2 {
+		if err := writeU32(dst, 0); err != nil {
+			return err
+		}
+	}
+	_, err = io.Copy(dst, s)
+	return err
+}
+
+// TranscodeFile transcodes the container at src into dst at toVersion,
+// crash-safely: the destination is staged, fsynced, and renamed into
+// place only after the source verified end to end. src and dst may name
+// the same path — the open source descriptor survives the rename.
+func TranscodeFile(src, dst string, toVersion uint32) error {
+	f, err := os.Open(src)
+	if err != nil {
+		return fmt.Errorf("snapshot: opening %s: %w", src, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("snapshot: stat %s: %w", src, err)
+	}
+	return WriteFileAtomic(dst, func(out *os.File) error {
+		bw := bufio.NewWriterSize(out, 1<<20)
+		if err := Transcode(bufio.NewReaderSize(f, 1<<20), st.Size(), bw, toVersion); err != nil {
+			return fmt.Errorf("snapshot: transcoding %s: %w", src, err)
+		}
+		return bw.Flush()
+	})
+}
+
+// SniffVersion reads just enough of the file at path to report its
+// container layout version (1 or 2). Tooling and the replica's format
+// planner use it when a manifest does not record an artifact's format.
+func SniffVersion(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var head [12]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return 0, fmt.Errorf("snapshot: %s: reading magic: %w", path, err)
+	}
+	ver := binary.LittleEndian.Uint32(head[8:])
+	switch {
+	case [8]byte(head[:8]) == magic && ver == Version:
+		return Version, nil
+	case [8]byte(head[:8]) == magic2 && ver == Version2:
+		return Version2, nil
+	case [8]byte(head[:8]) == magic || [8]byte(head[:8]) == magic2:
+		return 0, fmt.Errorf("snapshot: %s: container version %d, this build reads %d and %d: %w",
+			path, ver, Version, Version2, ErrVersionUnsupported)
+	default:
+		return 0, fmt.Errorf("snapshot: %s is not a snapshot container (bad magic)", path)
+	}
+}

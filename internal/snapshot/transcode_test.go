@@ -1,0 +1,315 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The transcode tests use a synthetic kind: this package cannot import
+// the real kind owners (they import it), and the container-level
+// properties — byte-stable round trips, prefix rewrites, refusal on
+// unknown schemas — are independent of any particular payload. The layer
+// transform itself is covered where it lives, in internal/core.
+
+const xcodeKind = "xcode-test"
+
+func init() {
+	RegisterTranscodeSchema(xcodeKind, map[uint32]Role{
+		1: RoleKeys,
+		2: RoleOpaque,
+		3: RoleOpaque,
+	})
+}
+
+// buildXcodeContainer writes a keys+opaque container in the given layout
+// version and returns its bytes.
+func buildXcodeContainer(t *testing.T, v2 bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	var sw *Writer
+	var err error
+	if v2 {
+		sw, err = NewWriterV2(&buf, xcodeKind)
+	} else {
+		sw, err = NewWriter(&buf, xcodeKind)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, 300)
+	for i := range keys {
+		keys[i] = uint64(i) * 7
+	}
+	if err := WriteKeySection(sw, 1, keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Bytes(2, []byte("opaque payload, identical in both layouts")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Bytes(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func transcodeBytes(t *testing.T, src []byte, to uint32) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	if err := Transcode(bytes.NewReader(src), int64(len(src)), &out, to); err != nil {
+		t.Fatalf("transcode to v%d: %v", to, err)
+	}
+	return out.Bytes()
+}
+
+// readXcode parses a container and returns its keys and opaque payload,
+// verifying the checksum along the way.
+func readXcode(t *testing.T, data []byte) ([]uint64, []byte) {
+	t.Helper()
+	sr, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := sr.Expect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := ReadKeySection[uint64](ks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os_, err := sr.Expect(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opaque, err := os_.Bytes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Expect(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("trailing section: %v", err)
+	}
+	if err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return keys, opaque
+}
+
+func TestTranscodeRoundTripByteStable(t *testing.T) {
+	v1 := buildXcodeContainer(t, false)
+	v2 := buildXcodeContainer(t, true)
+
+	up := transcodeBytes(t, v1, Version2)
+	if !bytes.Equal(up, v2) {
+		t.Errorf("v1→v2 transcode differs from a natively written v2 container")
+	}
+	down := transcodeBytes(t, up, Version)
+	if !bytes.Equal(down, v1) {
+		t.Errorf("v1→v2→v1 round trip is not byte-stable")
+	}
+	up2 := transcodeBytes(t, transcodeBytes(t, v2, Version), Version2)
+	if !bytes.Equal(up2, v2) {
+		t.Errorf("v2→v1→v2 round trip is not byte-stable")
+	}
+	// Rewriting to the source's own version is valid and stable too.
+	if got := transcodeBytes(t, v1, Version); !bytes.Equal(got, v1) {
+		t.Errorf("v1→v1 rewrite is not byte-stable")
+	}
+}
+
+func TestTranscodeReadEquivalence(t *testing.T) {
+	v1 := buildXcodeContainer(t, false)
+	keys1, op1 := readXcode(t, v1)
+	keys2, op2 := readXcode(t, transcodeBytes(t, v1, Version2))
+	if len(keys1) != len(keys2) {
+		t.Fatalf("key count changed: %d vs %d", len(keys1), len(keys2))
+	}
+	for i := range keys1 {
+		if keys1[i] != keys2[i] {
+			t.Fatalf("key %d changed: %d vs %d", i, keys1[i], keys2[i])
+		}
+	}
+	if !bytes.Equal(op1, op2) {
+		t.Errorf("opaque payload changed across transcode")
+	}
+}
+
+func TestTranscodeRefusals(t *testing.T) {
+	v1 := buildXcodeContainer(t, false)
+
+	if err := Transcode(bytes.NewReader(v1), int64(len(v1)), io.Discard, 3); !errors.Is(err, ErrVersionUnsupported) {
+		t.Errorf("transcode to v3: got %v, want ErrVersionUnsupported", err)
+	}
+
+	// A kind without a registered schema must refuse, not guess.
+	var buf bytes.Buffer
+	sw, err := NewWriter(&buf, "unregistered-kind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Bytes(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = Transcode(bytes.NewReader(buf.Bytes()), int64(buf.Len()), io.Discard, Version2)
+	if err == nil || !strings.Contains(err.Error(), "no transcode schema") {
+		t.Errorf("unregistered kind: got %v", err)
+	}
+
+	// A section id outside the schema must refuse.
+	buf.Reset()
+	sw, err = NewWriter(&buf, xcodeKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Bytes(9, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = Transcode(bytes.NewReader(buf.Bytes()), int64(buf.Len()), io.Discard, Version2)
+	if err == nil || !strings.Contains(err.Error(), "no transcode role") {
+		t.Errorf("unknown section id: got %v", err)
+	}
+
+	// A corrupt source checksum must fail the transcode even though every
+	// section streamed through cleanly.
+	bad := append([]byte(nil), v1...)
+	bad[len(bad)-9] ^= 0x40 // flip a bit just before the trailing checksum
+	err = Transcode(bytes.NewReader(bad), int64(len(bad)), io.Discard, Version2)
+	if err == nil {
+		t.Errorf("corrupt source transcoded cleanly")
+	}
+
+	// Truncations anywhere must error, never panic.
+	for cut := 0; cut < len(v1); cut += 37 {
+		err := Transcode(bytes.NewReader(v1[:cut]), int64(cut), io.Discard, Version2)
+		if err == nil {
+			t.Errorf("truncation at %d transcoded cleanly", cut)
+		}
+	}
+}
+
+func TestTranscodeKeyWidthValidation(t *testing.T) {
+	v1 := buildXcodeContainer(t, false)
+	// The key section starts after magic+version+kindLen+kind and the
+	// 16-byte section header; corrupt its width prefix.
+	off := 8 + 4 + 4 + len(xcodeKind) + 16
+	bad := append([]byte(nil), v1...)
+	binary.LittleEndian.PutUint32(bad[off:], 3)
+	err := Transcode(bytes.NewReader(bad), int64(len(bad)), io.Discard, Version2)
+	if err == nil || !strings.Contains(err.Error(), "key width") {
+		t.Errorf("bad key width: got %v", err)
+	}
+}
+
+func TestTranscodeFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.snap")
+	v1 := buildXcodeContainer(t, false)
+	if err := os.WriteFile(src, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "dst.snap")
+	if err := TranscodeFile(src, dst, Version2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buildXcodeContainer(t, true)) {
+		t.Errorf("TranscodeFile output differs from a native v2 container")
+	}
+	if v, err := SniffVersion(dst); err != nil || v != Version2 {
+		t.Errorf("SniffVersion(dst) = %d, %v", v, err)
+	}
+	if v, err := SniffVersion(src); err != nil || v != Version {
+		t.Errorf("SniffVersion(src) = %d, %v", v, err)
+	}
+
+	// In-place transcode: src and dst the same path.
+	if err := TranscodeFile(src, src, Version2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buildXcodeContainer(t, true)) {
+		t.Errorf("in-place transcode output differs from a native v2 container")
+	}
+
+	// A failing transcode must not leave a destination behind.
+	bad := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(bad, v1[:len(v1)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "never.snap")
+	if err := TranscodeFile(bad, out, Version2); err == nil {
+		t.Fatal("truncated source transcoded cleanly")
+	}
+	if _, err := os.Stat(out); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("failed transcode left %s behind", out)
+	}
+}
+
+// FuzzTranscode feeds mutated containers through both transcode
+// directions: any input may be rejected, none may panic, and anything
+// accepted must round-trip byte-stably back to its own version.
+func FuzzTranscode(f *testing.F) {
+	var v1buf, v2buf bytes.Buffer
+	for _, v2 := range []bool{false, true} {
+		buf := &v1buf
+		mk := NewWriter
+		if v2 {
+			buf, mk = &v2buf, NewWriterV2
+		}
+		sw, err := mk(buf, xcodeKind)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := WriteKeySection(sw, 1, []uint64{1, 2, 3, 4}); err != nil {
+			f.Fatal(err)
+		}
+		if err := sw.Bytes(2, []byte("seed")); err != nil {
+			f.Fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(v1buf.Bytes())
+	f.Add(v2buf.Bytes())
+	f.Add([]byte("STSNAP01junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, to := range []uint32{Version, Version2} {
+			var out bytes.Buffer
+			if err := Transcode(bytes.NewReader(data), int64(len(data)), &out, to); err != nil {
+				continue
+			}
+			src := out.Bytes()
+			var back bytes.Buffer
+			if err := Transcode(bytes.NewReader(src), int64(len(src)), &back, to); err != nil {
+				t.Fatalf("accepted output failed to re-transcode to v%d: %v", to, err)
+			}
+			if !bytes.Equal(back.Bytes(), src) {
+				t.Fatalf("re-transcode to v%d is not byte-stable", to)
+			}
+		}
+	})
+}

@@ -1,0 +1,20 @@
+package updatable
+
+import "repro/internal/snapshot"
+
+// Transcode schema for the updatable kind (DESIGN.md §13). The container
+// embeds a full shift-table section sequence (ids 1..3, written through
+// core's PersistSnapshot), so those roles are declared here alongside
+// this package's own meta/dead/delta sections. The delta-key overlay is a
+// key section; the meta words and the dead bitmap are byte-identical in
+// both container layouts.
+func init() {
+	snapshot.RegisterTranscodeSchema(SnapshotKind, map[uint32]snapshot.Role{
+		1:           snapshot.RoleKeys,   // embedded shift-table keys
+		2:           snapshot.RoleOpaque, // embedded model spec
+		3:           snapshot.RoleLayer,  // embedded layer blob
+		secUpdMeta:  snapshot.RoleOpaque,
+		secUpdDead:  snapshot.RoleOpaque,
+		secUpdDelta: snapshot.RoleKeys,
+	})
+}
