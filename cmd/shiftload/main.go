@@ -33,10 +33,12 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/replica"
@@ -84,7 +86,10 @@ func run() int {
 		return 1
 	}
 
-	ctx := context.Background()
+	// A load run interrupted with Ctrl-C should stop pacing promptly and
+	// still print the partial report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	client := &http.Client{
 		Timeout:   10 * time.Second,
 		Transport: &http.Transport{MaxIdleConnsPerHost: *workers * 2},
@@ -193,7 +198,9 @@ func run() int {
 				for i := w; i < total; i += *workers {
 					sched := start.Add(time.Duration(i) * interval)
 					if d := time.Until(sched); d > 0 {
-						time.Sleep(d)
+						if !sleepCtx(ctx, d) {
+							return
+						}
 					}
 					if fire(uint64(i)*2654435761 + uint64(w)) {
 						record(time.Since(sched).Microseconds())
@@ -319,6 +326,20 @@ func servedVersion(client *http.Client, base string) (uint64, error) {
 }
 
 // pct reads a percentile off a sorted latency slice.
+
+// sleepCtx pauses for d or until ctx is cancelled, reporting whether the
+// full pause elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 func pct(sorted []int64, q float64) int64 {
 	if len(sorted) == 0 {
 		return 0

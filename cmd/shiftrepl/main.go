@@ -252,7 +252,8 @@ func fetch(args []string) error {
 		fmt.Printf("warm restart: serving version %d from local state\n", v)
 	}
 
-	ctx := context.Background()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	for {
 		start := time.Now()
 		err := r.Sync(ctx)
@@ -284,7 +285,11 @@ func fetch(args []string) error {
 			}
 			return nil
 		}
-		time.Sleep(*watch)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*watch):
+		}
 	}
 }
 

@@ -1,0 +1,83 @@
+// Command shiftvet runs the repo's project-invariant analyzer suite
+// (internal/analysis: lockfreepath, boundedmake, snaponce, ctxretry,
+// sentinelcmp) plus curated stock passes (atomic, copylock, lostcancel,
+// unusedresult) over Go packages. CI gates on it; see DESIGN.md §14 for
+// the invariant table and waiver syntax.
+//
+// Usage:
+//
+//	shiftvet [-json] [packages]       # default ./...
+//
+// shiftvet is a go-vet tool twice over: invoked with the unitchecker
+// protocol (-V=full / -flags / unit.cfg) it analyzes one compilation
+// unit, which is how facts propagate across packages with build-cache
+// incrementality; invoked plainly it re-executes itself through
+// "go vet -vettool=<self>" so `shiftvet ./...` is the whole workflow.
+// -json forwards the analysis driver's JSON diagnostic mode, one object
+// per package, so tooling can diff findings across PRs.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	shiftanalysis "repro/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 {
+		a := args[0]
+		if strings.HasPrefix(a, "-V=") || a == "-flags" || strings.HasSuffix(a, ".cfg") || a == "help" {
+			unitchecker.Main(shiftanalysis.All...) // does not return
+		}
+	}
+
+	jsonOut := false
+	var pkgs []string
+	for _, a := range args {
+		switch a {
+		case "-json", "--json":
+			jsonOut = true
+		case "-h", "-help", "--help":
+			fmt.Fprintln(os.Stderr, "usage: shiftvet [-json] [packages]  (default ./...)")
+			os.Exit(2)
+		default:
+			if strings.HasPrefix(a, "-") {
+				fmt.Fprintf(os.Stderr, "shiftvet: unknown flag %s\n", a)
+				os.Exit(2)
+			}
+			pkgs = append(pkgs, a)
+		}
+	}
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shiftvet: cannot locate own binary: %v\n", err)
+		os.Exit(1)
+	}
+	vetArgs := []string{"vet", "-vettool=" + self}
+	if jsonOut {
+		vetArgs = append(vetArgs, "-json")
+	}
+	vetArgs = append(vetArgs, pkgs...)
+
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "shiftvet: running go vet: %v\n", err)
+		os.Exit(1)
+	}
+}

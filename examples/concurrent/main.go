@@ -72,6 +72,7 @@ func main() {
 
 	// Let the compactor catch up, then quiesce.
 	for ix.Pending() >= 50_000 && ix.Err() == nil {
+		//shift:allow-sleep(example quiesce poll; the loop exits as soon as the compactor catches up or errors)
 		time.Sleep(time.Millisecond)
 	}
 	stop.Store(true)

@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/atomic"
+	"golang.org/x/tools/go/analysis/passes/copylock"
+	"golang.org/x/tools/go/analysis/passes/lostcancel"
+	"golang.org/x/tools/go/analysis/passes/unusedresult"
+
+	"repro/internal/analysis/boundedmake"
+	"repro/internal/analysis/ctxretry"
+	"repro/internal/analysis/lockfreepath"
+	"repro/internal/analysis/sentinelcmp"
+	"repro/internal/analysis/snaponce"
+)
+
+// Custom is the project-invariant suite in stable order.
+var Custom = []*analysis.Analyzer{
+	lockfreepath.Analyzer,
+	boundedmake.Analyzer,
+	snaponce.Analyzer,
+	ctxretry.Analyzer,
+	sentinelcmp.Analyzer,
+}
+
+// Stock is the curated set of upstream passes shiftvet runs alongside
+// the custom suite.
+var Stock = []*analysis.Analyzer{
+	atomic.Analyzer,
+	copylock.Analyzer,
+	lostcancel.Analyzer,
+	unusedresult.Analyzer,
+}
+
+// All is what cmd/shiftvet gates on.
+var All = append(append([]*analysis.Analyzer{}, Custom...), Stock...)

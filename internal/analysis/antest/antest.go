@@ -1,0 +1,313 @@
+// Package antest is a minimal analysistest: it loads fixture packages
+// from a testdata/src tree, typechecks them (std-library imports are
+// typechecked from GOROOT source, so the harness needs no export data
+// and no network), runs one analyzer over every fixture package in
+// dependency order with an in-memory fact store, and compares the
+// diagnostics against // want "regexp" comments.
+//
+// Why not golang.org/x/tools/go/analysis/analysistest: it depends on
+// go/packages, which the toolchain's vendored x/tools subset (the only
+// copy available to an offline build) does not carry. This harness
+// covers what the analyzer suite needs: multi-file packages, fixture
+// packages importing each other (exercising cross-package facts), and
+// want-comment matching. It does not support suggested fixes or
+// result-dependency chains (none of the repo's analyzers use either).
+//
+// Fixture layout mirrors analysistest:
+//
+//	testdata/src/<importpath>/<files>.go
+//
+// A fixture package may import another fixture package by its bare
+// path ("a" imports "b" as import "b"); imports that do not resolve
+// inside testdata/src fall through to the standard library.
+//
+// Expectations: a comment // want "re1" "re2" anchors one or more
+// diagnostics to its line; each regexp must match a distinct
+// diagnostic on that line, every diagnostic must be claimed by some
+// expectation, and every expectation must be claimed by some
+// diagnostic.
+package antest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads every package under testdata/src reachable from pkgs, runs
+// a over each in dependency order (facts flow between fixture
+// packages), and checks want comments in all loaded fixture packages.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := &loader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		loaded:   make(map[string]*fixturePkg),
+		objFacts: make(map[objFactKey]analysis.Fact),
+		pkgFacts: make(map[pkgFactKey]analysis.Fact),
+		analyzer: a,
+	}
+	// The std importer shares our fset so positions in imported source
+	// stay coherent; ForCompiler captures it at construction.
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+
+	for _, path := range pkgs {
+		if _, err := ld.load(path, nil); err != nil {
+			t.Fatalf("loading fixture %q: %v", path, err)
+		}
+	}
+
+	// Deterministic report order.
+	var order []string
+	for path := range ld.loaded {
+		order = append(order, path)
+	}
+	sort.Strings(order)
+	for _, path := range order {
+		checkWants(t, ld.fset, ld.loaded[path])
+	}
+}
+
+// fixturePkg is one loaded testdata package.
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	diags []analysis.Diagnostic
+}
+
+type objFactKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	t   reflect.Type
+}
+
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	loaded   map[string]*fixturePkg
+	std      types.Importer
+	objFacts map[objFactKey]analysis.Fact
+	pkgFacts map[pkgFactKey]analysis.Fact
+	analyzer *analysis.Analyzer
+}
+
+// Import implements types.Importer: fixture packages first, then the
+// standard library from source.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(ld.testdata, "src", path); dirExists(dir) {
+		fp, err := ld.load(path, nil)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load parses, typechecks, and analyzes one fixture package (once).
+// Loading a dependency analyzes it before the importer returns, so
+// facts are always exported before any importer consumes them.
+func (ld *loader) load(path string, stack []string) (*fixturePkg, error) {
+	if fp, ok := ld.loaded[path]; ok {
+		if fp.pkg == nil {
+			return nil, fmt.Errorf("import cycle: %s -> %s", strings.Join(stack, " -> "), path)
+		}
+		return fp, nil
+	}
+	fp := &fixturePkg{path: path}
+	ld.loaded[path] = fp
+
+	dir := filepath.Join(ld.testdata, "src", path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		fp.files = append(fp.files, f)
+	}
+	if len(fp.files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := &types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, fp.files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", path, err)
+	}
+	fp.pkg = pkg
+
+	pass := &analysis.Pass{
+		Analyzer:   ld.analyzer,
+		Fset:       ld.fset,
+		Files:      fp.files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		TypeErrors: nil,
+		ResultOf:   make(map[*analysis.Analyzer]interface{}),
+		Report: func(d analysis.Diagnostic) {
+			fp.diags = append(fp.diags, d)
+		},
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			stored, ok := ld.objFacts[objFactKey{obj, reflect.TypeOf(fact)}]
+			if !ok {
+				return false
+			}
+			reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+			return true
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			ld.objFacts[objFactKey{obj, reflect.TypeOf(fact)}] = fact
+		},
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+			stored, ok := ld.pkgFacts[pkgFactKey{pkg, reflect.TypeOf(fact)}]
+			if !ok {
+				return false
+			}
+			reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+			return true
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			ld.pkgFacts[pkgFactKey{pkg, reflect.TypeOf(fact)}] = fact
+		},
+		AllObjectFacts:  func() []analysis.ObjectFact { return nil },
+		AllPackageFacts: func() []analysis.PackageFact { return nil },
+	}
+	if _, err := ld.analyzer.Run(pass); err != nil {
+		return nil, fmt.Errorf("running %s on %s: %w", ld.analyzer.Name, path, err)
+	}
+	return fp, nil
+}
+
+// expectation is one want regexp anchored to a file line.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRE matches line comments (// want "re") and block comments
+// (/* want "re" */). The block form exists so an expectation can share
+// a line with a //shift: directive, whose own syntax requires the
+// comment to end at the closing paren.
+var wantRE = regexp.MustCompile(`^(?://|/\*)\s*want\s+(.*?)\s*(?:\*/)?$`)
+
+// checkWants compares a package's diagnostics against its want
+// comments.
+func checkWants(t *testing.T, fset *token.FileSet, fp *fixturePkg) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, f := range fp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, raw := range splitQuoted(m[1]) {
+					pat, err := strconv.Unquote(raw)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", key, raw, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, pat, err)
+						continue
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range fp.diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		claimed := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: no diagnostic matched %s", key, exp.raw)
+			}
+		}
+	}
+}
+
+// splitQuoted extracts the quoted strings from a want payload. Both
+// forms Go's strconv.Unquote accepts are supported: "double" (with
+// escapes) and `backtick` (raw, the friendlier shape for regexps).
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		q := s[i]
+		if q != '"' && q != '`' {
+			continue
+		}
+		j := i + 1
+		for j < len(s) && s[j] != q {
+			if q == '"' && s[j] == '\\' {
+				j++
+			}
+			j++
+		}
+		if j < len(s) {
+			out = append(out, s[i:j+1])
+			i = j
+		}
+	}
+	return out
+}
+
+func dirExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}

@@ -1,0 +1,12 @@
+package boundedmake_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/boundedmake"
+)
+
+func TestBoundedmake(t *testing.T) {
+	antest.Run(t, "testdata", boundedmake.Analyzer, "a")
+}

@@ -1,0 +1,17 @@
+// Package snapshot mirrors the repo's bounded-read helper so the
+// fixture can exercise the sanctioned-channel exemption: the analyzer
+// matches ReadFixed by package path suffix "snapshot".
+package snapshot
+
+import "io"
+
+// ReadFixed reads exactly n bytes after validating n against the
+// remaining input size.
+func ReadFixed(r io.Reader, n uint64, avail int64) ([]byte, error) {
+	if int64(n) > avail {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, int(n))
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}

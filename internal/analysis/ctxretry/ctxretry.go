@@ -1,0 +1,131 @@
+// Package ctxretry enforces the replica.Sync retry contract (DESIGN.md
+// §10): a loop that sleeps — retry backoff, watch-mode polling, readiness
+// probing — must observe context cancellation on every iteration. A
+// replica shutting down mid-backoff stops now, not after the residual
+// sleep; a drained server's poller does not outlive its SIGTERM.
+//
+// The check is per innermost loop: a for/range statement whose body
+// calls time.Sleep or time.After must, in that same body (or the loop
+// condition), call Err or Done on a context.Context, or select on a Done
+// channel. Loops in test files are exempt — test polling dies with the
+// test binary. Intentional uncancellable sleeps are waived with
+// //shift:allow-sleep(reason).
+package ctxretry
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/analysis/shiftcomment"
+)
+
+// Analyzer is the ctxretry pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxretry",
+	Doc:  "flag loops that sleep without honoring context cancellation each iteration",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		idx := shiftcomment.NewFile(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				var cond ast.Expr
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					body, cond = loop.Body, loop.Cond
+				case *ast.RangeStmt:
+					body = loop.Body
+				default:
+					return true
+				}
+				checkLoop(pass, idx, fd, body, cond)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// checkLoop inspects one loop body, not descending into nested loops or
+// function literals (each is its own iteration scope).
+func checkLoop(pass *analysis.Pass, idx *shiftcomment.File, fd *ast.FuncDecl, body *ast.BlockStmt, cond ast.Expr) {
+	var sleeps []*ast.CallExpr
+	checked := false
+
+	var scan func(n ast.Node)
+	scan = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+				if n != root {
+					return false
+				}
+			case *ast.CallExpr:
+				callee, _ := typeutil.Callee(pass.TypesInfo, n).(*types.Func)
+				if callee == nil {
+					return true
+				}
+				callee = callee.Origin()
+				if callee.Pkg() != nil && callee.Pkg().Path() == "time" {
+					switch callee.Name() {
+					case "Sleep", "After", "Tick":
+						sleeps = append(sleeps, n)
+					}
+				}
+				if recv := callee.Type().(*types.Signature).Recv(); recv != nil {
+					if isContext(recv.Type()) && (callee.Name() == "Err" || callee.Name() == "Done") {
+						checked = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan(body)
+	if cond != nil {
+		scan(cond)
+	}
+
+	if len(sleeps) == 0 || checked {
+		return
+	}
+	for _, call := range sleeps {
+		waived, missingReason, d := idx.Waived(fd, call.Pos(), "sleep")
+		if waived {
+			if missingReason {
+				pass.Reportf(d.Pos, "shift:allow-sleep waiver is missing its mandatory (reason)")
+			}
+			continue
+		}
+		pass.Reportf(call.Pos(), "loop sleeps without checking ctx.Err()/ctx.Done() each iteration: an uncancellable retry outlives its caller's deadline")
+	}
+}
+
+// isContext reports whether t is context.Context (possibly behind a
+// pointer or named alias).
+func isContext(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,12 @@
+package ctxretry_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/ctxretry"
+)
+
+func TestCtxretry(t *testing.T) {
+	antest.Run(t, "testdata", ctxretry.Analyzer, "a")
+}

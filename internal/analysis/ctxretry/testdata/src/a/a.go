@@ -1,0 +1,70 @@
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func Bad(ctx context.Context) {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond) // want `loop sleeps without checking ctx\.Err\(\)/ctx\.Done\(\)`
+	}
+}
+
+func GoodErr(ctx context.Context) {
+	for i := 0; i < 3; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func GoodCond(ctx context.Context) {
+	for ctx.Err() == nil {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func GoodSelect(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Nested: the outer loop checks ctx but the inner sleeping loop does
+// not — each innermost loop must check for itself.
+func Nested(ctx context.Context) {
+	for ctx.Err() == nil {
+		for i := 0; i < 3; i++ {
+			time.Sleep(time.Millisecond) // want `loop sleeps without checking`
+		}
+	}
+}
+
+func Waived() {
+	for i := 0; i < 3; i++ {
+		//shift:allow-sleep(fixture: pacing loop with no cancellation source)
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func BadWaiver() {
+	for i := 0; i < 3; i++ {
+		/* want `shift:allow-sleep waiver is missing its mandatory \(reason\)` */ //shift:allow-sleep
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// NoSleep loops without sleeping: out of scope.
+func NoSleep(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}

@@ -1,0 +1,52 @@
+// Package analysis aggregates the repo's project-invariant analyzers —
+// the machine-checked form of the conventions DESIGN.md §14 states in
+// prose — plus the curated stock passes cmd/shiftvet gates CI on.
+//
+// # Running locally
+//
+// Build and run the driver over the whole module:
+//
+//	go build -o bin/shiftvet ./cmd/shiftvet
+//	./bin/shiftvet ./...          # exit 0 = clean; findings go to stderr
+//	./bin/shiftvet -json ./...    # machine-readable diagnostics
+//
+// shiftvet re-executes itself through `go vet -vettool`, so it inherits
+// the build cache: repeat runs re-analyze only changed packages, and
+// analyzer facts (e.g. "this function can block") flow across package
+// boundaries.
+//
+// # The custom suite
+//
+// See each package's doc for the invariant, its rationale, and examples:
+//
+//	lockfreepath  //shift:lockfree roots never reach locks/channels/map writes
+//	boundedmake   untrusted decoded lengths are bounded before make
+//	snaponce      one atomic.Pointer Load per operation; Store only in //shift:swap
+//	ctxretry      sleeping loops honor context cancellation
+//	sentinelcmp   sentinel errors compared with errors.Is, not ==
+//
+// # Writing a waiver
+//
+// A finding that is intentional — a startup-only lock, a length bounded
+// by construction — is waived in place, never by editing the analyzer:
+//
+//	//shift:allow-lock(startup only; runs before the index escapes)
+//	mu.Lock()
+//
+// The waiver goes on the finding's line or the line directly above;
+// placed in a function's doc comment it covers the whole function. The
+// name after allow- matches the analyzer's waiver kind (lock, unbounded,
+// reload, store, sleep, sentinel) and the (reason) is mandatory — a
+// bare waiver is itself reported. Roots and swap functions are marked
+// the same way: //shift:lockfree and //shift:swap(reason) in the doc
+// comment. Note the directive shape: no space after //, exactly like
+// //go:noinline, so gofmt leaves it alone.
+//
+// # Stock passes
+//
+// atomic, copylock, lostcancel, unusedresult. nilness is deliberately
+// absent: it requires go/ssa, which the toolchain's vendored
+// golang.org/x/tools subset (the only copy available to an offline
+// build) does not carry. lostcancel covers the context-hygiene ground
+// here; revisit if go/ssa becomes vendorable.
+package analysis

@@ -1,0 +1,381 @@
+// Package lockfreepath verifies the repo's central serving invariant
+// (DESIGN.md §6, §11): a function annotated //shift:lockfree — the
+// lock-free read roots like core.Table.Find/FindBatch, the
+// concurrent.Index read methods, and the serve coalescer's wave path —
+// must never reach a mutex acquisition, a blocking channel operation, or
+// a map write, directly or through any statically-resolvable callee,
+// across package boundaries.
+//
+// The walk is AST-level over the static call graph: calls through
+// interfaces, function values, and reflection are not followed (the
+// repo's read paths are concrete by design; a dynamic call on a hot read
+// path deserves its own review). Channel operations inside a select that
+// has a default clause are non-blocking by construction and are not
+// flagged.
+//
+// Cross-package reachability rides the analysis framework's facts: every
+// analyzed function that can block exports a BlocksFact, so a root in
+// package A calling into package B is caught at the call site without
+// whole-program analysis.
+//
+// Intentional exceptions are waived in place with
+// //shift:allow-lock(reason) — on the operation's line or in the
+// enclosing function's doc comment. The reason is mandatory.
+package lockfreepath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/analysis/shiftcomment"
+)
+
+// Analyzer is the lockfreepath pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockfreepath",
+	Doc:       "flag mutex acquisitions, blocking channel ops, and map writes reachable from //shift:lockfree roots",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*BlocksFact)(nil)},
+}
+
+// BlocksFact marks a function that can block or mutate shared state:
+// calling it from a lock-free path is a finding.
+type BlocksFact struct {
+	Why string // e.g. "acquires (*sync.Mutex).Lock" or "calls x.f, which sends on a channel"
+}
+
+func (*BlocksFact) AFact() {}
+
+func (f *BlocksFact) String() string { return "blocks: " + f.Why }
+
+// blockOp is one blocking operation found directly in a function body.
+type blockOp struct {
+	pos  token.Pos
+	desc string
+}
+
+// callEdge is one statically-resolved call.
+type callEdge struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+// funcInfo is the per-function slice of the package call graph.
+type funcInfo struct {
+	decl  *ast.FuncDecl
+	file  *shiftcomment.File
+	ops   []blockOp
+	calls []callEdge
+	root  bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	infos := make(map[*types.Func]*funcInfo)
+	var order []*types.Func // deterministic iteration
+
+	for _, f := range pass.Files {
+		idx := shiftcomment.NewFile(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &funcInfo{decl: fd, file: idx}
+			_, info.root = shiftcomment.FuncDirective(fd, "lockfree")
+			collect(pass, fd.Body, info)
+			filterWaived(pass, info)
+			infos[obj] = info
+			order = append(order, obj)
+		}
+	}
+
+	// Transitive reach, memoized over the local graph; imported callees
+	// consult facts exported when their package was analyzed.
+	type reach struct {
+		why string
+		ok  bool
+	}
+	memo := make(map[*types.Func]*reach)
+	var reachOf func(fn *types.Func, visiting map[*types.Func]bool) (string, bool)
+	reachOf = func(fn *types.Func, visiting map[*types.Func]bool) (string, bool) {
+		if r, ok := memo[fn]; ok {
+			return r.why, r.ok
+		}
+		if visiting[fn] {
+			return "", false // cycle: resolved by whoever entered first
+		}
+		info, local := infos[fn]
+		if !local {
+			var fact BlocksFact
+			if pass.ImportObjectFact(fn, &fact) {
+				return fact.Why, true
+			}
+			return "", false
+		}
+		visiting[fn] = true
+		defer delete(visiting, fn)
+		if len(info.ops) > 0 {
+			r := &reach{why: info.ops[0].desc, ok: true}
+			memo[fn] = r
+			return r.why, true
+		}
+		for _, c := range info.calls {
+			if why, ok := reachOf(c.callee, visiting); ok {
+				r := &reach{why: fmt.Sprintf("calls %s, which %s", calleeName(c.callee), why), ok: true}
+				memo[fn] = r
+				return r.why, true
+			}
+		}
+		memo[fn] = &reach{}
+		return "", false
+	}
+
+	// Export facts for every local function that can block, so importing
+	// packages see through us.
+	for _, fn := range order {
+		if why, ok := reachOf(fn, make(map[*types.Func]bool)); ok && fn.Pkg() == pass.Pkg {
+			fact := &BlocksFact{Why: why}
+			pass.ExportObjectFact(fn, fact)
+		}
+	}
+
+	// Report from the roots: walk the local reachable subgraph, flagging
+	// each blocking op at its own site (best fix locality) and each edge
+	// into a blocking imported function at the call site.
+	reported := make(map[token.Pos]bool)
+	for _, root := range order {
+		info := infos[root]
+		if !info.root {
+			continue
+		}
+		seen := make(map[*types.Func]bool)
+		var walk func(fn *types.Func, chain []string)
+		walk = func(fn *types.Func, chain []string) {
+			if seen[fn] {
+				return
+			}
+			seen[fn] = true
+			fi, local := infos[fn]
+			if !local {
+				return
+			}
+			via := ""
+			if len(chain) > 0 {
+				via = " (via " + strings.Join(chain, " → ") + ")"
+			}
+			for _, op := range fi.ops {
+				if reported[op.pos] {
+					continue
+				}
+				reported[op.pos] = true
+				pass.Reportf(op.pos, "%s on the lock-free path rooted at %s%s", op.desc, root.Name(), via)
+			}
+			for _, c := range fi.calls {
+				if _, isLocal := infos[c.callee]; isLocal {
+					if _, ok := reachOf(c.callee, make(map[*types.Func]bool)); ok {
+						walk(c.callee, append(chain, calleeName(c.callee)))
+					}
+					continue
+				}
+				var fact BlocksFact
+				if pass.ImportObjectFact(c.callee, &fact) {
+					if reported[c.pos] {
+						continue
+					}
+					reported[c.pos] = true
+					pass.Reportf(c.pos, "call to %s on the lock-free path rooted at %s%s: it %s", calleeName(c.callee), root.Name(), via, fact.Why)
+				}
+			}
+		}
+		walk(root, nil)
+	}
+	return nil, nil
+}
+
+// calleeName renders a callee compactly: pkg-qualified for functions,
+// Type.Method for methods.
+func calleeName(fn *types.Func) string {
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// mutexAcquirers is the set of blocking (or audit-worthy, for Try*)
+// acquisition methods, by types.Func.FullName.
+var mutexAcquirers = map[string]string{
+	"(*sync.Mutex).Lock":       "acquires (*sync.Mutex).Lock",
+	"(*sync.Mutex).TryLock":    "acquires (*sync.Mutex).TryLock",
+	"(*sync.RWMutex).Lock":     "acquires (*sync.RWMutex).Lock",
+	"(*sync.RWMutex).RLock":    "acquires (*sync.RWMutex).RLock",
+	"(*sync.RWMutex).TryLock":  "acquires (*sync.RWMutex).TryLock",
+	"(*sync.RWMutex).TryRLock": "acquires (*sync.RWMutex).TryRLock",
+}
+
+// amortizedSafe lists callees whose internal locking is slow-path-only
+// and sanctioned on read paths: sync.Pool is the repo's batch-scratch
+// reuse mechanism (DESIGN.md §8) — Get/Put pin a P-local cache and take
+// the pool mutex only on first use per P or during GC victim rotation,
+// so the per-operation cost is lock-free.
+var amortizedSafe = map[string]bool{
+	"(*sync.Pool).Get": true,
+	"(*sync.Pool).Put": true,
+}
+
+// collect walks one function body recording blocking ops and static call
+// edges. Channel operations inside a select with a default clause are
+// skipped (non-blocking by construction). Function literals are walked
+// as part of the enclosing function: a closure built on a lock-free path
+// is assumed runnable on it.
+func collect(pass *analysis.Pass, body *ast.BlockStmt, info *funcInfo) {
+	nonBlocking := make(map[ast.Node]bool) // comm clauses of selects with default
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			hasDefault := false
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if hasDefault {
+				for _, c := range sel.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						nonBlocking[cc.Comm] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var visit func(n ast.Node, comm ast.Node)
+	visit = func(n ast.Node, comm ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				for _, c := range n.Body.List {
+					cc := c.(*ast.CommClause)
+					if cc.Comm != nil {
+						visit(cc.Comm, cc.Comm)
+					}
+					for _, stmt := range cc.Body {
+						visit(stmt, nil)
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				if !(comm == n && nonBlocking[n]) {
+					info.ops = append(info.ops, blockOp{pos: n.Arrow, desc: "sends on a channel"})
+				}
+				visit(n.Chan, nil)
+				visit(n.Value, nil)
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					blocking := true
+					if comm != nil && nonBlocking[comm] {
+						blocking = false
+					}
+					if blocking {
+						info.ops = append(info.ops, blockOp{pos: n.OpPos, desc: "receives from a channel"})
+					}
+				}
+			case *ast.RangeStmt:
+				if _, ok := pass.TypesInfo.TypeOf(n.X).Underlying().(*types.Chan); ok {
+					info.ops = append(info.ops, blockOp{pos: n.For, desc: "ranges over a channel"})
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if ix, ok := lhs.(*ast.IndexExpr); ok {
+						if _, ok := pass.TypesInfo.TypeOf(ix.X).Underlying().(*types.Map); ok {
+							info.ops = append(info.ops, blockOp{pos: ix.Lbrack, desc: "writes to a map"})
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if ix, ok := n.X.(*ast.IndexExpr); ok {
+					if _, ok := pass.TypesInfo.TypeOf(ix.X).Underlying().(*types.Map); ok {
+						info.ops = append(info.ops, blockOp{pos: ix.Lbrack, desc: "writes to a map"})
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" {
+					if _, bi := pass.TypesInfo.Uses[id].(*types.Builtin); bi && len(n.Args) == 2 {
+						if _, ok := pass.TypesInfo.TypeOf(n.Args[0]).Underlying().(*types.Map); ok {
+							info.ops = append(info.ops, blockOp{pos: n.Pos(), desc: "writes to a map (delete)"})
+						}
+					}
+				}
+				if callee := typeutil.Callee(pass.TypesInfo, n); callee != nil {
+					if fn, ok := callee.(*types.Func); ok {
+						fn = fn.Origin()
+						if desc, bad := mutexAcquirers[fn.FullName()]; bad {
+							info.ops = append(info.ops, blockOp{pos: n.Pos(), desc: desc})
+						} else if !amortizedSafe[fn.FullName()] {
+							info.calls = append(info.calls, callEdge{pos: n.Pos(), callee: fn})
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, stmt := range body.List {
+		visit(stmt, nil)
+	}
+	sort.Slice(info.ops, func(i, j int) bool { return info.ops[i].pos < info.ops[j].pos })
+	sort.Slice(info.calls, func(i, j int) bool { return info.calls[i].pos < info.calls[j].pos })
+}
+
+// filterWaived drops ops and call edges covered by a
+// //shift:allow-lock waiver, reporting waivers that are missing their
+// mandatory reason. Waived call edges also stop fact propagation: the
+// waiver asserts the blocking behind that edge is intentional, so
+// callers of this function are not tainted through it.
+func filterWaived(pass *analysis.Pass, info *funcInfo) {
+	kept := info.ops[:0]
+	for _, op := range info.ops {
+		waived, missingReason, d := info.file.Waived(info.decl, op.pos, "lock")
+		if !waived {
+			kept = append(kept, op)
+			continue
+		}
+		if missingReason {
+			pass.Reportf(d.Pos, "shift:allow-lock waiver is missing its mandatory (reason)")
+		}
+	}
+	info.ops = kept
+	keptCalls := info.calls[:0]
+	for _, c := range info.calls {
+		waived, missingReason, d := info.file.Waived(info.decl, c.pos, "lock")
+		if !waived {
+			keptCalls = append(keptCalls, c)
+			continue
+		}
+		if missingReason {
+			pass.Reportf(d.Pos, "shift:allow-lock waiver is missing its mandatory (reason)")
+		}
+	}
+	info.calls = keptCalls
+}

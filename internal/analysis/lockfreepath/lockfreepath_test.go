@@ -1,0 +1,12 @@
+package lockfreepath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/lockfreepath"
+)
+
+func TestLockfreepath(t *testing.T) {
+	antest.Run(t, "testdata", lockfreepath.Analyzer, "a")
+}

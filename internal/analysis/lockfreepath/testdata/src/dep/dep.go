@@ -1,0 +1,16 @@
+// Package dep is a fixture dependency: it exports a function that
+// blocks, so importing packages exercise cross-package fact flow.
+package dep
+
+import "sync"
+
+var mu sync.Mutex
+
+// Blocker acquires a lock; lock-free paths must not reach it.
+func Blocker() {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// Harmless does nothing blocking.
+func Harmless() int { return 1 }

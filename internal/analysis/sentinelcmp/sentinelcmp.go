@@ -1,0 +1,113 @@
+// Package sentinelcmp keeps the replica/serve typed-error contract
+// honest (DESIGN.md §10, §11): error values flow through wrapping
+// (fmt.Errorf %w adds attempt counts, artifact names, section context),
+// so identity comparison against a sentinel — err == io.EOF,
+// err != ErrOverloaded — silently stops matching the moment anyone wraps.
+// errors.Is is the contract; this analyzer flags the comparisons that
+// bypass it, including switch statements over an error value with
+// sentinel cases.
+//
+// Comparisons against nil are idiomatic and exempt. A deliberate
+// identity check (there is occasionally one — interning, test plumbing)
+// is waived with //shift:allow-sentinel(reason).
+package sentinelcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/shiftcomment"
+)
+
+// Analyzer is the sentinelcmp pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelcmp",
+	Doc:  "flag ==/!= comparisons of errors against sentinel values; use errors.Is",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		idx := shiftcomment.NewFile(pass.Fset, f)
+		var fd *ast.FuncDecl
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			fd = d
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if isErrorExpr(pass, n.X) && isSentinel(pass, n.Y) || isErrorExpr(pass, n.Y) && isSentinel(pass, n.X) {
+						report(pass, idx, fd, n.OpPos,
+							"sentinel error compared with "+n.Op.String()+": use errors.Is so wrapped errors still match")
+					}
+				case *ast.SwitchStmt:
+					if n.Tag == nil || !isErrorExpr(pass, n.Tag) {
+						return true
+					}
+					for _, c := range n.Body.List {
+						cc := c.(*ast.CaseClause)
+						for _, e := range cc.List {
+							if isSentinel(pass, e) {
+								report(pass, idx, fd, e.Pos(),
+									"switch over an error value with a sentinel case: use errors.Is so wrapped errors still match")
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+func report(pass *analysis.Pass, idx *shiftcomment.File, fd *ast.FuncDecl, pos token.Pos, msg string) {
+	waived, missingReason, d := idx.Waived(fd, pos, "sentinel")
+	if waived {
+		if missingReason {
+			pass.Reportf(d.Pos, "shift:allow-sentinel waiver is missing its mandatory (reason)")
+		}
+		return
+	}
+	pass.Reportf(pos, "%s", msg)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorExpr reports whether expr has static type error (the interface).
+func isErrorExpr(pass *analysis.Pass, expr ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(expr)
+	return t != nil && types.Identical(t, errorType)
+}
+
+// isSentinel reports whether expr references a package-level error
+// variable (io.EOF, ErrOverloaded, snapshot.ErrVersionUnsupported, ...).
+func isSentinel(pass *analysis.Pass, expr ast.Expr) bool {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || v.Parent() == nil {
+		return false
+	}
+	// Package-level: its parent scope is the package scope.
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	return types.Identical(v.Type(), errorType)
+}

@@ -1,0 +1,12 @@
+package sentinelcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/sentinelcmp"
+)
+
+func TestSentinelcmp(t *testing.T) {
+	antest.Run(t, "testdata", sentinelcmp.Analyzer, "a")
+}

@@ -1,0 +1,52 @@
+package a
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrGone = errors.New("gone")
+
+func Local(err error) bool {
+	return err == ErrGone // want `sentinel error compared with ==: use errors\.Is`
+}
+
+func Std(err error) bool {
+	return err != io.EOF // want `sentinel error compared with !=: use errors\.Is`
+}
+
+// NilCheck is idiomatic: exempt.
+func NilCheck(err error) bool {
+	return err == nil
+}
+
+// Is is the contract: no finding.
+func Is(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+func Switch(err error) string {
+	switch err {
+	case nil:
+		return "nil"
+	case ErrGone: // want `switch over an error value with a sentinel case`
+		return "gone"
+	}
+	return "other"
+}
+
+func Waived(err error) bool {
+	//shift:allow-sentinel(fixture: interning check, identity is the point)
+	return err == ErrGone
+}
+
+func BadWaiver(err error) bool {
+	/* want `shift:allow-sentinel waiver is missing its mandatory \(reason\)` */ //shift:allow-sentinel
+	return err == ErrGone
+}
+
+// localErr is not package-level: not a sentinel.
+func LocalVar(err error) bool {
+	localErr := errors.New("local")
+	return err == localErr
+}

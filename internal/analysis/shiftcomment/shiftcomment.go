@@ -1,0 +1,112 @@
+// Package shiftcomment parses the repo's //shift: source annotations.
+//
+// Two kinds of directive exist (DESIGN.md §14):
+//
+//   - Roots: //shift:lockfree and //shift:swap(reason) mark a function as
+//     participating in an enforced invariant — the former as the root of a
+//     lock-free call tree, the latter as a whitelisted snapshot-pointer
+//     install/swap function. They belong in the function's doc comment.
+//
+//   - Waivers: //shift:allow-NAME(reason) suppresses one analyzer finding.
+//     A waiver placed in a function's doc comment applies to the whole
+//     function; placed at the end of a line, or on a line of its own
+//     immediately above, it applies to that statement only. The reason is
+//     mandatory: a waiver without one is itself reported, so every
+//     suppression in the tree carries a written justification.
+//
+// The syntax is deliberately comment-directive shaped (like //go:noinline):
+// no space after //, so gofmt leaves it alone and casual prose mentioning
+// "shift:" is never parsed.
+package shiftcomment
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Directive is one parsed //shift: annotation.
+type Directive struct {
+	Name   string    // e.g. "lockfree", "allow-lock", "swap"
+	Reason string    // text inside (...), "" if absent
+	Pos    token.Pos // position of the comment
+}
+
+var directiveRE = regexp.MustCompile(`^//shift:([a-z0-9-]+)(?:\((.*)\))?\s*$`)
+
+// parse returns the directive in a single comment, if any.
+func parse(c *ast.Comment) (Directive, bool) {
+	m := directiveRE.FindStringSubmatch(strings.TrimRight(c.Text, "\r\n"))
+	if m == nil {
+		return Directive{}, false
+	}
+	return Directive{Name: m[1], Reason: m[2], Pos: c.Pos()}, true
+}
+
+// File indexes every //shift: directive in one file: by line for
+// statement-level waivers, and the raw list for doc-comment scanning.
+type File struct {
+	fset   *token.FileSet
+	byLine map[int][]Directive
+	All    []Directive
+}
+
+// NewFile scans f's comments.
+func NewFile(fset *token.FileSet, f *ast.File) *File {
+	idx := &File{fset: fset, byLine: make(map[int][]Directive)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := parse(c)
+			if !ok {
+				continue
+			}
+			idx.All = append(idx.All, d)
+			line := fset.Position(c.Pos()).Line
+			idx.byLine[line] = append(idx.byLine[line], d)
+		}
+	}
+	return idx
+}
+
+// At returns directives attached to the source line containing pos: on the
+// line itself or on a line of their own immediately above.
+func (f *File) At(pos token.Pos, name string) (Directive, bool) {
+	line := f.fset.Position(pos).Line
+	for _, cand := range [2]int{line, line - 1} {
+		for _, d := range f.byLine[cand] {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// FuncDirective returns the named directive from fn's doc comment.
+func FuncDirective(fn *ast.FuncDecl, name string) (Directive, bool) {
+	if fn == nil || fn.Doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range fn.Doc.List {
+		if d, ok := parse(c); ok && d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// Waived reports whether a finding at pos inside fn is waived by
+// //shift:allow-NAME — either function-wide (doc comment) or on the
+// statement's line. It also reports whether the waiver found was missing
+// its mandatory reason.
+func (f *File) Waived(fn *ast.FuncDecl, pos token.Pos, name string) (waived, missingReason bool, d Directive) {
+	full := "allow-" + name
+	if d, ok := FuncDirective(fn, full); ok {
+		return true, d.Reason == "", d
+	}
+	if d, ok := f.At(pos, full); ok {
+		return true, d.Reason == "", d
+	}
+	return false, false, Directive{}
+}

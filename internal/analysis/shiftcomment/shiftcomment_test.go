@@ -1,0 +1,112 @@
+package shiftcomment_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/analysis/shiftcomment"
+)
+
+const src = `package p
+
+//shift:lockfree
+func Root() {
+	//shift:allow-lock(startup only)
+	work()
+	work() // trailing prose, not a directive
+	//shift:allow-lock
+	work()
+}
+
+// Swap installs the new snapshot.
+//shift:swap(writer publication under mu)
+func Swap() {
+	work()
+}
+
+//shift:allow-sleep(function-wide waiver)
+func Sleepy() {
+	work()
+}
+
+// prose mentioning shift:lockfree inside a sentence is not parsed
+func Prose() {
+	work()
+}
+
+func work() {}
+`
+
+func load(t *testing.T) (*token.FileSet, *ast.File, *shiftcomment.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, shiftcomment.NewFile(fset, f)
+}
+
+func fn(f *ast.File, name string) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	return nil
+}
+
+// calls returns the positions of the statements in fn's body.
+func stmtPos(fd *ast.FuncDecl) []token.Pos {
+	var out []token.Pos
+	for _, s := range fd.Body.List {
+		out = append(out, s.Pos())
+	}
+	return out
+}
+
+func TestFuncDirectives(t *testing.T) {
+	_, f, _ := load(t)
+	if d, ok := shiftcomment.FuncDirective(fn(f, "Root"), "lockfree"); !ok || d.Reason != "" {
+		t.Errorf("Root lockfree: got ok=%v reason=%q", ok, d.Reason)
+	}
+	if d, ok := shiftcomment.FuncDirective(fn(f, "Swap"), "swap"); !ok || d.Reason != "writer publication under mu" {
+		t.Errorf("Swap swap: got ok=%v reason=%q", ok, d.Reason)
+	}
+	if _, ok := shiftcomment.FuncDirective(fn(f, "Prose"), "lockfree"); ok {
+		t.Error("prose mentioning shift:lockfree must not parse as a directive")
+	}
+}
+
+func TestStatementWaivers(t *testing.T) {
+	_, f, idx := load(t)
+	root := fn(f, "Root")
+	pos := stmtPos(root)
+
+	// First call: waived with reason by the line above.
+	if waived, missing, d := idx.Waived(root, pos[0], "lock"); !waived || missing || d.Reason != "startup only" {
+		t.Errorf("stmt 0: waived=%v missing=%v reason=%q", waived, missing, d.Reason)
+	}
+	// Second call: trailing prose is not a waiver.
+	if waived, _, _ := idx.Waived(root, pos[1], "lock"); waived {
+		t.Error("stmt 1: prose comment must not waive")
+	}
+	// Third call: waiver present but missing its mandatory reason.
+	if waived, missing, _ := idx.Waived(root, pos[2], "lock"); !waived || !missing {
+		t.Errorf("stmt 2: waived=%v missing=%v, want waived with missing reason", waived, missing)
+	}
+	// Wrong waiver name does not match.
+	if waived, _, _ := idx.Waived(root, pos[0], "sleep"); waived {
+		t.Error("allow-lock must not waive a sleep finding")
+	}
+}
+
+func TestFunctionWideWaiver(t *testing.T) {
+	_, f, idx := load(t)
+	sleepy := fn(f, "Sleepy")
+	if waived, missing, d := idx.Waived(sleepy, stmtPos(sleepy)[0], "sleep"); !waived || missing || d.Reason != "function-wide waiver" {
+		t.Errorf("function-wide: waived=%v missing=%v reason=%q", waived, missing, d.Reason)
+	}
+}

@@ -1,0 +1,167 @@
+// Package snaponce enforces the snapshot-pointer discipline that makes
+// the concurrent serving stack linearizable (DESIGN.md §6, §10):
+//
+//   - One load per operation: a function that calls .Load() on the same
+//     atomic.Pointer field more than once can observe two different
+//     snapshots inside one logical operation — the torn-view hazard the
+//     FindBatchTagged one-load rule exists to prevent. Deliberate
+//     reloads (e.g. a compactor re-reading the head under the writer
+//     lock) are waived with //shift:allow-reload(reason).
+//
+//   - Stores only in swap functions: .Store() on an atomic.Pointer is a
+//     publication event; it may only appear in functions annotated
+//     //shift:swap(reason) — the audited install/swap set — or on a line
+//     waived with //shift:allow-store(reason).
+//
+// Only sync/atomic.Pointer[T] is in scope: the Bool/Int64/Uint64 counter
+// types carry no snapshot identity and single-word flag semantics are
+// exactly what they are for. Test files are exempt: a test observing a
+// snapshot progress across installs reloads by design.
+package snaponce
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/shiftcomment"
+)
+
+// Analyzer is the snaponce pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "snaponce",
+	Doc:  "flag repeated atomic.Pointer.Load in one function and Store outside //shift:swap functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		idx := shiftcomment.NewFile(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, idx, fd, fd.Body)
+			// Each function literal is its own scope: a closure runs as
+			// its own operation, so its loads are counted separately.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkFunc(pass, idx, fd, lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc checks one function scope (a declaration body or a single
+// function literal body, not descending into nested literals).
+func checkFunc(pass *analysis.Pass, idx *shiftcomment.File, fd *ast.FuncDecl, body *ast.BlockStmt) {
+	_, isSwap := shiftcomment.FuncDirective(fd, "swap")
+	loads := make(map[string][]*ast.CallExpr)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Load":
+			if len(call.Args) != 0 || !isAtomicPointer(pass, sel.X) {
+				return true
+			}
+			key := refKey(pass, sel.X)
+			if key == "" {
+				return true
+			}
+			loads[key] = append(loads[key], call)
+		case "Store":
+			if len(call.Args) != 1 || !isAtomicPointer(pass, sel.X) {
+				return true
+			}
+			if isSwap {
+				return true
+			}
+			waived, missingReason, d := idx.Waived(fd, call.Pos(), "store")
+			if waived {
+				if missingReason {
+					pass.Reportf(d.Pos, "shift:allow-store waiver is missing its mandatory (reason)")
+				}
+				return true
+			}
+			pass.Reportf(call.Pos(), "atomic.Pointer.Store outside a //shift:swap(reason) function: snapshot publication belongs in the audited install/swap set")
+		}
+		return true
+	})
+	for key, calls := range loads {
+		if len(calls) < 2 {
+			continue
+		}
+		for _, call := range calls[1:] {
+			waived, missingReason, d := idx.Waived(fd, call.Pos(), "reload")
+			if waived {
+				if missingReason {
+					pass.Reportf(d.Pos, "shift:allow-reload waiver is missing its mandatory (reason)")
+				}
+				continue
+			}
+			pass.Reportf(call.Pos(), "second Load of atomic.Pointer %s in one function: a reload can observe a different snapshot mid-operation (load once, use the copy)", key)
+		}
+	}
+}
+
+// isAtomicPointer reports whether expr's type is sync/atomic.Pointer[T]
+// (or a pointer to one).
+func isAtomicPointer(pass *analysis.Pass, expr ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Pointer" && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// refKey names the loaded pointer well enough to detect "same field,
+// same receiver": the chain of identifiers and field selections rooted
+// at a resolvable object. Unresolvable shapes (call results, index
+// expressions) return "" and are not tracked.
+func refKey(pass *analysis.Pass, expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.ObjectOf(e); obj != nil {
+			return e.Name
+		}
+	case *ast.SelectorExpr:
+		base := refKey(pass, e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return refKey(pass, e.X)
+	case *ast.StarExpr:
+		return refKey(pass, e.X)
+	}
+	return ""
+}

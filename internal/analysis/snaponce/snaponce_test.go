@@ -1,0 +1,12 @@
+package snaponce_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/snaponce"
+)
+
+func TestSnaponce(t *testing.T) {
+	antest.Run(t, "testdata", snaponce.Analyzer, "a")
+}

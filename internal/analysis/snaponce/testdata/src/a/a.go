@@ -1,0 +1,71 @@
+package a
+
+import "sync/atomic"
+
+type box struct {
+	p atomic.Pointer[int]
+	q atomic.Pointer[int]
+}
+
+func DoubleLoad(b *box) int {
+	x := b.p.Load()
+	y := b.p.Load() // want `second Load of atomic\.Pointer b\.p in one function`
+	return *x + *y
+}
+
+func SingleLoad(b *box) int { return *b.p.Load() }
+
+// TwoFields loads two different pointers once each: no finding.
+func TwoFields(b *box) int {
+	return *b.p.Load() + *b.q.Load()
+}
+
+// TwoReceivers loads the same field off two different receivers: no
+// finding.
+func TwoReceivers(b1, b2 *box) int {
+	return *b1.p.Load() + *b2.p.Load()
+}
+
+func WaivedReload(b *box) int {
+	x := b.p.Load()
+	//shift:allow-reload(fixture: deliberate re-read under the writer lock)
+	y := b.p.Load()
+	return *x + *y
+}
+
+func BadWaiver(b *box) int {
+	x := b.p.Load()
+	/* want `shift:allow-reload waiver is missing its mandatory \(reason\)` */ //shift:allow-reload
+	y := b.p.Load()
+	return *x + *y
+}
+
+func BadStore(b *box, v *int) {
+	b.p.Store(v) // want `Store outside a //shift:swap\(reason\) function`
+}
+
+//shift:swap(fixture: the audited install path)
+func GoodStore(b *box, v *int) {
+	b.p.Store(v)
+}
+
+func WaivedStore(b *box, v *int) {
+	//shift:allow-store(fixture: bench-only reset)
+	b.p.Store(v)
+}
+
+// LitScope loads once in the function and once in a closure: separate
+// operation scopes, no finding.
+func LitScope(b *box) func() *int {
+	_ = b.p.Load()
+	return func() *int { return b.p.Load() }
+}
+
+// LitDouble reloads inside one closure: finding.
+func LitDouble(b *box) func() int {
+	return func() int {
+		x := b.p.Load()
+		y := b.p.Load() // want `second Load of atomic\.Pointer b\.p`
+		return *x + *y
+	}
+}

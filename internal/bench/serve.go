@@ -334,6 +334,20 @@ func (p *phaseRun) finish() *ServePoint {
 
 // servePhase runs one (mode, loop) combination against a fresh hardened
 // server over the shared live replica.
+
+// sleepCtx pauses for d or until ctx is cancelled, reporting whether the
+// full pause elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 func servePhase(ctx context.Context, r *replica.Replica[uint64], pool []uint64,
 	lookup func(uint64) []int, mode, loop string, cfg ServeConfig) (*phaseRun, error) {
 
@@ -421,7 +435,9 @@ func servePhase(ctx context.Context, r *replica.Replica[uint64], pool []uint64,
 				for i := w; i < total; i += cfg.Workers {
 					sched := start.Add(time.Duration(i) * interval)
 					if d := time.Until(sched); d > 0 {
-						time.Sleep(d)
+						if !sleepCtx(ctx, d) {
+							return
+						}
 					}
 					if fire(uint64(i)*2654435761 + uint64(w)) {
 						// Latency from SCHEDULED time: queueing delay is

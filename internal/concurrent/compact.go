@@ -143,6 +143,8 @@ func (ix *Index[K]) compactor() {
 //     carries over verbatim onto the new base. That is the whole replay:
 //     tombstones cancel by key value, so they mean the same thing over
 //     the merged base as they did over the old one.
+//
+//shift:swap(compaction seal/recover/publish; every store under ix.mu)
 func (ix *Index[K]) Compact() error {
 	ix.compactMu.Lock()
 	defer ix.compactMu.Unlock()
@@ -179,6 +181,7 @@ func (ix *Index[K]) Compact() error {
 		// failure persists; the compactor goroutine survives errors, so
 		// the next due write retries (and a manual Compact can too).
 		ix.mu.Lock()
+		//shift:allow-reload(error path re-reads the head under ix.mu to pick up writes that landed mid-rebuild)
 		cur := ix.snap.Load()
 		ix.snap.Store(&snapshot[K]{view: cur.view, gens: mergeGens(cur.gens), tag: cur.tag})
 		ix.mu.Unlock()
@@ -188,6 +191,7 @@ func (ix *Index[K]) Compact() error {
 
 	// Phase 3: publish.
 	ix.mu.Lock()
+	//shift:allow-reload(publish re-reads the head under ix.mu; the sealed prefix is immutable and the live suffix carries over)
 	cur := ix.snap.Load()
 	// Writers only ever replace the top generation or append a new head,
 	// so cur.gens is the sealed prefix (untouched) plus everything that

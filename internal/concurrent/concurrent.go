@@ -94,6 +94,7 @@ func Wrap[K kv.Key](ix *updatable.Index[K], policy CompactionPolicy) (*Index[K],
 	return wrap(ix, cfg)
 }
 
+//shift:swap(constructor: publishes the first snapshot before the index escapes)
 func wrap[K kv.Key](base *updatable.Index[K], cfg Config) (*Index[K], error) {
 	if err := cfg.Policy.validate(); err != nil {
 		return nil, err
@@ -166,12 +167,16 @@ func (ix *Index[K]) Err() error {
 // Find returns the logical lower-bound rank of q among live keys: the
 // number of live keys < q. Lock-free; the whole query answers against one
 // snapshot.
+//
+//shift:lockfree
 func (ix *Index[K]) Find(q K) int {
 	return ix.snap.Load().rank(q)
 }
 
 // Lookup reports whether q is a live key and its logical rank, both
 // against one snapshot and with a single base-table probe.
+//
+//shift:lockfree
 func (ix *Index[K]) Lookup(q K) (rank int, found bool) {
 	rank, count := ix.snap.Load().lookup(q)
 	return rank, count > 0
@@ -182,6 +187,8 @@ func (ix *Index[K]) Lookup(q K) (rank int, found bool) {
 // has capacity). The base probes run through the staged
 // core.Table.FindBatch pipeline of the frozen view; the generation
 // corrections are applied per lane.
+//
+//shift:lockfree
 func (ix *Index[K]) FindBatch(qs []K, out []int) []int {
 	out, _ = ix.FindBatchTagged(qs, out)
 	return out
@@ -192,6 +199,8 @@ func (ix *Index[K]) FindBatch(qs []K, out []int) []int {
 // that snapshot's (InstallState/InstallDelta set it to the replicated
 // version). This lets a replica reader learn which published version
 // answered the whole batch with no lock and no tag/results race.
+//
+//shift:lockfree
 func (ix *Index[K]) FindBatchTagged(qs []K, out []int) ([]int, uint64) {
 	s := ix.snap.Load()
 	out = s.view.FindBatch(qs, out)
@@ -203,12 +212,16 @@ func (ix *Index[K]) FindBatchTagged(qs []K, out []int) ([]int, uint64) {
 
 // Tag returns the install tag of the current published snapshot (zero if
 // no replicated state was ever installed).
+//
+//shift:lockfree
 func (ix *Index[K]) Tag() uint64 { return ix.snap.Load().tag }
 
 // LookupBatch answers Lookup for every query in qs against one snapshot:
 // one staged base-table batch probe per lane (View.LookupCountBatch), then
 // the generation corrections. Like FindBatch it reuses the supplied slices
 // when they have capacity.
+//
+//shift:lockfree
 func (ix *Index[K]) LookupBatch(qs []K, ranks []int, found []bool) ([]int, []bool) {
 	s := ix.snap.Load()
 	var counts []int
@@ -231,12 +244,16 @@ func (ix *Index[K]) LookupBatch(qs []K, ranks []int, found []bool) ([]int, []boo
 
 // Scan calls fn for every live key in [a, b] in sorted order, all from one
 // snapshot; fn returning false stops the scan.
+//
+//shift:lockfree
 func (ix *Index[K]) Scan(a, b K, fn func(k K) bool) {
 	ix.snap.Load().scan(a, b, fn)
 }
 
 // Insert adds k (duplicates allowed) and publishes the successor
 // snapshot. O(maxHeadLen) for the write-head copy.
+//
+//shift:swap(writer publication under ix.mu)
 func (ix *Index[K]) Insert(k K) {
 	ix.mu.Lock()
 	s := ix.snap.Load()
@@ -256,6 +273,8 @@ func (ix *Index[K]) Insert(k K) {
 // A pending insert in the write head is removed directly; anything older
 // (sealed generation, view delta, base) gets a tombstone in the write
 // head, cancelled by value at the next compaction.
+//
+//shift:swap(writer publication under ix.mu)
 func (ix *Index[K]) Delete(k K) bool {
 	ix.mu.Lock()
 	s := ix.snap.Load()

@@ -299,6 +299,8 @@ func LoadStateFile[K kv.Key](path string) (*State[K], error) {
 // rebuild with the primary's configuration rather than the replica's
 // bootstrap default. Serialises with writers and compactions; readers
 // see either the old state or the new one, never a mixture.
+//
+//shift:swap(replication install under compactMu+mu)
 func (ix *Index[K]) InstallState(st *State[K], tag uint64) error {
 	gens := st.gens
 	if len(gens) == 0 {
@@ -327,6 +329,8 @@ func (ix *Index[K]) InstallState(st *State[K], tag uint64) error {
 // replaces the whole generation stack with the delta's. If the published
 // view is no longer st's (a compaction ran, or a different state was
 // installed) it returns ErrStaleBase and installs nothing.
+//
+//shift:swap(replication delta install under compactMu+mu)
 func (ix *Index[K]) InstallDelta(st *State[K], d *Delta[K], tag uint64) error {
 	gens := d.gens
 	if len(gens) == 0 {

@@ -207,6 +207,8 @@ func LoadFile[K kv.Key](path string) (*Index[K], error) {
 // top. That makes warm restart O(pending) pointer work instead of
 // re-executing every pending write one copy-on-write publication at a
 // time.
+//
+//shift:swap(warm-restart install under ix.mu before the index escapes)
 func assemble[K kv.Key](base *updatable.Index[K], policy CompactionPolicy, gens []*generation[K]) (*Index[K], error) {
 	ix, err := Wrap(base, policy)
 	if err != nil {

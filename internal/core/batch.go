@@ -69,6 +69,8 @@ func ensureInts(out []int, n int) []int {
 // capacity, a fresh slice otherwise). Results are bit-identical to calling
 // Find on each query; only the schedule differs — see the pipeline
 // description at the top of this file.
+//
+//shift:lockfree
 func (t *Table[K]) FindBatch(qs []K, out []int) []int {
 	out = ensureInts(out, len(qs))
 	if t.n == 0 {

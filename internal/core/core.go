@@ -71,12 +71,11 @@ type Config struct {
 // Table is a built Shift-Table layer over a sorted key slice and a learned
 // CDF model. It is immutable after Build and safe for concurrent readers.
 type Table[K kv.Key] struct {
-	keys     []K
-	model    cdfmodel.Model[K]
-	mode     Mode
-	monotone bool // model guarantees windows (§3.8)
-	n        int
-	m        int
+	keys  []K
+	model cdfmodel.Model[K]
+	mode  Mode
+	n     int
+	m     int
 
 	// Range mode: per-partition drift bounds, stored fused — the <lo, hi>
 	// pair of partition k interleaved at one packed width so a lookup's
@@ -88,8 +87,11 @@ type Table[K kv.Key] struct {
 	// loBits/hiBits are the independent packed widths of the two halves —
 	// the serialization format (and the paper's §3.9 width discussion)
 	// stores lo and hi as separate arrays, each at its own narrowest width;
-	// WriteTo de-interleaves back to that split layout.
+	// WriteTo de-interleaves back to that split layout. They share an
+	// 8-byte slot with monotone (fieldalignment: grouping the three
+	// 1-byte fields keeps Table at 336 bytes instead of 344).
 	loBits, hiBits uint8
+	monotone       bool // model guarantees windows (§3.8)
 
 	// Midpoint mode: per-partition rounded mean drift Δ̄ (Eq. 7).
 	shift driftArray

@@ -11,6 +11,8 @@ import (
 // paper's Alg. 1: model prediction, Shift-Table correction, then bounded
 // local search (linear under the threshold, binary above; exponential when
 // no bound is available).
+//
+//shift:lockfree
 func (t *Table[K]) Find(q K) int {
 	if t.n == 0 {
 		return 0

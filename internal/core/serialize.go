@@ -283,6 +283,7 @@ func (t *Table[K]) loadBodyV2(br io.Reader, avail int64) error {
 	}
 	var padBuf [8]byte
 	pad := pad8(data)
+	//shift:allow-unbounded(pad8 maps any input to 0..7, so the slice is bounded by construction)
 	if _, err := io.ReadFull(br, padBuf[:pad]); err != nil {
 		return fmt.Errorf("core: reading layer padding: %w", err)
 	}

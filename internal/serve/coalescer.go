@@ -225,6 +225,8 @@ func (c *Coalescer[K]) Find(ctx context.Context, key K) (rank int, tag uint64, e
 
 // runWaves services the queue in MaxWave-wide batches until it is
 // empty. Caller holds the combiner lock.
+//
+//shift:lockfree
 func (c *Coalescer[K]) runWaves() {
 	s := c.scratchPool.Get().(*waveScratch[K])
 	for {
@@ -240,6 +242,7 @@ func (c *Coalescer[K]) runWaves() {
 		var tag uint64
 		s.ranks, tag = c.ix.FindBatchTagged(s.keys, s.ranks[:0])
 		for i, out := range s.outs {
+			//shift:allow-lock(each done channel is buffered with capacity 1 and receives exactly one result, so the send never blocks)
 			out <- cres{rank: s.ranks[i], tag: tag}
 		}
 		c.waves.Add(1)
@@ -269,6 +272,8 @@ func (c *Coalescer[K]) collect(s *waveScratch[K]) {
 
 // collectLinger takes the first request non-blockingly, then lingers up
 // to MaxWait for the wave to fill.
+//
+//shift:allow-lock(the linger wait is the point: it blocks between waves, bounded by MaxWait, never while a snapshot view is pinned)
 func (c *Coalescer[K]) collectLinger(s *waveScratch[K]) {
 	select {
 	case r := <-c.reqs:

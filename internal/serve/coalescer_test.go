@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -196,7 +197,7 @@ func TestCoalescerStorm(t *testing.T) {
 				idx := rnd.Intn(len(pool))
 				rank, tag, err := co.Find(ctx, pool[idx])
 				if err != nil {
-					if err == ErrOverloaded {
+					if errors.Is(err, ErrOverloaded) {
 						continue
 					}
 					t.Errorf("client %d: %v", w, err)
@@ -279,7 +280,7 @@ func TestCoalescerAdmission(t *testing.T) {
 	ch1, ch2 := make(chan cres, 1), make(chan cres, 1)
 	co.reqs <- creq[uint64]{key: 1, done: ch1}
 	co.reqs <- creq[uint64]{key: 8, done: ch2}
-	if _, _, err := co.Find(ctx, 15); err != ErrOverloaded {
+	if _, _, err := co.Find(ctx, 15); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("full queue: err = %v, want ErrOverloaded", err)
 	}
 	if st := co.Stats(); st.Rejected != 1 {
@@ -297,7 +298,7 @@ func TestCoalescerAdmission(t *testing.T) {
 	if want := primary.Find(8); r2.rank != want {
 		t.Errorf("drained find(8) = %d, want %d", r2.rank, want)
 	}
-	if _, _, err := co.Find(ctx, 1); err != ErrDraining {
+	if _, _, err := co.Find(ctx, 1); !errors.Is(err, ErrDraining) {
 		t.Fatalf("closed: err = %v, want ErrDraining", err)
 	}
 	co.Close() // idempotent

@@ -137,6 +137,8 @@ func (h *Handler[K]) Coalescer() *Coalescer[K] { return h.co }
 // SetResidency attaches a residency manager so /statusz reports
 // resident/cold span counts and first-touch counters for the mapped
 // serving tier. Safe to call (or swap) while serving.
+//
+//shift:swap(residency manager install; whole-pointer swap is the design)
 func (h *Handler[K]) SetResidency(res *mapped.Residency) { h.res.Store(res) }
 
 // SetDraining flips the handler into drain mode: every data request is

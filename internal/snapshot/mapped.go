@@ -119,7 +119,7 @@ func (m *Mapped) Next() (*MappedSection, error) {
 // Expect returns the next section and fails unless its id matches.
 func (m *Mapped) Expect(id uint32) (*MappedSection, error) {
 	s, err := m.Next()
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) {
 		return nil, fmt.Errorf("snapshot: missing section %d (container ended)", id)
 	}
 	if err != nil {

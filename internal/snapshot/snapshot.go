@@ -590,7 +590,7 @@ func (sr *Reader) skipPadding(id uint32) error {
 // Expect returns the next section and fails unless its id matches.
 func (sr *Reader) Expect(id uint32) (*Section, error) {
 	s, err := sr.Next()
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) {
 		return nil, sr.fail(fmt.Errorf("snapshot: missing section %d (container ended)", id))
 	}
 	if err != nil {
@@ -619,7 +619,7 @@ func (s *Section) Read(p []byte) (int, error) {
 		s.sr.secCRC.Write(p[:n])
 	}
 	if err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF
 		}
 		return n, s.sr.fail(fmt.Errorf("snapshot: section %d truncated at byte %d of %d: %w",
@@ -672,7 +672,7 @@ func (sr *Reader) Close() error {
 		if err == nil {
 			return sr.fail(fmt.Errorf("snapshot: unexpected trailing section %d", s.ID))
 		}
-		if err != io.EOF {
+		if !errors.Is(err, io.EOF) {
 			return err
 		}
 	}
@@ -907,7 +907,7 @@ func ReadFixed[T ~int8 | ~int16 | ~int32 | ~int64 | ~uint32 | ~uint64](r io.Read
 		}
 		b := buf[:c*elemSize]
 		if _, err := io.ReadFull(r, b); err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				err = io.ErrUnexpectedEOF
 			}
 			return nil, fmt.Errorf("snapshot: reading %ss %d..%d of %d: %w", what, filled, filled+c-1, n, err)

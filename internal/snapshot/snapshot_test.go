@@ -115,7 +115,7 @@ func readAll(raw []byte) error {
 	}
 	for {
 		s, err := sr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
@@ -318,7 +318,7 @@ func TestVersionSkewTyped(t *testing.T) {
 	err = Load(bytes.NewReader(flipped), int64(len(flipped)), func(sr *Reader) error {
 		for {
 			s, err := sr.Next()
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			if err != nil {

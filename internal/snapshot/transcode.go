@@ -3,6 +3,7 @@ package snapshot
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -127,7 +128,7 @@ func Transcode(r io.Reader, total int64, w io.Writer, toVersion uint32) error {
 	}
 	for {
 		s, err := sr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -97,7 +97,7 @@ func readXcode(t *testing.T, data []byte) ([]uint64, []byte) {
 	if _, err := sr.Expect(3); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sr.Next(); err != io.EOF {
+	if _, err := sr.Next(); !errors.Is(err, io.EOF) {
 		t.Fatalf("trailing section: %v", err)
 	}
 	if err := sr.Close(); err != nil {
